@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared machinery for the experiment harnesses: process the whole
+ * MiBench-analogue suite (profile at -O0, synthesize clones) once per
+ * binary, plus helpers to run programs under instrumentation.
+ *
+ * Each bench_* binary regenerates one table or figure of the paper
+ * (see DESIGN.md's experiment index) and prints it as a text table.
+ */
+
+#ifndef BSYN_BENCH_COMMON_HH
+#define BSYN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "isa/lowering.hh"
+#include "lang/frontend.hh"
+#include "pipeline/pipeline.hh"
+#include "support/statistics.hh"
+#include "support/table.hh"
+
+namespace bsyn::bench
+{
+
+/** Synthesis configuration used across all experiment harnesses. */
+inline synth::SynthesisOptions
+benchSynthesisOptions()
+{
+    auto opts = pipeline::defaultSynthesisOptions();
+    opts.targetInstructions = 120000; // the paper's "~10M", scaled
+    return opts;
+}
+
+/** Profile + synthesize every suite instance (cached per process). */
+inline const std::vector<pipeline::WorkloadRun> &
+processedSuite()
+{
+    static const std::vector<pipeline::WorkloadRun> runs = [] {
+        std::vector<pipeline::WorkloadRun> out;
+        for (const auto &w : workloads::mibenchSuite()) {
+            std::fprintf(stderr, "[bench] processing %-22s\n",
+                         w.name().c_str());
+            out.push_back(
+                pipeline::processWorkload(w, benchSynthesisOptions()));
+        }
+        return out;
+    }();
+    return runs;
+}
+
+/**
+ * One representative instance per benchmark (prefers the small input) —
+ * used by the heavier timing/cache experiments so each harness finishes
+ * in seconds rather than minutes.
+ */
+inline const std::vector<pipeline::WorkloadRun> &
+representativeRuns()
+{
+    static const std::vector<pipeline::WorkloadRun> runs = [] {
+        std::vector<pipeline::WorkloadRun> out;
+        std::string last;
+        for (const auto &w : workloads::mibenchSuite()) {
+            if (w.benchmark == last)
+                continue;
+            // Prefer smallN over largeN when one exists.
+            const workloads::Workload *pick = &w;
+            for (const auto &cand : workloads::mibenchSuite())
+                if (cand.benchmark == w.benchmark &&
+                    cand.input.rfind("small", 0) == 0) {
+                    pick = &cand;
+                    break;
+                }
+            std::fprintf(stderr, "[bench] processing %-22s\n",
+                         pick->name().c_str());
+            out.push_back(
+                pipeline::processWorkload(*pick, benchSynthesisOptions()));
+            last = w.benchmark;
+        }
+        return out;
+    }();
+    return runs;
+}
+
+/** Run @p source and collect a cache-size sweep of data accesses. */
+inline std::vector<double>
+cacheHitRateSweep(const std::string &source, opt::OptLevel level)
+{
+    ir::Module m = lang::compile(source, "sweep");
+    opt::optimize(m, level);
+    isa::LoweringOptions lo;
+    lo.applyFusion = false;
+    auto prog = isa::lower(m, isa::targetX86(), lo);
+
+    struct Sweeper : sim::ExecObserver
+    {
+        sim::CacheSweep sweep{sim::CacheSweep::paperSweep()};
+        void onInstruction(int, const isa::MInst &) override {}
+        void
+        onMemAccess(int, uint64_t addr, uint32_t, bool, uint64_t) override
+        {
+            sweep.access(addr);
+        }
+        void onBranch(int, bool) override {}
+    } obs;
+    sim::execute(prog, &obs);
+
+    std::vector<double> rates;
+    for (size_t i = 0; i < obs.sweep.size(); ++i)
+        rates.push_back(obs.sweep.at(i).stats().hitRate());
+    return rates;
+}
+
+/** Run @p source and measure branch-predictor accuracy. */
+inline double
+branchAccuracy(const std::string &source, opt::OptLevel level,
+               const std::string &predictor = "tournament")
+{
+    ir::Module m = lang::compile(source, "bp");
+    opt::optimize(m, level);
+    auto prog = isa::lower(m, isa::targetX86());
+
+    struct Bp : sim::ExecObserver
+    {
+        std::unique_ptr<sim::BranchPredictor> pred;
+        void onInstruction(int, const isa::MInst &) override {}
+        void onMemAccess(int, uint64_t, uint32_t, bool, uint64_t) override
+        {}
+        void
+        onBranch(int pc, bool taken) override
+        {
+            pred->branch(static_cast<uint64_t>(pc), taken);
+        }
+    } obs;
+    obs.pred = sim::makePredictor(predictor);
+    sim::execute(prog, &obs);
+    return obs.pred->stats().accuracy();
+}
+
+/** Dynamic instruction count at a level (x86). */
+inline uint64_t
+dynCount(const std::string &source, opt::OptLevel level)
+{
+    return pipeline::runSource(source, "count", level, isa::targetX86())
+        .instructions;
+}
+
+} // namespace bsyn::bench
+
+#endif // BSYN_BENCH_COMMON_HH

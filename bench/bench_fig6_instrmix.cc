@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 6 — instruction mix (loads / stores / branches / others) at
+ * -O0 and -O2, original (ORG) vs synthetic (SYN), per benchmark plus
+ * the average. The paper's observation: the load fraction drops and the
+ * arithmetic fraction rises at the higher optimization level, for both
+ * the originals and the clones.
+ */
+
+#include "bench_common.hh"
+
+using namespace bsyn;
+
+namespace
+{
+
+profile::InstrMix
+mixAt(const std::string &source, opt::OptLevel level)
+{
+    ir::Module m = lang::compile(source, "mix");
+    opt::optimize(m, level);
+    return profile::profileModule(m).mix;
+}
+
+void
+printMixTable(const char *title, opt::OptLevel level)
+{
+    TextTable table(title);
+    table.setHeader({"benchmark", "who", "loads", "stores", "branches",
+                     "others"});
+    profile::InstrMix org_total, syn_total;
+    for (const auto &run : bench::representativeRuns()) {
+        auto org = mixAt(run.workload.source, level);
+        auto syn = mixAt(run.synthetic.cSource, level);
+        org_total.merge(org);
+        syn_total.merge(syn);
+        table.addRow({run.workload.benchmark, "ORG",
+                      TextTable::pct(org.loadFraction()),
+                      TextTable::pct(org.storeFraction()),
+                      TextTable::pct(org.branchFraction()),
+                      TextTable::pct(org.otherFraction())});
+        table.addRow({"", "SYN", TextTable::pct(syn.loadFraction()),
+                      TextTable::pct(syn.storeFraction()),
+                      TextTable::pct(syn.branchFraction()),
+                      TextTable::pct(syn.otherFraction())});
+    }
+    table.addRow({"average", "ORG",
+                  TextTable::pct(org_total.loadFraction()),
+                  TextTable::pct(org_total.storeFraction()),
+                  TextTable::pct(org_total.branchFraction()),
+                  TextTable::pct(org_total.otherFraction())});
+    table.addRow({"", "SYN", TextTable::pct(syn_total.loadFraction()),
+                  TextTable::pct(syn_total.storeFraction()),
+                  TextTable::pct(syn_total.branchFraction()),
+                  TextTable::pct(syn_total.otherFraction())});
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printMixTable("Figure 6(a): instruction mix at -O0",
+                  opt::OptLevel::O0);
+    printMixTable("Figure 6(b): instruction mix at -O2",
+                  opt::OptLevel::O2);
+    std::cout << "paper check: load fraction should drop from (a) to (b) "
+                 "for both ORG and SYN\n";
+    return 0;
+}

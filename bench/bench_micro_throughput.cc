@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Framework microbenchmarks (google-benchmark): throughput of the
+ * interpreter, the cache simulator, the branch predictors, the MiniC
+ * compiler and the profiler — the costs that bound every experiment in
+ * this repository.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+#include "similarity/report.hh"
+
+using namespace bsyn;
+
+namespace
+{
+
+const char *kernelSrc = R"(
+uint t[1024];
+int main() {
+  int i;
+  for (i = 0; i < 20000; i++)
+    t[i & 1023] = t[(i * 7) & 1023] * 3 + (uint)i;
+  printf("%u\n", t[0]);
+  return 0;
+})";
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto stats = sim::execute(prog);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_InterpreterWithTimingModel(benchmark::State &state)
+{
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    auto machine = sim::ptlsimConfig(8);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto t = sim::simulateTiming(prog, machine.core);
+        insts += t.instructions;
+        benchmark::DoNotOptimize(t.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterWithTimingModel);
+
+void
+BM_CacheSimulator(benchmark::State &state)
+{
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = 8 * 1024;
+    sim::Cache cache(cfg);
+    uint64_t addr = 0;
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            benchmark::DoNotOptimize(cache.access(addr));
+            addr += 12;
+        }
+        accesses += 1024;
+    }
+    state.counters["access/s"] = benchmark::Counter(
+        double(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheSimulator);
+
+void
+BM_TournamentPredictor(benchmark::State &state)
+{
+    sim::TournamentPredictor pred;
+    Rng rng(5);
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            pred.branch(static_cast<uint64_t>(i & 63) * 4,
+                        rng.nextBool(0.7));
+        branches += 1024;
+    }
+    state.counters["branch/s"] = benchmark::Counter(
+        double(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TournamentPredictor);
+
+void
+BM_MiniCCompileO2(benchmark::State &state)
+{
+    const auto &w = workloads::findWorkload("sha/small");
+    for (auto _ : state) {
+        ir::Module m = lang::compile(w.source, "sha");
+        opt::optimize(m, opt::OptLevel::O2);
+        auto prog = isa::lower(m, isa::targetX86());
+        benchmark::DoNotOptimize(prog.size());
+    }
+}
+BENCHMARK(BM_MiniCCompileO2);
+
+void
+BM_ProfileWorkload(benchmark::State &state)
+{
+    ir::Module m = lang::compile(kernelSrc, "k");
+    for (auto _ : state) {
+        auto prof = profile::profileModule(m);
+        benchmark::DoNotOptimize(prof.dynamicInstructions);
+    }
+}
+BENCHMARK(BM_ProfileWorkload);
+
+void
+BM_SynthesizeClone(benchmark::State &state)
+{
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prof = profile::profileModule(m);
+    synth::SynthesisOptions opts;
+    opts.targetInstructions = 5000;
+    for (auto _ : state) {
+        auto syn = synth::synthesize(prof, opts);
+        benchmark::DoNotOptimize(syn.cSource.size());
+    }
+}
+BENCHMARK(BM_SynthesizeClone);
+
+void
+BM_WinnowSimilarity(benchmark::State &state)
+{
+    const auto &a = workloads::findWorkload("sha/small");
+    const auto &b = workloads::findWorkload("crc32/small");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            similarity::compareSources(a.source, b.source).winnow);
+    }
+}
+BENCHMARK(BM_WinnowSimilarity);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Emerging-workload generation (paper §II-B.c): no original program
+ * exists — an architect *specifies* the behaviour a future workload is
+ * expected to have (large working set with poor locality, mixed int/fp
+ * compute, hard branches) and synthesizes a runnable C benchmark from
+ * the specification, then uses it to size a cache hierarchy.
+ *
+ * Build & run:  ./build/examples/emerging_workload
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "isa/lowering.hh"
+#include "lang/frontend.hh"
+#include "pipeline/pipeline.hh"
+#include "support/table.hh"
+#include "synth/profile_builder.hh"
+
+using namespace bsyn;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // Specify the expected behaviour of a future "edge analytics"
+    // workload: an outer event loop; a hot inner kernel streaming a
+    // working set far beyond any L1 (Table I class 4 = ~50% misses);
+    // a floating-point scoring block; and a hard data-dependent branch.
+    // ------------------------------------------------------------------
+    synth::ProfileBuilder spec("edge-analytics-2030");
+
+    int event_loop = spec.addLoop(/*iterations=*/400, /*entries=*/1);
+    int kernel_loop =
+        spec.addLoop(/*iterations=*/60, /*entries=*/400, event_loop);
+
+    synth::BlockSpec stream;
+    stream.execCount = 24000; // 400 * 60
+    stream.loads = 3;
+    stream.stores = 1;
+    stream.intOps = 5;
+    stream.loadMissClass = 4;  // ~50% miss: pointer-ish traversal
+    stream.storeMissClass = 1; // mostly-resident output buffer
+    spec.addBlock(kernel_loop, stream);
+
+    synth::BlockSpec scoring;
+    scoring.execCount = 24000;
+    scoring.fpOps = 6;
+    scoring.loads = 2;
+    scoring.stores = 1;
+    scoring.fpMemory = true;
+    scoring.loadMissClass = 2;
+    scoring.endsInBranch = true;
+    scoring.takenRate = 0.4;
+    scoring.transitionRate = 0.5; // hard to predict
+    spec.addBlock(kernel_loop, scoring);
+
+    synth::BlockSpec bookkeeping;
+    bookkeeping.execCount = 400;
+    bookkeeping.intOps = 12;
+    bookkeeping.loads = 2;
+    bookkeeping.stores = 2;
+    spec.addBlock(event_loop, bookkeeping);
+
+    auto prof = spec.build();
+    std::printf("specified profile: %llu instructions, %.1f%% loads, "
+                "%.1f%% fp\n",
+                static_cast<unsigned long long>(
+                    prof.dynamicInstructions),
+                100 * prof.mix.loadFraction(),
+                100 * prof.mix.fpFraction());
+
+    // ------------------------------------------------------------------
+    // Synthesize — R=1 keeps the full specified size.
+    // ------------------------------------------------------------------
+    synth::SynthesisOptions opts;
+    opts.reductionFactor = 1;
+    auto bench = synth::synthesize(prof, opts);
+    auto stats = pipeline::runSource(bench.cSource, "emerging",
+                                     opt::OptLevel::O2, isa::targetX86());
+    std::printf("generated benchmark runs %llu instructions at -O2\n\n",
+                static_cast<unsigned long long>(stats.instructions));
+
+    // ------------------------------------------------------------------
+    // Use it: how much cache does the future workload need?
+    // ------------------------------------------------------------------
+    TextTable table("cache sizing for the specified workload (2-wide "
+                    "OoO)");
+    table.setHeader({"D$", "hit rate", "CPI"});
+    for (uint64_t kb : {4, 8, 16, 32, 64, 128}) {
+        auto machine = sim::ptlsimConfig(kb);
+        ir::Module m = lang::compile(bench.cSource, "emerging");
+        opt::optimize(m, opt::OptLevel::O2);
+        auto prog = isa::lower(m, machine.isa);
+        auto t = sim::simulateTiming(prog, machine.core);
+        table.addRow({std::to_string(kb) + "KB",
+                      TextTable::pct(t.l1d.hitRate()),
+                      TextTable::num(t.cpi(), 3)});
+    }
+    table.print(std::cout);
+    std::printf("\nthe class-4 streams keep missing every cache below "
+                "the working set — the architect sees exactly the "
+                "pressure the spec asked for.\n");
+    return 0;
+}

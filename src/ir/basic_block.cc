@@ -1,0 +1,48 @@
+#include "ir/basic_block.hh"
+
+namespace bsyn::ir
+{
+
+Terminator
+Terminator::jmp(int target)
+{
+    Terminator t;
+    t.kind = Kind::Jmp;
+    t.target = target;
+    return t;
+}
+
+Terminator
+Terminator::br(int cond, int target, int fallthrough)
+{
+    Terminator t;
+    t.kind = Kind::Br;
+    t.cond = cond;
+    t.target = target;
+    t.fallthrough = fallthrough;
+    return t;
+}
+
+Terminator
+Terminator::ret(int reg)
+{
+    Terminator t;
+    t.kind = Kind::Ret;
+    t.retReg = reg;
+    return t;
+}
+
+std::vector<int>
+BasicBlock::successors() const
+{
+    switch (term.kind) {
+      case Terminator::Kind::Jmp:
+        return {term.target};
+      case Terminator::Kind::Br:
+        return {term.target, term.fallthrough};
+      default:
+        return {};
+    }
+}
+
+} // namespace bsyn::ir

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Basic blocks and terminators of the bsyn IR control-flow graph.
+ */
+
+#ifndef BSYN_IR_BASIC_BLOCK_HH
+#define BSYN_IR_BASIC_BLOCK_HH
+
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace bsyn::ir
+{
+
+/** Terminator of a basic block. Exactly one per block. */
+struct Terminator
+{
+    enum class Kind : uint8_t
+    {
+        None, ///< not yet set (invalid in a verified function)
+        Jmp,  ///< unconditional jump to 'target'
+        Br,   ///< if (cond != 0) goto target else goto fallthrough
+        Ret,  ///< return retReg (or nothing when retReg < 0)
+    };
+
+    Kind kind = Kind::None;
+    int cond = -1;        ///< condition register (Br)
+    int target = -1;      ///< Jmp target / Br taken-target block id
+    int fallthrough = -1; ///< Br not-taken-target block id
+    int retReg = -1;      ///< return value register (Ret), or -1
+
+    static Terminator jmp(int target);
+    static Terminator br(int cond, int target, int fallthrough);
+    static Terminator ret(int reg = -1);
+};
+
+/** A straight-line sequence of instructions ending in a terminator. */
+struct BasicBlock
+{
+    int id = -1;                     ///< index within the function
+    std::vector<Instruction> insts;  ///< body (no terminators inside)
+    Terminator term;                 ///< block terminator
+
+    /** Successor block ids in (taken, fallthrough) order. */
+    std::vector<int> successors() const;
+
+    /** Append an instruction. */
+    void append(Instruction in) { insts.push_back(std::move(in)); }
+
+    /** Number of body instructions. */
+    size_t size() const { return insts.size(); }
+};
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_BASIC_BLOCK_HH

@@ -1,0 +1,125 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+
+Cfg::Cfg(const Function &fn)
+{
+    size_t n = fn.blocks.size();
+    predecessors.resize(n);
+    successors_.resize(n);
+    reachable_.assign(n, false);
+
+    for (size_t b = 0; b < n; ++b) {
+        for (int s : fn.blocks[b].successors()) {
+            BSYN_ASSERT(s >= 0 && static_cast<size_t>(s) < n,
+                        "bad successor %d in %s", s, fn.name.c_str());
+            successors_[b].push_back(s);
+            predecessors[static_cast<size_t>(s)].push_back(
+                static_cast<int>(b));
+        }
+    }
+
+    // Iterative DFS post order, then reverse.
+    if (n == 0)
+        return;
+    std::vector<int> post;
+    std::vector<int> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    reachable_[0] = true;
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        const auto &succ = successors_[static_cast<size_t>(bb)];
+        if (idx < succ.size()) {
+            int next = succ[idx++];
+            if (state[static_cast<size_t>(next)] == 0) {
+                state[static_cast<size_t>(next)] = 1;
+                reachable_[static_cast<size_t>(next)] = true;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            post.push_back(bb);
+            state[static_cast<size_t>(bb)] = 2;
+            stack.pop_back();
+        }
+    }
+    rpoOrder.assign(post.rbegin(), post.rend());
+}
+
+Liveness::Liveness(const Function &fn, const Cfg &cfg)
+{
+    size_t nb = fn.blocks.size();
+    size_t nr = fn.numRegs;
+    words = (nr + 63) / 64;
+    in.assign(nb * words, 0);
+    out.assign(nb * words, 0);
+
+    // Per-block use (read before written) and def sets.
+    std::vector<uint64_t> use(nb * words, 0);
+    std::vector<uint64_t> def(nb * words, 0);
+    auto setBit = [&](std::vector<uint64_t> &set, size_t b, int r) {
+        set[b * words + static_cast<size_t>(r) / 64] |=
+            uint64_t(1) << (static_cast<size_t>(r) % 64);
+    };
+    auto testBit = [&](const std::vector<uint64_t> &set, size_t b,
+                       int r) {
+        return (set[b * words + static_cast<size_t>(r) / 64] >>
+                (static_cast<size_t>(r) % 64)) &
+               1;
+    };
+
+    for (size_t b = 0; b < nb; ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        auto noteUse = [&](int r) {
+            if (r >= 0 && !testBit(def, b, r))
+                setBit(use, b, r);
+        };
+        for (const Instruction &inst : bb.insts) {
+            inst.forEachSrc(noteUse);
+            if (inst.dst >= 0)
+                setBit(def, b, inst.dst);
+        }
+        if (bb.term.kind == Terminator::Kind::Br)
+            noteUse(bb.term.cond);
+        if (bb.term.kind == Terminator::Kind::Ret)
+            noteUse(bb.term.retReg);
+    }
+
+    // Backward fixed point, word-parallel.
+    std::vector<uint64_t> scratch(words);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = nb; bi-- > 0;) {
+            int b = static_cast<int>(bi);
+            std::fill(scratch.begin(), scratch.end(), 0);
+            for (int s : cfg.succs(b)) {
+                const uint64_t *succ_in =
+                    in.data() + static_cast<size_t>(s) * words;
+                for (size_t w = 0; w < words; ++w)
+                    scratch[w] |= succ_in[w];
+            }
+            uint64_t *bout = out.data() + bi * words;
+            uint64_t *bin = in.data() + bi * words;
+            const uint64_t *buse = use.data() + bi * words;
+            const uint64_t *bdef = def.data() + bi * words;
+            for (size_t w = 0; w < words; ++w) {
+                uint64_t new_out = scratch[w];
+                uint64_t new_in = buse[w] | (new_out & ~bdef[w]);
+                if (new_out != bout[w] || new_in != bin[w]) {
+                    bout[w] = new_out;
+                    bin[w] = new_in;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace bsyn::ir

@@ -1,0 +1,68 @@
+#include "ir/dominators.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+
+Dominators::Dominators(const Function &fn, const Cfg &cfg)
+{
+    size_t n = fn.blocks.size();
+    idoms.assign(n, -1);
+    rpoIndex.assign(n, -1);
+    const auto &order = cfg.rpo();
+    for (size_t i = 0; i < order.size(); ++i)
+        rpoIndex[static_cast<size_t>(order[i])] = static_cast<int>(i);
+
+    if (order.empty())
+        return;
+    idoms[static_cast<size_t>(order[0])] = order[0];
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex[static_cast<size_t>(a)] >
+                   rpoIndex[static_cast<size_t>(b)])
+                a = idoms[static_cast<size_t>(a)];
+            while (rpoIndex[static_cast<size_t>(b)] >
+                   rpoIndex[static_cast<size_t>(a)])
+                b = idoms[static_cast<size_t>(b)];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < order.size(); ++i) {
+            int b = order[i];
+            int new_idom = -1;
+            for (int p : cfg.preds(b)) {
+                if (idoms[static_cast<size_t>(p)] < 0)
+                    continue; // pred not yet processed / unreachable
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idoms[static_cast<size_t>(b)] != new_idom) {
+                idoms[static_cast<size_t>(b)] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(int a, int b) const
+{
+    if (idoms[static_cast<size_t>(b)] < 0)
+        return false; // unreachable block
+    int cur = b;
+    for (;;) {
+        if (cur == a)
+            return true;
+        int next = idoms[static_cast<size_t>(cur)];
+        if (next == cur)
+            return cur == a;
+        cur = next;
+    }
+}
+
+} // namespace bsyn::ir

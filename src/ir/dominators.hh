@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dominator tree computation (Cooper/Harvey/Kennedy iterative algorithm).
+ */
+
+#ifndef BSYN_IR_DOMINATORS_HH
+#define BSYN_IR_DOMINATORS_HH
+
+#include "ir/cfg.hh"
+
+namespace bsyn::ir
+{
+
+/** Immediate-dominator tree over a function's CFG. */
+class Dominators
+{
+  public:
+    Dominators(const Function &fn, const Cfg &cfg);
+
+    /** Immediate dominator of @p bb (entry's idom is itself); -1 if
+     *  unreachable. */
+    int idom(int bb) const { return idoms[static_cast<size_t>(bb)]; }
+
+    /** @return true if block @p a dominates block @p b. */
+    bool dominates(int a, int b) const;
+
+  private:
+    std::vector<int> idoms;
+    std::vector<int> rpoIndex;
+};
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_DOMINATORS_HH

@@ -1,0 +1,45 @@
+#include "ir/function.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+
+int
+Function::newBlock()
+{
+    BasicBlock bb;
+    bb.id = static_cast<int>(blocks.size());
+    blocks.push_back(std::move(bb));
+    return blocks.back().id;
+}
+
+uint32_t
+Function::allocSlot(const std::string &slot_name, Type t, uint32_t elems)
+{
+    BSYN_ASSERT(t != Type::Void, "void frame slot");
+    uint32_t size = typeSize(t) * elems;
+    uint32_t align = typeSize(t);
+    frameSize = (frameSize + align - 1) / align * align;
+    FrameSlot slot;
+    slot.name = slot_name;
+    slot.elemType = t;
+    slot.offset = frameSize;
+    slot.elems = elems;
+    frame.push_back(slot);
+    frameSize += size;
+    // Keep frames 8-byte aligned overall.
+    frameSize = (frameSize + 7u) & ~7u;
+    return slot.offset;
+}
+
+size_t
+Function::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.insts.size();
+    return n;
+}
+
+} // namespace bsyn::ir

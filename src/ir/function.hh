@@ -1,0 +1,65 @@
+/**
+ * @file
+ * IR functions: a CFG of basic blocks plus frame/register bookkeeping.
+ */
+
+#ifndef BSYN_IR_FUNCTION_HH
+#define BSYN_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace bsyn::ir
+{
+
+/** Frame-resident local variable (or spill slot). */
+struct FrameSlot
+{
+    std::string name;    ///< source-level name (diagnostics only)
+    Type elemType = Type::I32;
+    uint32_t offset = 0; ///< byte offset from the frame base
+    uint32_t elems = 1;  ///< > 1 for local arrays
+};
+
+/** A function: entry block is always block 0. */
+struct Function
+{
+    std::string name;
+    Type retType = Type::Void;
+
+    /**
+     * Parameters arrive in virtual registers 0..numParams-1 on entry.
+     * paramTypes records their types.
+     */
+    std::vector<Type> paramTypes;
+
+    std::vector<BasicBlock> blocks;
+    std::vector<FrameSlot> frame;
+
+    uint32_t numRegs = 0;   ///< virtual register count (regs 0..numRegs-1)
+    uint32_t frameSize = 0; ///< frame size in bytes (8-byte aligned)
+
+    /** Allocate a fresh virtual register. */
+    int newReg() { return static_cast<int>(numRegs++); }
+
+    /** Append a new empty block and return its id. */
+    int newBlock();
+
+    /** Allocate a frame slot; returns its byte offset. */
+    uint32_t allocSlot(const std::string &name, Type t, uint32_t elems = 1);
+
+    /** Total body instruction count (static). */
+    size_t instructionCount() const;
+
+    BasicBlock &block(int id) { return blocks[static_cast<size_t>(id)]; }
+    const BasicBlock &block(int id) const
+    {
+        return blocks[static_cast<size_t>(id)];
+    }
+};
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_FUNCTION_HH

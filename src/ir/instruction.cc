@@ -1,0 +1,267 @@
+#include "ir/instruction.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return "movimm";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::CvtIF: return "cvtif";
+      case Opcode::CvtFI: return "cvtfi";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Call: return "call";
+      case Opcode::Print: return "print";
+      case Opcode::Nop: return "nop";
+    }
+    panic("opcodeName: bad opcode");
+}
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPure(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::Call:
+      case Opcode::Print:
+      case Opcode::Load: // loads are pure but ordering-sensitive
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        return true;
+      default:
+        return isCompare(op);
+    }
+}
+
+bool
+isUnaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::FNeg:
+      case Opcode::CvtIF:
+      case Opcode::CvtFI:
+      case Opcode::Mov:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Instruction::forEachSrc(const std::function<void(int)> &fn) const
+{
+    if (src0 >= 0)
+        fn(src0);
+    if (src1 >= 0)
+        fn(src1);
+    if (touchesMemory() && mem.indexReg >= 0)
+        fn(mem.indexReg);
+    if (op == Opcode::Call || op == Opcode::Print)
+        for (int a : args)
+            fn(a);
+}
+
+void
+Instruction::mapSrcs(const std::function<int(int)> &fn)
+{
+    if (src0 >= 0)
+        src0 = fn(src0);
+    if (src1 >= 0)
+        src1 = fn(src1);
+    if (touchesMemory() && mem.indexReg >= 0)
+        mem.indexReg = fn(mem.indexReg);
+    if (op == Opcode::Call || op == Opcode::Print)
+        for (int &a : args)
+            a = fn(a);
+}
+
+Instruction
+Instruction::movImm(int dst, int64_t value, Type t)
+{
+    Instruction in;
+    in.op = Opcode::MovImm;
+    in.type = t;
+    in.dst = dst;
+    in.imm = value;
+    return in;
+}
+
+Instruction
+Instruction::movFImm(int dst, double value)
+{
+    Instruction in;
+    in.op = Opcode::MovImm;
+    in.type = Type::F64;
+    in.dst = dst;
+    in.fimm = value;
+    return in;
+}
+
+Instruction
+Instruction::mov(int dst, int src, Type t)
+{
+    Instruction in;
+    in.op = Opcode::Mov;
+    in.type = t;
+    in.dst = dst;
+    in.src0 = src;
+    return in;
+}
+
+Instruction
+Instruction::binary(Opcode op, Type t, int dst, int a, int b)
+{
+    BSYN_ASSERT(isBinaryAlu(op), "binary() requires a binary opcode");
+    Instruction in;
+    in.op = op;
+    in.type = t;
+    in.dst = dst;
+    in.src0 = a;
+    in.src1 = b;
+    return in;
+}
+
+Instruction
+Instruction::unary(Opcode op, Type t, int dst, int a)
+{
+    Instruction in;
+    in.op = op;
+    in.type = t;
+    in.dst = dst;
+    in.src0 = a;
+    return in;
+}
+
+Instruction
+Instruction::load(int dst, MemRef m, Type t)
+{
+    Instruction in;
+    in.op = Opcode::Load;
+    in.type = t;
+    in.dst = dst;
+    in.mem = m;
+    return in;
+}
+
+Instruction
+Instruction::store(int src, MemRef m, Type t)
+{
+    Instruction in;
+    in.op = Opcode::Store;
+    in.type = t;
+    in.src0 = src;
+    in.mem = m;
+    return in;
+}
+
+Instruction
+Instruction::call(int dst, int callee, std::vector<int> args, Type ret_type)
+{
+    Instruction in;
+    in.op = Opcode::Call;
+    in.type = ret_type;
+    in.dst = dst;
+    in.callee = callee;
+    in.args = std::move(args);
+    return in;
+}
+
+Instruction
+Instruction::print(std::string text, std::vector<int> args)
+{
+    Instruction in;
+    in.op = Opcode::Print;
+    in.type = Type::Void;
+    in.text = std::move(text);
+    in.args = std::move(args);
+    return in;
+}
+
+} // namespace bsyn::ir

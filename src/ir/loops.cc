@@ -1,0 +1,116 @@
+#include "ir/loops.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace bsyn::ir
+{
+
+LoopForest::LoopForest(const Function &fn, const Cfg &cfg,
+                       const Dominators &dom)
+{
+    size_t n = fn.blocks.size();
+    blockLoop.assign(n, -1);
+
+    // Find back edges (t -> h where h dominates t), grouped by header.
+    std::map<int, std::vector<int>> header_latches;
+    for (size_t b = 0; b < n; ++b) {
+        if (!cfg.reachable(static_cast<int>(b)))
+            continue;
+        for (int s : cfg.succs(static_cast<int>(b))) {
+            if (dom.dominates(s, static_cast<int>(b)))
+                header_latches[s].push_back(static_cast<int>(b));
+        }
+    }
+
+    // Build the loop body for each header: all blocks that can reach a
+    // latch without passing through the header (reverse reachability).
+    for (const auto &[header, latches] : header_latches) {
+        Loop loop;
+        loop.id = static_cast<int>(loops_.size());
+        loop.header = header;
+        loop.latches = latches;
+
+        std::vector<bool> in_loop(n, false);
+        in_loop[static_cast<size_t>(header)] = true;
+        // Reverse reachability from the latches, never expanding through
+        // the header. A latch that IS the header (self loop / do-while)
+        // must not be expanded either, or the walk escapes the loop.
+        std::vector<int> work;
+        for (int l : latches) {
+            in_loop[static_cast<size_t>(l)] = true;
+            if (l != header)
+                work.push_back(l);
+        }
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            for (int p : cfg.preds(b)) {
+                if (!in_loop[static_cast<size_t>(p)]) {
+                    in_loop[static_cast<size_t>(p)] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        for (size_t b = 0; b < n; ++b)
+            if (in_loop[b])
+                loop.blocks.push_back(static_cast<int>(b));
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: loop A is nested in B if A != B and B contains A's header
+    // (loops with the same header were merged above by construction).
+    // Parent = smallest strictly-containing loop.
+    for (auto &a : loops_) {
+        int best = -1;
+        size_t best_size = SIZE_MAX;
+        for (const auto &b : loops_) {
+            if (a.id == b.id)
+                continue;
+            bool contains_a =
+                std::find(b.blocks.begin(), b.blocks.end(), a.header) !=
+                b.blocks.end();
+            if (contains_a && b.blocks.size() < best_size &&
+                b.blocks.size() > a.blocks.size()) {
+                best = b.id;
+                best_size = b.blocks.size();
+            }
+        }
+        a.parent = best;
+    }
+    for (auto &l : loops_) {
+        if (l.parent >= 0)
+            loops_[static_cast<size_t>(l.parent)].children.push_back(l.id);
+    }
+    // Depths (iterate since parents may appear in any order).
+    for (auto &l : loops_) {
+        int d = 1;
+        int p = l.parent;
+        while (p >= 0) {
+            ++d;
+            p = loops_[static_cast<size_t>(p)].parent;
+        }
+        l.depth = d;
+    }
+
+    // Innermost loop per block = containing loop with the fewest blocks.
+    for (const auto &l : loops_) {
+        for (int b : l.blocks) {
+            int cur = blockLoop[static_cast<size_t>(b)];
+            if (cur < 0 ||
+                l.blocks.size() < loops_[static_cast<size_t>(cur)]
+                                      .blocks.size()) {
+                blockLoop[static_cast<size_t>(b)] = l.id;
+            }
+        }
+    }
+}
+
+bool
+LoopForest::contains(int loop_id, int bb) const
+{
+    const Loop &l = loops_[static_cast<size_t>(loop_id)];
+    return std::find(l.blocks.begin(), l.blocks.end(), bb) != l.blocks.end();
+}
+
+} // namespace bsyn::ir

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Natural-loop detection. The loop forest computed here is the "L" in the
+ * paper's SFGL: profiling annotates each natural loop with its average
+ * iteration count, and the synthesizer regenerates (nested) for-loops
+ * from that annotation.
+ */
+
+#ifndef BSYN_IR_LOOPS_HH
+#define BSYN_IR_LOOPS_HH
+
+#include <vector>
+
+#include "ir/dominators.hh"
+
+namespace bsyn::ir
+{
+
+/** One natural loop. */
+struct Loop
+{
+    int id = -1;
+    int header = -1;              ///< header basic block
+    std::vector<int> latches;     ///< blocks with back edges to the header
+    std::vector<int> blocks;      ///< all member blocks (includes header)
+    int parent = -1;              ///< enclosing loop id, or -1
+    std::vector<int> children;    ///< directly nested loop ids
+    int depth = 1;                ///< nesting depth (outermost = 1)
+};
+
+/** The loop forest of a function. */
+class LoopForest
+{
+  public:
+    LoopForest(const Function &fn, const Cfg &cfg, const Dominators &dom);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing block @p bb, or -1. */
+    int loopOf(int bb) const { return blockLoop[static_cast<size_t>(bb)]; }
+
+    /** @return true if @p bb is inside loop @p loop_id (any depth). */
+    bool contains(int loop_id, int bb) const;
+
+    const Loop &loop(int id) const
+    {
+        return loops_[static_cast<size_t>(id)];
+    }
+
+    size_t size() const { return loops_.size(); }
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> blockLoop; ///< innermost loop id per block, or -1
+};
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_LOOPS_HH

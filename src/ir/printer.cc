@@ -1,0 +1,124 @@
+#include "ir/printer.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::ir
+{
+
+namespace
+{
+
+std::string
+memToString(const MemRef &m)
+{
+    std::string base = m.symbol == MemRef::frameBase
+                           ? std::string("fp")
+                           : strprintf("g%d", m.symbol);
+    std::string out = "[" + base;
+    if (m.indexReg >= 0)
+        out += strprintf(" + r%d*%d", m.indexReg, m.scale);
+    if (m.offset != 0)
+        out += strprintf(" + %d", m.offset);
+    return out + "]";
+}
+
+} // namespace
+
+std::string
+toString(const Instruction &inst)
+{
+    std::string out = opcodeName(inst.op);
+    out += ".";
+    out += typeName(inst.type);
+    switch (inst.op) {
+      case Opcode::MovImm:
+        if (inst.type == Type::F64)
+            out += strprintf(" r%d, %g", inst.dst, inst.fimm);
+        else
+            out += strprintf(" r%d, %lld", inst.dst,
+                             static_cast<long long>(inst.imm));
+        break;
+      case Opcode::Load:
+        out += strprintf(" r%d, ", inst.dst) + memToString(inst.mem);
+        break;
+      case Opcode::Store:
+        out += " " + memToString(inst.mem) + strprintf(", r%d", inst.src0);
+        break;
+      case Opcode::Call: {
+        std::vector<std::string> args;
+        for (int a : inst.args)
+            args.push_back(strprintf("r%d", a));
+        if (inst.dst >= 0)
+            out += strprintf(" r%d,", inst.dst);
+        out += strprintf(" f%d(", inst.callee) + join(args, ", ") + ")";
+        break;
+      }
+      case Opcode::Print: {
+        std::vector<std::string> args;
+        for (int a : inst.args)
+            args.push_back(strprintf("r%d", a));
+        out += " \"" + inst.text + "\"";
+        if (!args.empty())
+            out += ", " + join(args, ", ");
+        break;
+      }
+      default:
+        if (inst.dst >= 0)
+            out += strprintf(" r%d", inst.dst);
+        if (inst.src0 >= 0)
+            out += strprintf(", r%d", inst.src0);
+        if (inst.src1 >= 0)
+            out += strprintf(", r%d", inst.src1);
+        break;
+    }
+    return out;
+}
+
+std::string
+toString(const Terminator &term)
+{
+    switch (term.kind) {
+      case Terminator::Kind::None:
+        return "<no terminator>";
+      case Terminator::Kind::Jmp:
+        return strprintf("jmp bb%d", term.target);
+      case Terminator::Kind::Br:
+        return strprintf("br r%d, bb%d, bb%d", term.cond, term.target,
+                         term.fallthrough);
+      case Terminator::Kind::Ret:
+        return term.retReg >= 0 ? strprintf("ret r%d", term.retReg)
+                                : std::string("ret");
+    }
+    return "<bad terminator>";
+}
+
+std::string
+toString(const Function &fn)
+{
+    std::string out = strprintf("func %s (regs=%u frame=%u)\n",
+                                fn.name.c_str(), fn.numRegs, fn.frameSize);
+    for (const auto &bb : fn.blocks) {
+        out += strprintf("bb%d:\n", bb.id);
+        for (const auto &inst : bb.insts)
+            out += "  " + toString(inst) + "\n";
+        out += "  " + toString(bb.term) + "\n";
+    }
+    return out;
+}
+
+std::string
+toString(const Module &m)
+{
+    std::string out = "module " + m.name + "\n";
+    for (size_t i = 0; i < m.globals.size(); ++i) {
+        const Global &g = m.globals[i];
+        out += strprintf("global g%zu %s %s[%llu]\n", i,
+                         typeName(g.elemType), g.name.c_str(),
+                         static_cast<unsigned long long>(g.elems));
+    }
+    for (const auto &fn : m.functions)
+        out += toString(fn);
+    return out;
+}
+
+} // namespace bsyn::ir

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Human-readable IR dumping for debugging and golden tests.
+ */
+
+#ifndef BSYN_IR_PRINTER_HH
+#define BSYN_IR_PRINTER_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace bsyn::ir
+{
+
+/** Render one instruction as text. */
+std::string toString(const Instruction &inst);
+
+/** Render a terminator as text. */
+std::string toString(const Terminator &term);
+
+/** Render a whole function. */
+std::string toString(const Function &fn);
+
+/** Render a whole module. */
+std::string toString(const Module &m);
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_PRINTER_HH

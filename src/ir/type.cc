@@ -1,0 +1,38 @@
+#include "ir/type.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+
+uint32_t
+typeSize(Type t)
+{
+    switch (t) {
+      case Type::Void: return 0;
+      case Type::I32:
+      case Type::U32: return 4;
+      case Type::F64: return 8;
+    }
+    panic("typeSize: bad type");
+}
+
+const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::Void: return "void";
+      case Type::I32: return "int";
+      case Type::U32: return "uint";
+      case Type::F64: return "double";
+    }
+    panic("typeName: bad type");
+}
+
+bool
+isIntType(Type t)
+{
+    return t == Type::I32 || t == Type::U32;
+}
+
+} // namespace bsyn::ir

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Value types of the bsyn IR. The synthesis framework targets a 32-bit
+ * architecture model (as the paper's Table I assumes), so integers are
+ * 32-bit signed/unsigned and floating point is IEEE double.
+ */
+
+#ifndef BSYN_IR_TYPE_HH
+#define BSYN_IR_TYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bsyn::ir
+{
+
+/** Scalar value types understood by the IR, interpreter and MiniC. */
+enum class Type : uint8_t
+{
+    Void, ///< no value (function returns only)
+    I32,  ///< 32-bit two's-complement signed integer (wraps on overflow)
+    U32,  ///< 32-bit unsigned integer
+    F64,  ///< IEEE-754 double
+};
+
+/** @return the in-memory size of @p t in bytes (I32/U32: 4, F64: 8). */
+uint32_t typeSize(Type t);
+
+/** @return a printable name ("int", "uint", "double", "void"). */
+const char *typeName(Type t);
+
+/** @return true for I32 and U32. */
+bool isIntType(Type t);
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_TYPE_HH

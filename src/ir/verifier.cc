@@ -1,0 +1,124 @@
+#include "ir/verifier.hh"
+
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::ir
+{
+
+namespace
+{
+
+void
+verifyFunction(const Module &m, const Function &fn,
+               std::vector<std::string> &problems)
+{
+    auto bad = [&](const std::string &what) {
+        problems.push_back("function '" + fn.name + "': " + what);
+    };
+
+    if (fn.blocks.empty()) {
+        bad("no basic blocks");
+        return;
+    }
+
+    int nb = static_cast<int>(fn.blocks.size());
+    auto checkBlockId = [&](int id, const char *what) {
+        if (id < 0 || id >= nb)
+            bad(strprintf("%s references bad block %d", what, id));
+    };
+    auto checkReg = [&](int r, const char *what) {
+        if (r < -1 || r >= static_cast<int>(fn.numRegs))
+            bad(strprintf("%s references bad register %d", what, r));
+    };
+
+    for (const auto &bb : fn.blocks) {
+        for (const auto &inst : bb.insts) {
+            checkReg(inst.dst, "dst");
+            inst.forEachSrc([&](int r) {
+                if (r < 0 || r >= static_cast<int>(fn.numRegs))
+                    bad(strprintf("src references bad register %d", r));
+            });
+            if (inst.touchesMemory()) {
+                if (inst.mem.symbol != MemRef::frameBase &&
+                    (inst.mem.symbol < 0 ||
+                     inst.mem.symbol >=
+                         static_cast<int>(m.globals.size()))) {
+                    bad(strprintf("memory ref names bad global %d",
+                                  inst.mem.symbol));
+                }
+                if (inst.mem.symbol == MemRef::frameBase &&
+                    !inst.mem.hasIndex() &&
+                    (inst.mem.offset < 0 ||
+                     static_cast<uint32_t>(inst.mem.offset) +
+                             typeSize(inst.type) >
+                         fn.frameSize)) {
+                    bad(strprintf("frame access at offset %d outside "
+                                  "frame of %u bytes",
+                                  inst.mem.offset, fn.frameSize));
+                }
+            }
+            if (inst.op == Opcode::Call) {
+                if (inst.callee < 0 ||
+                    inst.callee >= static_cast<int>(m.functions.size())) {
+                    bad(strprintf("call to bad function %d", inst.callee));
+                } else {
+                    const Function &callee =
+                        m.functions[static_cast<size_t>(inst.callee)];
+                    if (inst.args.size() != callee.paramTypes.size())
+                        bad(strprintf("call to '%s' passes %zu args, "
+                                      "expects %zu",
+                                      callee.name.c_str(),
+                                      inst.args.size(),
+                                      callee.paramTypes.size()));
+                    if (inst.dst >= 0 && callee.retType == Type::Void)
+                        bad("call captures result of void function");
+                }
+            }
+        }
+
+        switch (bb.term.kind) {
+          case Terminator::Kind::None:
+            bad(strprintf("bb%d has no terminator", bb.id));
+            break;
+          case Terminator::Kind::Jmp:
+            checkBlockId(bb.term.target, "jmp");
+            break;
+          case Terminator::Kind::Br:
+            checkBlockId(bb.term.target, "br taken");
+            checkBlockId(bb.term.fallthrough, "br fallthrough");
+            checkReg(bb.term.cond, "br cond");
+            if (bb.term.cond < 0)
+                bad(strprintf("bb%d: br without condition", bb.id));
+            break;
+          case Terminator::Kind::Ret:
+            if (fn.retType != Type::Void && bb.term.retReg < 0)
+                bad(strprintf("bb%d: ret without value in non-void "
+                              "function", bb.id));
+            checkReg(bb.term.retReg, "ret");
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Module &m)
+{
+    std::vector<std::string> problems;
+    for (const auto &fn : m.functions)
+        verifyFunction(m, fn, problems);
+    return problems;
+}
+
+void
+verifyOrDie(const Module &m)
+{
+    auto problems = verify(m);
+    if (!problems.empty())
+        fatal("IR verification failed: %s (%zu problems total)",
+              problems.front().c_str(), problems.size());
+}
+
+} // namespace bsyn::ir

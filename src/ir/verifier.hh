@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structural IR verification run after the front end and between
+ * optimization passes (in debug pipelines) to catch malformed IR early.
+ */
+
+#ifndef BSYN_IR_VERIFIER_HH
+#define BSYN_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsyn::ir
+{
+
+/**
+ * Verify structural invariants of @p m.
+ *
+ * Checks: every block has a terminator, branch targets are valid block
+ * ids, register indices are within numRegs, call targets exist and arity
+ * matches, memory references name valid globals and stay within frame
+ * bounds for constant frame references.
+ *
+ * @return a list of human-readable problems; empty means valid.
+ */
+std::vector<std::string> verify(const Module &m);
+
+/** Verify and fatal() with the first problem if any. */
+void verifyOrDie(const Module &m);
+
+} // namespace bsyn::ir
+
+#endif // BSYN_IR_VERIFIER_HH

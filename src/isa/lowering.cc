@@ -1,0 +1,448 @@
+#include "isa/lowering.hh"
+
+#include <map>
+
+#include "ir/cfg.hh"
+#include "isa/regalloc.hh"
+#include "support/error.hh"
+
+namespace bsyn::isa
+{
+
+namespace
+{
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Terminator;
+
+/** Per-block helper: is register @p r used after instruction @p idx? */
+class BlockUses
+{
+  public:
+    BlockUses(const ir::Function &fn, const ir::BasicBlock &bb,
+              const ir::Liveness &live)
+        : block(bb)
+    {
+        liveOut.assign(fn.numRegs, false);
+        for (size_t r = 0; r < fn.numRegs; ++r)
+            liveOut[r] = live.liveOut(bb.id, static_cast<int>(r));
+    }
+
+    /**
+     * @return true if @p reg is dead after the instruction at @p idx:
+     * no later use in this block, not used by the terminator, and not
+     * live out of the block. A later redefinition does not keep it
+     * alive.
+     */
+    bool
+    deadAfter(int reg, size_t idx) const
+    {
+        if (reg < 0)
+            return true;
+        for (size_t i = idx + 1; i < block.insts.size(); ++i) {
+            bool used = false;
+            block.insts[i].forEachSrc([&](int r) {
+                if (r == reg)
+                    used = true;
+            });
+            if (used)
+                return false;
+            if (block.insts[i].dst == reg)
+                return true; // redefined before any use
+        }
+        if (block.term.kind == Terminator::Kind::Br &&
+            block.term.cond == reg)
+            return false;
+        if (block.term.kind == Terminator::Kind::Ret &&
+            block.term.retReg == reg)
+            return false;
+        return !liveOut[static_cast<size_t>(reg)];
+    }
+
+  private:
+    const ir::BasicBlock &block;
+    std::vector<bool> liveOut;
+};
+
+/** Count how many of @p in's register sources equal @p reg. */
+int
+useCount(const Instruction &in, int reg)
+{
+    int n = 0;
+    in.forEachSrc([&](int r) {
+        if (r == reg)
+            ++n;
+    });
+    return n;
+}
+
+/** The type of the value instruction @p in produces. */
+ir::Type
+producedType(const Instruction &in)
+{
+    if (ir::isCompare(in.op))
+        return ir::Type::I32;
+    if (in.op == Opcode::CvtIF)
+        return ir::Type::F64;
+    return in.type;
+}
+
+/**
+ * A fused memory operand is executed with the *compute* instruction's
+ * type field, so fusion is only legal when the memory access interprets
+ * bits the same way under both types (e.g. I32/U32 are interchangeable,
+ * but an F64 compare must not drive a 4-byte store).
+ */
+bool
+typesCompatible(ir::Type value_type, ir::Type mem_type,
+                ir::Type compute_type)
+{
+    bool sizes_match = ir::typeSize(value_type) == ir::typeSize(mem_type);
+    bool access_matches =
+        ir::typeSize(compute_type) == ir::typeSize(mem_type);
+    return sizes_match && access_matches;
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const ir::Module &m, const TargetInfo &t,
+            const LoweringOptions &o)
+        : target(t), opts(o), mod(m)
+    {}
+
+    MachineProgram
+    run()
+    {
+        MachineProgram prog;
+        prog.name = mod.name;
+        prog.target = target;
+        prog.globals = mod.globals;
+
+        // Register allocation mutates; work on a copy.
+        ir::Module work = mod;
+        if (opts.applyRegAlloc) {
+            for (auto &fn : work.functions)
+                allocateRegisters(fn, target.allocatableRegs());
+        }
+
+        for (size_t fi = 0; fi < work.functions.size(); ++fi)
+            lowerFunction(prog, work.functions[fi], static_cast<int>(fi));
+
+        // Resolve branch fixups now that all PCs are known.
+        for (const auto &[code_idx, key] : fixups) {
+            auto it = blockPc.find(key);
+            BSYN_ASSERT(it != blockPc.end(), "unresolved branch target");
+            prog.code[code_idx].target = it->second;
+        }
+
+        prog.entryFunc = work.findFunction("main");
+        return prog;
+    }
+
+  private:
+    using BlockKey = std::pair<int, int>; // (funcId, blockId)
+
+    void
+    lowerFunction(MachineProgram &prog, const ir::Function &fn,
+                  int func_id)
+    {
+        MFunction mf;
+        mf.name = fn.name;
+        mf.entry = static_cast<int>(prog.code.size());
+        mf.numRegs = fn.numRegs;
+        mf.frameSize = fn.frameSize;
+        mf.numParams = static_cast<uint32_t>(fn.paramTypes.size());
+        mf.retType = fn.retType;
+
+        ir::Cfg cfg(fn);
+        ir::Liveness live(fn, cfg);
+
+        // Layout: reachable blocks in id order (codegen emits loop
+        // bodies right after their headers, which gives fall-through
+        // loop entries like a real compiler).
+        std::vector<int> layout;
+        for (const auto &bb : fn.blocks)
+            if (cfg.reachable(bb.id))
+                layout.push_back(bb.id);
+
+        std::map<int, int> next_in_layout;
+        for (size_t i = 0; i < layout.size(); ++i)
+            next_in_layout[layout[i]] =
+                i + 1 < layout.size() ? layout[i + 1] : -1;
+
+        for (int bid : layout) {
+            const ir::BasicBlock &bb = fn.block(bid);
+            blockPc[{func_id, bid}] = static_cast<int>(prog.code.size());
+            emitBlockBody(prog, fn, bb, live, func_id);
+            emitTerminator(prog, bb, func_id, next_in_layout[bid]);
+        }
+
+        mf.end = static_cast<int>(prog.code.size());
+        prog.funcs.push_back(std::move(mf));
+    }
+
+    MInst
+    base(const Instruction &in, int func_id, int block_id) const
+    {
+        MInst mi;
+        mi.op = in.op;
+        mi.type = in.type;
+        mi.dst = in.dst;
+        mi.src0 = in.src0;
+        mi.src1 = in.src1;
+        mi.imm = in.imm;
+        mi.fimm = in.fimm;
+        mi.funcId = func_id;
+        mi.irBlockId = block_id;
+        return mi;
+    }
+
+    void
+    emitBlockBody(MachineProgram &prog, const ir::Function &fn,
+                  const ir::BasicBlock &bb, const ir::Liveness &live,
+                  int func_id)
+    {
+        bool cisc = target.family == IsaFamily::Cisc && opts.applyFusion;
+        bool imm_fuse = target.fuseImmediates && opts.applyFusion;
+        BlockUses uses(fn, bb, live);
+        std::vector<bool> consumed(bb.insts.size(), false);
+
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            if (consumed[i])
+                continue;
+            const Instruction &in = bb.insts[i];
+            const Instruction *next =
+                i + 1 < bb.insts.size() ? &bb.insts[i + 1] : nullptr;
+
+            if ((cisc || imm_fuse) && next != nullptr &&
+                !consumed[i + 1] &&
+                tryFuse(prog, bb, uses, i, func_id, consumed, cisc))
+                continue;
+
+            emitPlain(prog, in, func_id, bb.id);
+        }
+    }
+
+    /**
+     * Try the CISC fusion patterns rooted at instruction @p i:
+     *   load r,[m] ; alu ..,r,..        -> alu with memory operand
+     *   movimm r,c ; alu ..,r,..        -> alu with immediate operand
+     *   movimm r,c ; store [m],r        -> store-immediate
+     *   alu d,..   ; store [m],d        -> alu-to-memory
+     * @return true if a fused instruction was emitted (marks consumed).
+     */
+    bool
+    tryFuse(MachineProgram &prog, const ir::BasicBlock &bb,
+            const BlockUses &uses, size_t i, int func_id,
+            std::vector<bool> &consumed, bool allow_memory_operands)
+    {
+        const Instruction &a = bb.insts[i];
+        const Instruction &b = bb.insts[i + 1];
+
+        // Pattern: load + alu (memory operand). The fused load executes
+        // with the ALU's type field, so the access sizes must agree.
+        if (allow_memory_operands &&
+            a.op == Opcode::Load && b.dst != a.dst &&
+            (ir::isBinaryAlu(b.op) || b.op == Opcode::Mov) &&
+            ir::typeSize(a.type) == ir::typeSize(b.type) &&
+            useCount(b, a.dst) == 1 && uses.deadAfter(a.dst, i + 1)) {
+            // A mov from a freshly loaded value is just the load itself;
+            // don't fuse that (it would change register semantics).
+            if (b.op != Opcode::Mov) {
+                MInst mi = base(b, func_id, bb.id);
+                mi.kind = MKind::Compute;
+                mi.mem = a.mem;
+                mi.memValid = true;
+                mi.loadFused = true;
+                mi.fusedSlot = b.src0 == a.dst ? 0 : 1;
+                consumed[i + 1] = true;
+                prog.code.push_back(std::move(mi));
+                return true;
+            }
+        }
+
+        // Pattern: movimm + alu (immediate operand). immRaw() reads the
+        // immediate per the ALU's type, so the kinds must match.
+        if (a.op == Opcode::MovImm && target.fuseImmediates &&
+            ir::isBinaryAlu(b.op) && b.dst != a.dst &&
+            (a.type == ir::Type::F64) == (b.type == ir::Type::F64) &&
+            useCount(b, a.dst) == 1 && uses.deadAfter(a.dst, i + 1)) {
+            MInst mi = base(b, func_id, bb.id);
+            mi.kind = MKind::Compute;
+            mi.srcIsImm = true;
+            mi.imm = a.imm;
+            mi.fimm = a.fimm;
+            mi.immSlot = b.src0 == a.dst ? 0 : 1;
+            consumed[i + 1] = true;
+            prog.code.push_back(std::move(mi));
+            return true;
+        }
+
+        // Pattern: movimm + store (store immediate; CISC only — a
+        // load-store machine must materialize the value in a register).
+        if (allow_memory_operands &&
+            a.op == Opcode::MovImm && target.fuseImmediates &&
+            b.op == Opcode::Store && b.src0 == a.dst &&
+            (a.type == ir::Type::F64) == (b.type == ir::Type::F64) &&
+            b.mem.indexReg != a.dst && uses.deadAfter(a.dst, i + 1)) {
+            MInst mi = base(b, func_id, bb.id);
+            mi.kind = MKind::Store;
+            mi.mem = b.mem;
+            mi.memValid = true;
+            mi.src0 = -1;
+            mi.srcIsImm = true;
+            mi.imm = a.imm;
+            mi.fimm = a.fimm;
+            consumed[i + 1] = true;
+            prog.code.push_back(std::move(mi));
+            return true;
+        }
+
+        // Pattern: alu + store of its result (op-to-memory). The fused
+        // store executes with the ALU's type field, so the value the ALU
+        // produces, the store's access type and the ALU's type field
+        // must all agree in size (rejects e.g. CvtIF + store.double,
+        // whose type field is the *source* I32 type).
+        if (allow_memory_operands &&
+            (ir::isBinaryAlu(a.op) || ir::isUnaryAlu(a.op)) &&
+            a.dst >= 0 && b.op == Opcode::Store && b.src0 == a.dst &&
+            typesCompatible(producedType(a), b.type, a.type) &&
+            b.mem.indexReg != a.dst && uses.deadAfter(a.dst, i + 1)) {
+            MInst mi = base(a, func_id, bb.id);
+            mi.kind = MKind::Compute;
+            mi.mem = b.mem;
+            mi.memValid = true;
+            mi.storeFused = true;
+            consumed[i + 1] = true;
+            prog.code.push_back(std::move(mi));
+            return true;
+        }
+
+        return false;
+    }
+
+    void
+    emitPlain(MachineProgram &prog, const Instruction &in, int func_id,
+              int block_id)
+    {
+        MInst mi = base(in, func_id, block_id);
+        switch (in.op) {
+          case Opcode::Load:
+            mi.kind = MKind::Load;
+            mi.mem = in.mem;
+            mi.memValid = true;
+            break;
+          case Opcode::Store:
+            mi.kind = MKind::Store;
+            mi.mem = in.mem;
+            mi.memValid = true;
+            break;
+          case Opcode::Call:
+            mi.kind = MKind::Call;
+            mi.callee = in.callee;
+            mi.args = in.args;
+            break;
+          case Opcode::Print:
+            mi.kind = MKind::Print;
+            mi.text = in.text;
+            mi.args = in.args;
+            break;
+          case Opcode::Nop:
+            return; // drop nops at lowering
+          default:
+            mi.kind = MKind::Compute;
+            break;
+        }
+        prog.code.push_back(std::move(mi));
+    }
+
+    void
+    emitTerminator(MachineProgram &prog, const ir::BasicBlock &bb,
+                   int func_id, int next_block)
+    {
+        const Terminator &t = bb.term;
+        switch (t.kind) {
+          case Terminator::Kind::Jmp:
+            if (t.target != next_block) {
+                MInst mi;
+                mi.kind = MKind::Jmp;
+                mi.funcId = func_id;
+                mi.irBlockId = bb.id;
+                fixups.emplace_back(prog.code.size(),
+                                    BlockKey{func_id, t.target});
+                prog.code.push_back(std::move(mi));
+            }
+            break;
+          case Terminator::Kind::Br: {
+            if (t.fallthrough == next_block) {
+                MInst mi;
+                mi.kind = MKind::CondBr;
+                mi.src0 = t.cond;
+                mi.funcId = func_id;
+                mi.irBlockId = bb.id;
+                fixups.emplace_back(prog.code.size(),
+                                    BlockKey{func_id, t.target});
+                prog.code.push_back(std::move(mi));
+            } else if (t.target == next_block) {
+                MInst mi;
+                mi.kind = MKind::CondBr;
+                mi.src0 = t.cond;
+                mi.brIfZero = true;
+                mi.funcId = func_id;
+                mi.irBlockId = bb.id;
+                fixups.emplace_back(prog.code.size(),
+                                    BlockKey{func_id, t.fallthrough});
+                prog.code.push_back(std::move(mi));
+            } else {
+                MInst br;
+                br.kind = MKind::CondBr;
+                br.src0 = t.cond;
+                br.funcId = func_id;
+                br.irBlockId = bb.id;
+                fixups.emplace_back(prog.code.size(),
+                                    BlockKey{func_id, t.target});
+                prog.code.push_back(std::move(br));
+                MInst jmp;
+                jmp.kind = MKind::Jmp;
+                jmp.funcId = func_id;
+                jmp.irBlockId = bb.id;
+                fixups.emplace_back(prog.code.size(),
+                                    BlockKey{func_id, t.fallthrough});
+                prog.code.push_back(std::move(jmp));
+            }
+            break;
+          }
+          case Terminator::Kind::Ret: {
+            MInst mi;
+            mi.kind = MKind::Ret;
+            mi.src0 = t.retReg;
+            mi.funcId = func_id;
+            mi.irBlockId = bb.id;
+            prog.code.push_back(std::move(mi));
+            break;
+          }
+          case Terminator::Kind::None:
+            panic("lowering: block without terminator");
+        }
+    }
+
+    const TargetInfo &target;
+    const LoweringOptions &opts;
+    const ir::Module &mod;
+
+    std::map<BlockKey, int> blockPc;
+    std::vector<std::pair<size_t, BlockKey>> fixups;
+};
+
+} // namespace
+
+MachineProgram
+lower(const ir::Module &mod, const TargetInfo &target,
+      const LoweringOptions &opts)
+{
+    return Lowerer(mod, target, opts).run();
+}
+
+} // namespace bsyn::isa

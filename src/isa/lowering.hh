@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lowering from IR to a MachineProgram for a given target ISA:
+ * register allocation (spill insertion), block linearization, branch
+ * resolution, and — on CISC targets — peephole fusion of loads,
+ * immediates and stores into ALU operations (the x86 addressing-mode
+ * patterns of the paper's Table II).
+ */
+
+#ifndef BSYN_ISA_LOWERING_HH
+#define BSYN_ISA_LOWERING_HH
+
+#include "isa/machine_program.hh"
+
+namespace bsyn::isa
+{
+
+/** Lowering options. */
+struct LoweringOptions
+{
+    bool applyRegAlloc = true; ///< insert spill code for the register file
+    bool applyFusion = true;   ///< CISC memory/immediate operand fusion
+};
+
+/**
+ * Lower @p mod for @p target.
+ *
+ * @param mod the IR module (copied; not mutated).
+ * @param target the ISA description.
+ * @param opts lowering options (ablation switches).
+ * @return the executable machine program.
+ */
+MachineProgram lower(const ir::Module &mod, const TargetInfo &target,
+                     const LoweringOptions &opts = {});
+
+} // namespace bsyn::isa
+
+#endif // BSYN_ISA_LOWERING_HH

@@ -1,0 +1,96 @@
+#include "isa/machine_program.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::isa
+{
+
+const char *
+mclassName(MClass c)
+{
+    switch (c) {
+      case MClass::IntAlu: return "int_alu";
+      case MClass::IntMul: return "int_mul";
+      case MClass::IntDiv: return "int_div";
+      case MClass::FpAlu: return "fp_alu";
+      case MClass::FpMul: return "fp_mul";
+      case MClass::FpDiv: return "fp_div";
+      case MClass::Load: return "load";
+      case MClass::Store: return "store";
+      case MClass::Branch: return "branch";
+      case MClass::Jump: return "jump";
+      case MClass::Call: return "call";
+      case MClass::Ret: return "ret";
+      case MClass::Other: return "other";
+    }
+    panic("mclassName: bad class");
+}
+
+MClass
+MInst::cls() const
+{
+    switch (kind) {
+      case MKind::Load:
+        return MClass::Load;
+      case MKind::Store:
+        return MClass::Store;
+      case MKind::CondBr:
+        return MClass::Branch;
+      case MKind::Jmp:
+        return MClass::Jump;
+      case MKind::Call:
+        return MClass::Call;
+      case MKind::Ret:
+        return MClass::Ret;
+      case MKind::Print:
+        return MClass::Other;
+      case MKind::Compute:
+        // A fused load-op behaves like a load in the memory system but
+        // retires as one instruction; we classify by memory behaviour
+        // (load first, store second) as Pin's mix tool would.
+        if (loadFused && !storeFused)
+            return MClass::Load;
+        if (storeFused)
+            return MClass::Store;
+        switch (op) {
+          case ir::Opcode::Mul:
+            return MClass::IntMul;
+          case ir::Opcode::Div:
+          case ir::Opcode::Rem:
+            return MClass::IntDiv;
+          case ir::Opcode::FMul:
+            return MClass::FpMul;
+          case ir::Opcode::FDiv:
+            return MClass::FpDiv;
+          case ir::Opcode::FAdd:
+          case ir::Opcode::FSub:
+          case ir::Opcode::FNeg:
+          case ir::Opcode::CvtIF:
+          case ir::Opcode::CvtFI:
+            return MClass::FpAlu;
+          default:
+            return MClass::IntAlu;
+        }
+    }
+    panic("MInst::cls: bad kind");
+}
+
+const MFunction *
+MachineProgram::functionAt(int pc) const
+{
+    for (const auto &f : funcs)
+        if (pc >= f.entry && pc < f.end)
+            return &f;
+    return nullptr;
+}
+
+std::vector<size_t>
+MachineProgram::staticMix() const
+{
+    std::vector<size_t> mix(static_cast<size_t>(MClass::Other) + 1, 0);
+    for (const auto &mi : code)
+        ++mix[static_cast<size_t>(mi.cls())];
+    return mix;
+}
+
+} // namespace bsyn::isa

@@ -1,0 +1,271 @@
+#include "isa/regalloc.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "ir/cfg.hh"
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::isa
+{
+
+namespace
+{
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+
+/** The type a register holds, judging from its defining instructions. */
+Type
+resultType(const Instruction &in)
+{
+    if (ir::isCompare(in.op))
+        return Type::I32;
+    if (in.op == Opcode::CvtIF)
+        return Type::F64;
+    return in.type;
+}
+
+struct Interval
+{
+    int reg = -1;
+    int start = std::numeric_limits<int>::max();
+    int end = -1;
+    Type type = Type::I32;
+    bool seen = false;
+};
+
+} // namespace
+
+RegAllocResult
+allocateRegisters(ir::Function &fn, int num_regs)
+{
+    RegAllocResult result;
+    if (fn.numRegs == 0 || num_regs <= 0)
+        return result;
+
+    ir::Cfg cfg(fn);
+    ir::Liveness live(fn, cfg);
+
+    // Linear positions: blocks in id order, two slots per instruction.
+    std::vector<Interval> iv(fn.numRegs);
+    for (size_t r = 0; r < fn.numRegs; ++r)
+        iv[r].reg = static_cast<int>(r);
+
+    auto touch = [&](int r, int pos) {
+        if (r < 0)
+            return;
+        auto &i = iv[static_cast<size_t>(r)];
+        i.seen = true;
+        i.start = std::min(i.start, pos);
+        i.end = std::max(i.end, pos);
+    };
+
+    int pos = 0;
+    // Parameters are defined on entry.
+    for (size_t p = 0; p < fn.paramTypes.size(); ++p) {
+        touch(static_cast<int>(p), 0);
+        iv[p].type = fn.paramTypes[p];
+    }
+    for (const auto &bb : fn.blocks) {
+        int block_start = pos;
+        for (const auto &in : bb.insts) {
+            in.forEachSrc([&](int r) { touch(r, pos); });
+            if (in.dst >= 0) {
+                touch(in.dst, pos + 1);
+                iv[static_cast<size_t>(in.dst)].type = resultType(in);
+            }
+            pos += 2;
+        }
+        if (bb.term.kind == ir::Terminator::Kind::Br)
+            touch(bb.term.cond, pos);
+        if (bb.term.kind == ir::Terminator::Kind::Ret)
+            touch(bb.term.retReg, pos);
+        int block_end = pos + 1;
+        for (size_t r = 0; r < fn.numRegs; ++r) {
+            if (live.liveIn(bb.id, static_cast<int>(r)))
+                touch(static_cast<int>(r), block_start);
+            if (live.liveOut(bb.id, static_cast<int>(r)))
+                touch(static_cast<int>(r), block_end);
+        }
+        pos += 2;
+    }
+
+    // Linear scan: find the spill set.
+    std::vector<Interval> order;
+    for (const auto &i : iv)
+        if (i.seen)
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.reg < b.reg);
+              });
+
+    std::vector<bool> spilled(fn.numRegs, false);
+    // Active set ordered by interval end.
+    std::multiset<std::pair<int, int>> active; // (end, reg)
+    for (const auto &cur : order) {
+        while (!active.empty() && active.begin()->first < cur.start)
+            active.erase(active.begin());
+        active.insert({cur.end, cur.reg});
+        result.maxPressure = std::max(result.maxPressure, active.size());
+        if (active.size() > static_cast<size_t>(num_regs)) {
+            // Spill the interval with the furthest end.
+            auto victim = std::prev(active.end());
+            spilled[static_cast<size_t>(victim->second)] = true;
+            ++result.spilledRegs;
+            active.erase(victim);
+        }
+    }
+
+    if (result.spilledRegs == 0)
+        return result;
+
+    // Rematerialization: a spilled register whose only definition is a
+    // constant move is re-materialized at each use instead of reloaded
+    // (what production allocators do with LICM-hoisted constants).
+    std::vector<const Instruction *> soleDef(fn.numRegs, nullptr);
+    {
+        std::vector<int> defs(fn.numRegs, 0);
+        for (size_t p = 0; p < fn.paramTypes.size(); ++p)
+            ++defs[p];
+        for (const auto &bb : fn.blocks) {
+            for (const auto &in : bb.insts) {
+                if (in.dst >= 0) {
+                    ++defs[static_cast<size_t>(in.dst)];
+                    soleDef[static_cast<size_t>(in.dst)] = &in;
+                }
+            }
+        }
+        for (size_t r = 0; r < fn.numRegs; ++r)
+            if (defs[r] != 1)
+                soleDef[r] = nullptr;
+    }
+    std::vector<bool> remat(fn.numRegs, false);
+    for (size_t r = 0; r < fn.numRegs; ++r) {
+        if (spilled[r] && soleDef[r] != nullptr &&
+            soleDef[r]->op == Opcode::MovImm) {
+            remat[r] = true;
+            ++result.rematerialized;
+        }
+    }
+    // Capture the constants before any rewriting invalidates pointers.
+    std::vector<Instruction> rematDef(fn.numRegs);
+    for (size_t r = 0; r < fn.numRegs; ++r)
+        if (remat[r])
+            rematDef[r] = *soleDef[r];
+
+    // Allocate a frame slot per spilled (non-remat) register.
+    std::vector<int32_t> slotOffset(fn.numRegs, -1);
+    for (size_t r = 0; r < fn.numRegs; ++r) {
+        if (!spilled[r] || remat[r])
+            continue;
+        slotOffset[r] = static_cast<int32_t>(
+            fn.allocSlot(strprintf("spill_r%zu", r), iv[r].type));
+    }
+
+    auto slotRef = [&](int r) {
+        ir::MemRef m;
+        m.symbol = ir::MemRef::frameBase;
+        m.offset = slotOffset[static_cast<size_t>(r)];
+        return m;
+    };
+
+    // Rewrite each block: reload/rematerialize before uses, store after
+    // definitions.
+    for (auto &bb : fn.blocks) {
+        std::vector<Instruction> out;
+        out.reserve(bb.insts.size() * 2);
+        auto reloadInto = [&](int r) {
+            int tmp = fn.newReg();
+            if (remat[static_cast<size_t>(r)]) {
+                Instruction def = rematDef[static_cast<size_t>(r)];
+                def.dst = tmp;
+                out.push_back(std::move(def));
+            } else {
+                out.push_back(Instruction::load(
+                    tmp, slotRef(r), iv[static_cast<size_t>(r)].type));
+                ++result.spillLoads;
+            }
+            return tmp;
+        };
+        for (auto in : bb.insts) {
+            // Reload spilled sources (one reload per distinct source).
+            std::vector<std::pair<int, int>> replacements;
+            in.mapSrcs([&](int r) {
+                if (r < 0 || !spilled[static_cast<size_t>(r)])
+                    return r;
+                for (auto &[from, to] : replacements)
+                    if (from == r)
+                        return to;
+                int tmp = reloadInto(r);
+                replacements.emplace_back(r, tmp);
+                return tmp;
+            });
+            bool dst_spilled = in.dst >= 0 &&
+                               spilled[static_cast<size_t>(in.dst)] &&
+                               !remat[static_cast<size_t>(in.dst)];
+            int orig_dst = in.dst;
+            if (dst_spilled) {
+                int tmp = fn.newReg();
+                in.dst = tmp;
+                out.push_back(std::move(in));
+                out.push_back(Instruction::store(
+                    tmp, slotRef(orig_dst),
+                    iv[static_cast<size_t>(orig_dst)].type));
+                ++result.spillStores;
+            } else {
+                out.push_back(std::move(in));
+            }
+        }
+        // Terminator uses.
+        if (bb.term.kind == ir::Terminator::Kind::Br && bb.term.cond >= 0 &&
+            spilled[static_cast<size_t>(bb.term.cond)]) {
+            bb.term.cond = reloadInto(bb.term.cond);
+        }
+        if (bb.term.kind == ir::Terminator::Kind::Ret &&
+            bb.term.retReg >= 0 &&
+            spilled[static_cast<size_t>(bb.term.retReg)]) {
+            bb.term.retReg = reloadInto(bb.term.retReg);
+        }
+        bb.insts = std::move(out);
+    }
+
+    // Spilled parameters must be stored to their slots on entry.
+    std::vector<Instruction> prologue;
+    for (size_t p = 0; p < fn.paramTypes.size(); ++p) {
+        if (spilled[p] && !remat[p]) {
+            prologue.push_back(Instruction::store(
+                static_cast<int>(p), slotRef(static_cast<int>(p)),
+                fn.paramTypes[p]));
+            ++result.spillStores;
+        }
+    }
+    if (!prologue.empty()) {
+        auto &entry = fn.blocks.front().insts;
+        entry.insert(entry.begin(), prologue.begin(), prologue.end());
+    }
+
+    return result;
+}
+
+RegAllocResult
+allocateRegisters(ir::Module &mod, int num_regs)
+{
+    RegAllocResult total;
+    for (auto &fn : mod.functions) {
+        RegAllocResult r = allocateRegisters(fn, num_regs);
+        total.spilledRegs += r.spilledRegs;
+        total.spillLoads += r.spillLoads;
+        total.spillStores += r.spillStores;
+        total.rematerialized += r.rematerialized;
+        total.maxPressure = std::max(total.maxPressure, r.maxPressure);
+    }
+    return total;
+}
+
+} // namespace bsyn::isa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Register allocation, modeled as spill insertion. Execution always uses
+ * virtual registers (the interpreter does not care about physical
+ * names), so the architecturally visible effect of allocating K
+ * registers is exactly the spill traffic a real allocator would add —
+ * which is what differentiates the paper's x86 (8 regs), x86_64 (16)
+ * and IA64 (128) targets.
+ *
+ * The algorithm is classic linear scan over live intervals: when more
+ * than K intervals are simultaneously live, the interval with the
+ * furthest end is spilled; every use of a spilled register then loads it
+ * from a frame slot and every definition stores it back.
+ */
+
+#ifndef BSYN_ISA_REGALLOC_HH
+#define BSYN_ISA_REGALLOC_HH
+
+#include "ir/function.hh"
+#include "ir/module.hh"
+
+namespace bsyn::isa
+{
+
+/** Spill statistics returned by allocateRegisters. */
+struct RegAllocResult
+{
+    size_t spilledRegs = 0;  ///< virtual registers sent to the stack
+    size_t spillLoads = 0;   ///< static reload instructions inserted
+    size_t spillStores = 0;  ///< static spill-store instructions inserted
+    size_t rematerialized = 0; ///< spills turned into constant remat
+    size_t maxPressure = 0;  ///< peak simultaneous live intervals
+};
+
+/**
+ * Run linear-scan allocation on @p fn with @p num_regs registers and
+ * rewrite it with spill code where the register file is exceeded.
+ *
+ * @param fn the function (mutated in place).
+ * @param num_regs allocatable register count (scratch already excluded).
+ */
+RegAllocResult allocateRegisters(ir::Function &fn, int num_regs);
+
+/** Apply allocateRegisters to every function of @p mod. */
+RegAllocResult allocateRegisters(ir::Module &mod, int num_regs);
+
+} // namespace bsyn::isa
+
+#endif // BSYN_ISA_REGALLOC_HH

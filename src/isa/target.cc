@@ -1,0 +1,56 @@
+#include "isa/target.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::isa
+{
+
+TargetInfo
+targetX86()
+{
+    TargetInfo t;
+    t.name = "x86";
+    t.family = IsaFamily::Cisc;
+    t.numRegs = 8;
+    t.fuseImmediates = true;
+    return t;
+}
+
+TargetInfo
+targetX8664()
+{
+    TargetInfo t;
+    t.name = "x86_64";
+    t.family = IsaFamily::Cisc;
+    t.numRegs = 16;
+    t.fuseImmediates = true;
+    return t;
+}
+
+TargetInfo
+targetIa64()
+{
+    TargetInfo t;
+    t.name = "ia64";
+    t.family = IsaFamily::Risc;
+    t.numRegs = 128;
+    // IA64 instructions take immediate operands (add r1 = 14, r2), so
+    // immediate folding stays on; only memory-operand fusion is
+    // CISC-specific.
+    t.fuseImmediates = true;
+    return t;
+}
+
+TargetInfo
+targetByName(const std::string &name)
+{
+    if (name == "x86")
+        return targetX86();
+    if (name == "x86_64")
+        return targetX8664();
+    if (name == "ia64")
+        return targetIa64();
+    fatal("unknown target '%s'", name.c_str());
+}
+
+} // namespace bsyn::isa

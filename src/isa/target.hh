@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Target ISA descriptions. The paper evaluates across x86, x86_64 and
+ * IA64; we model the properties that drive its cross-ISA observations:
+ * CISC targets fold memory operands and immediates into ALU operations
+ * (fewer, fatter instructions) and have few architectural registers;
+ * the RISC/EPIC target is load-store with a large register file.
+ */
+
+#ifndef BSYN_ISA_TARGET_HH
+#define BSYN_ISA_TARGET_HH
+
+#include <string>
+
+namespace bsyn::isa
+{
+
+/** Instruction-set family. */
+enum class IsaFamily : uint8_t
+{
+    Cisc, ///< memory operands + immediates fold into ALU ops (x86-like)
+    Risc, ///< load-store only (IA64/Alpha-like)
+};
+
+/** A lowering target. */
+struct TargetInfo
+{
+    std::string name;     ///< e.g. "x86"
+    IsaFamily family = IsaFamily::Cisc;
+    int numRegs = 8;      ///< architectural integer registers
+    bool fuseImmediates = true; ///< immediates as ALU operands
+
+    /** Registers available to the allocator (some reserved as scratch). */
+    int allocatableRegs() const { return numRegs > 4 ? numRegs - 2 : 2; }
+};
+
+/** x86 (32-bit): CISC, 8 architectural registers. */
+TargetInfo targetX86();
+
+/** x86_64: CISC, 16 architectural registers. */
+TargetInfo targetX8664();
+
+/** IA64-like EPIC: load-store, 128 registers. */
+TargetInfo targetIa64();
+
+/** Look up a target by name ("x86", "x86_64", "ia64"); fatal() if unknown. */
+TargetInfo targetByName(const std::string &name);
+
+} // namespace bsyn::isa
+
+#endif // BSYN_ISA_TARGET_HH

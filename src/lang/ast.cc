@@ -1,0 +1,6 @@
+// The AST is header-only data; this file anchors the vtables.
+#include "lang/ast.hh"
+
+namespace bsyn::lang
+{
+} // namespace bsyn::lang

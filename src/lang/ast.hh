@@ -1,0 +1,301 @@
+/**
+ * @file
+ * MiniC abstract syntax tree. Nodes carry a Kind tag and are navigated
+ * with static casts (LLVM style); Sema annotates expression types and
+ * resolved symbols in place.
+ */
+
+#ifndef BSYN_LANG_AST_HH
+#define BSYN_LANG_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace bsyn::lang
+{
+
+using ir::Type;
+
+/** Binary operators (logical && / || are handled as control flow). */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LAnd, LOr,
+};
+
+/** Unary operators. */
+enum class UnOp : uint8_t
+{
+    Neg,    ///< -x
+    LogNot, ///< !x
+    BitNot, ///< ~x
+    Cast,   ///< (type)x — target type in Expr::type after sema
+};
+
+/** What an identifier resolved to. Filled in by Sema. */
+struct SymbolRef
+{
+    enum class Kind : uint8_t { Unresolved, Global, Local, Func } kind =
+        Kind::Unresolved;
+    int index = -1;      ///< global index / local slot id / function index
+    Type type = Type::Void;
+    bool isArray = false;
+    uint64_t elems = 1;
+};
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+struct Expr
+{
+    enum class Kind : uint8_t
+    {
+        IntLit, FloatLit, StrLit,
+        Ident, Index,
+        Unary, Binary,
+        Assign, IncDec,
+        Call, Cond,
+    };
+
+    explicit Expr(Kind k) : kind(k) {}
+    virtual ~Expr() = default;
+
+    Kind kind;
+    Type type = Type::Void; ///< annotated by Sema
+    int line = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr
+{
+    IntLitExpr() : Expr(Kind::IntLit) {}
+    int64_t value = 0;
+    bool isUnsigned = false;
+};
+
+struct FloatLitExpr : Expr
+{
+    FloatLitExpr() : Expr(Kind::FloatLit) {}
+    double value = 0.0;
+};
+
+struct StrLitExpr : Expr
+{
+    StrLitExpr() : Expr(Kind::StrLit) {}
+    std::string value;
+};
+
+struct IdentExpr : Expr
+{
+    IdentExpr() : Expr(Kind::Ident) {}
+    std::string name;
+    SymbolRef sym;
+};
+
+/** arr[index] where arr is a global or local array. */
+struct IndexExpr : Expr
+{
+    IndexExpr() : Expr(Kind::Index) {}
+    std::string arrayName;
+    SymbolRef sym;
+    ExprPtr index;
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryExpr() : Expr(Kind::Unary) {}
+    UnOp op = UnOp::Neg;
+    Type castType = Type::Void; ///< for UnOp::Cast
+    ExprPtr operand;
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryExpr() : Expr(Kind::Binary) {}
+    BinOp op = BinOp::Add;
+    ExprPtr lhs, rhs;
+};
+
+/** target = value, or target op= value when op is set. */
+struct AssignExpr : Expr
+{
+    AssignExpr() : Expr(Kind::Assign) {}
+    ExprPtr target; ///< Ident or Index
+    ExprPtr value;
+    bool compound = false;
+    BinOp op = BinOp::Add; ///< meaningful when compound
+};
+
+/** ++x / x++ / --x / x-- */
+struct IncDecExpr : Expr
+{
+    IncDecExpr() : Expr(Kind::IncDec) {}
+    ExprPtr target;
+    bool isIncrement = true;
+    bool isPostfix = false;
+};
+
+struct CallExpr : Expr
+{
+    CallExpr() : Expr(Kind::Call) {}
+    std::string callee;
+    SymbolRef sym;
+    bool isPrintf = false;
+    std::string format; ///< printf format (first argument)
+    std::vector<ExprPtr> args;
+};
+
+/** cond ? a : b */
+struct CondExpr : Expr
+{
+    CondExpr() : Expr(Kind::Cond) {}
+    ExprPtr cond, thenExpr, elseExpr;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+struct Stmt
+{
+    enum class Kind : uint8_t
+    {
+        Block, ExprStmt, VarDecl, If, While, DoWhile, For,
+        Return, Break, Continue, Empty,
+    };
+
+    explicit Stmt(Kind k) : kind(k) {}
+    virtual ~Stmt() = default;
+
+    Kind kind;
+    int line = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt
+{
+    BlockStmt() : Stmt(Kind::Block) {}
+    std::vector<StmtPtr> stmts;
+    /** True for synthesized groups (e.g. "int a, b;") that must NOT
+     *  open a new scope. */
+    bool transparent = false;
+};
+
+struct ExprStmt : Stmt
+{
+    ExprStmt() : Stmt(Kind::ExprStmt) {}
+    ExprPtr expr;
+};
+
+/** A local declaration: scalar (optionally initialized) or array. */
+struct VarDeclStmt : Stmt
+{
+    VarDeclStmt() : Stmt(Kind::VarDecl) {}
+    std::string name;
+    Type declType = Type::I32;
+    uint64_t elems = 1; ///< > 1 => local array
+    bool isArray = false;
+    ExprPtr init;       ///< optional (scalars only)
+    int localId = -1;   ///< filled by Sema
+};
+
+struct IfStmt : Stmt
+{
+    IfStmt() : Stmt(Kind::If) {}
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+};
+
+struct WhileStmt : Stmt
+{
+    WhileStmt() : Stmt(Kind::While) {}
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt
+{
+    DoWhileStmt() : Stmt(Kind::DoWhile) {}
+    StmtPtr body;
+    ExprPtr cond;
+};
+
+struct ForStmt : Stmt
+{
+    ForStmt() : Stmt(Kind::For) {}
+    StmtPtr init;  ///< VarDecl or ExprStmt or Empty
+    ExprPtr cond;  ///< may be null (infinite)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+};
+
+struct ReturnStmt : Stmt
+{
+    ReturnStmt() : Stmt(Kind::Return) {}
+    ExprPtr value; ///< may be null
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(Kind::Break) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(Kind::Continue) {}
+};
+
+struct EmptyStmt : Stmt
+{
+    EmptyStmt() : Stmt(Kind::Empty) {}
+};
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+struct ParamDecl
+{
+    std::string name;
+    Type type = Type::I32;
+};
+
+struct FuncDecl
+{
+    std::string name;
+    Type retType = Type::Void;
+    std::vector<ParamDecl> params;
+    std::unique_ptr<BlockStmt> body;
+    int line = 0;
+};
+
+struct GlobalDecl
+{
+    std::string name;
+    Type elemType = Type::I32;
+    uint64_t elems = 1;
+    bool isArray = false;
+    std::vector<ExprPtr> init; ///< literal initializers (may be empty)
+    int line = 0;
+};
+
+/** A parsed translation unit. */
+struct TranslationUnit
+{
+    std::string name;
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_AST_HH

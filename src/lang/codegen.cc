@@ -1,0 +1,730 @@
+#include "lang/codegen.hh"
+
+#include <cstring>
+
+#include "ir/verifier.hh"
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+
+using ir::Instruction;
+using ir::MemRef;
+using ir::Opcode;
+using ir::Terminator;
+
+namespace
+{
+
+/** Bit pattern of a double for global initializers. */
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+class Codegen
+{
+  public:
+    Codegen(const TranslationUnit &tu, const SemaInfo &sema)
+        : unit(tu), info(sema)
+    {}
+
+    ir::Module
+    run()
+    {
+        mod.name = unit.name;
+        emitGlobals();
+        // Declare all functions first so calls can reference them.
+        for (const FuncDecl &f : unit.functions) {
+            ir::Function fn;
+            fn.name = f.name;
+            fn.retType = f.retType;
+            for (const ParamDecl &p : f.params)
+                fn.paramTypes.push_back(p.type);
+            mod.functions.push_back(std::move(fn));
+        }
+        for (size_t i = 0; i < unit.functions.size(); ++i)
+            emitFunction(unit.functions[i],
+                         info.functions[i],
+                         mod.functions[i]);
+        ir::verifyOrDie(mod);
+        return std::move(mod);
+    }
+
+  private:
+    // --- Globals --------------------------------------------------------
+
+    void
+    emitGlobals()
+    {
+        for (const GlobalDecl &g : unit.globals) {
+            ir::Global ig;
+            ig.name = g.name;
+            ig.elemType = g.elemType;
+            ig.elems = g.elems;
+            if (!g.init.empty()) {
+                ig.init.resize(g.elems, 0);
+                for (size_t i = 0; i < g.init.size(); ++i)
+                    ig.init[i] = literalBits(*g.init[i], g.elemType);
+            }
+            mod.addGlobal(std::move(ig));
+        }
+    }
+
+    uint64_t
+    literalBits(const Expr &e, Type target)
+    {
+        int64_t iv = 0;
+        double fv = 0.0;
+        bool is_float = false;
+        if (e.kind == Expr::Kind::IntLit) {
+            iv = static_cast<const IntLitExpr &>(e).value;
+        } else if (e.kind == Expr::Kind::FloatLit) {
+            fv = static_cast<const FloatLitExpr &>(e).value;
+            is_float = true;
+        } else if (e.kind == Expr::Kind::Unary) {
+            const auto &u = static_cast<const UnaryExpr &>(e);
+            BSYN_ASSERT(u.op == UnOp::Neg &&
+                            u.operand->kind == Expr::Kind::IntLit,
+                        "unsupported global initializer");
+            iv = -static_cast<const IntLitExpr &>(*u.operand).value;
+        } else {
+            panic("unsupported global initializer expression");
+        }
+        if (target == Type::F64)
+            return doubleBits(is_float ? fv : double(iv));
+        int64_t v = is_float ? static_cast<int64_t>(fv) : iv;
+        return static_cast<uint32_t>(v);
+    }
+
+    // --- Function emission ----------------------------------------------
+
+    void
+    emitFunction(const FuncDecl &f, const FunctionLocals &locals,
+                 ir::Function &fn)
+    {
+        cur = &fn;
+        curLocals = &locals;
+        localOffsets.assign(locals.locals.size(), 0);
+
+        // Frame layout: params first, then locals, declaration order.
+        for (size_t i = 0; i < locals.locals.size(); ++i) {
+            const LocalVar &lv = locals.locals[i];
+            localOffsets[i] = fn.allocSlot(
+                lv.name, lv.type, static_cast<uint32_t>(lv.elems));
+        }
+
+        curBlock = fn.newBlock();
+        // Parameters arrive in regs 0..n-1; spill them to their slots
+        // (the -O0 shape; mem2reg undoes this at -O1).
+        fn.numRegs = static_cast<uint32_t>(f.params.size());
+        for (size_t i = 0; i < f.params.size(); ++i) {
+            MemRef slot = localSlot(static_cast<int>(i));
+            emit(Instruction::store(static_cast<int>(i), slot,
+                                    locals.locals[i].type));
+        }
+
+        breakTargets.clear();
+        continueTargets.clear();
+        genStmt(*f.body);
+        finishWithImplicitReturn();
+
+        cur = nullptr;
+        curLocals = nullptr;
+    }
+
+    void
+    finishWithImplicitReturn()
+    {
+        // Seal the fall-off-the-end block, plus any dead blocks created
+        // after break/continue/return, with a return.
+        for (auto &bb : cur->blocks) {
+            if (bb.term.kind != Terminator::Kind::None)
+                continue;
+            if (cur->retType == Type::Void) {
+                bb.term = Terminator::ret();
+            } else {
+                int zero = cur->newReg();
+                bb.append(Instruction::movImm(
+                    zero, 0,
+                    cur->retType == Type::F64 ? Type::F64 : cur->retType));
+                bb.term = Terminator::ret(zero);
+            }
+        }
+    }
+
+    // --- Helpers ----------------------------------------------------------
+
+    void
+    emit(Instruction in)
+    {
+        cur->block(curBlock).append(std::move(in));
+    }
+
+    /** Terminate the current block and switch to @p next. */
+    void
+    setTerm(Terminator t, int next)
+    {
+        ir::BasicBlock &bb = cur->block(curBlock);
+        if (bb.term.kind == Terminator::Kind::None)
+            bb.term = t;
+        curBlock = next;
+    }
+
+    bool
+    blockTerminated() const
+    {
+        return cur->block(curBlock).term.kind != Terminator::Kind::None;
+    }
+
+    MemRef
+    localSlot(int local_id) const
+    {
+        MemRef m;
+        m.symbol = MemRef::frameBase;
+        m.offset = static_cast<int32_t>(
+            localOffsets[static_cast<size_t>(local_id)]);
+        return m;
+    }
+
+    MemRef
+    globalSlot(int sym) const
+    {
+        MemRef m;
+        m.symbol = sym;
+        return m;
+    }
+
+    /** Convert @p reg from @p from to @p to; may emit a conversion. */
+    int
+    coerce(int reg, Type from, Type to)
+    {
+        if (from == to)
+            return reg;
+        if (ir::isIntType(from) && ir::isIntType(to))
+            return reg; // same 32-bit representation
+        int dst = cur->newReg();
+        if (to == Type::F64) {
+            Instruction cv =
+                Instruction::unary(Opcode::CvtIF, from, dst, reg);
+            emit(cv);
+        } else {
+            Instruction cv = Instruction::unary(Opcode::CvtFI, to, dst, reg);
+            emit(cv);
+        }
+        return dst;
+    }
+
+    // --- L-values ----------------------------------------------------------
+
+    struct LValue
+    {
+        MemRef mem;
+        Type type = Type::I32;
+    };
+
+    LValue
+    genLValue(const Expr &e)
+    {
+        LValue lv;
+        if (e.kind == Expr::Kind::Ident) {
+            const auto &id = static_cast<const IdentExpr &>(e);
+            lv.type = id.sym.type;
+            if (id.sym.kind == SymbolRef::Kind::Local)
+                lv.mem = localSlot(id.sym.index);
+            else
+                lv.mem = globalSlot(id.sym.index);
+            return lv;
+        }
+        BSYN_ASSERT(e.kind == Expr::Kind::Index, "bad lvalue kind");
+        const auto &ix = static_cast<const IndexExpr &>(e);
+        lv.type = ix.sym.type;
+        auto [ireg, itype] = genExpr(*ix.index);
+        ireg = coerce(ireg, itype, Type::I32);
+        if (ix.sym.kind == SymbolRef::Kind::Local)
+            lv.mem = localSlot(ix.sym.index);
+        else
+            lv.mem = globalSlot(ix.sym.index);
+        lv.mem.indexReg = ireg;
+        lv.mem.scale = static_cast<int32_t>(ir::typeSize(lv.type));
+        return lv;
+    }
+
+    int
+    loadLValue(const LValue &lv)
+    {
+        int dst = cur->newReg();
+        emit(Instruction::load(dst, lv.mem, lv.type));
+        return dst;
+    }
+
+    // --- Expressions -------------------------------------------------------
+
+    /** Generate an expression; @return (register, type). */
+    std::pair<int, Type>
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::IntLit: {
+            int r = cur->newReg();
+            emit(Instruction::movImm(
+                r, static_cast<const IntLitExpr &>(e).value, Type::I32));
+            return {r, Type::I32};
+          }
+          case Expr::Kind::FloatLit: {
+            int r = cur->newReg();
+            emit(Instruction::movFImm(
+                r, static_cast<const FloatLitExpr &>(e).value));
+            return {r, Type::F64};
+          }
+          case Expr::Kind::StrLit:
+            panic("string literal outside printf survived sema");
+          case Expr::Kind::Ident:
+          case Expr::Kind::Index: {
+            LValue lv = genLValue(e);
+            return {loadLValue(lv), lv.type};
+          }
+          case Expr::Kind::Unary:
+            return genUnary(static_cast<const UnaryExpr &>(e));
+          case Expr::Kind::Binary:
+            return genBinary(static_cast<const BinaryExpr &>(e));
+          case Expr::Kind::Assign:
+            return genAssign(static_cast<const AssignExpr &>(e));
+          case Expr::Kind::IncDec:
+            return genIncDec(static_cast<const IncDecExpr &>(e));
+          case Expr::Kind::Call:
+            return genCall(static_cast<const CallExpr &>(e));
+          case Expr::Kind::Cond:
+            return genCond(static_cast<const CondExpr &>(e));
+        }
+        panic("genExpr: bad expression kind");
+    }
+
+    std::pair<int, Type>
+    genUnary(const UnaryExpr &u)
+    {
+        if (u.op == UnOp::LogNot) {
+            auto [r, t] = genExpr(*u.operand);
+            int zero = cur->newReg();
+            if (t == Type::F64)
+                emit(Instruction::movFImm(zero, 0.0));
+            else
+                emit(Instruction::movImm(zero, 0, t));
+            int dst = cur->newReg();
+            emit(Instruction::binary(Opcode::CmpEq, t, dst, r, zero));
+            return {dst, Type::I32};
+        }
+        auto [r, t] = genExpr(*u.operand);
+        switch (u.op) {
+          case UnOp::Neg: {
+            int dst = cur->newReg();
+            emit(Instruction::unary(
+                t == Type::F64 ? Opcode::FNeg : Opcode::Neg, t, dst, r));
+            return {dst, t};
+          }
+          case UnOp::BitNot: {
+            int dst = cur->newReg();
+            emit(Instruction::unary(Opcode::Not, t, dst, r));
+            return {dst, t};
+          }
+          case UnOp::Cast:
+            return {coerce(r, t, u.castType), u.castType};
+          default:
+            panic("genUnary: bad op");
+        }
+    }
+
+    Opcode
+    aluOpcode(BinOp op, Type t, bool &swap)
+    {
+        swap = false;
+        bool fp = t == Type::F64;
+        switch (op) {
+          case BinOp::Add: return fp ? Opcode::FAdd : Opcode::Add;
+          case BinOp::Sub: return fp ? Opcode::FSub : Opcode::Sub;
+          case BinOp::Mul: return fp ? Opcode::FMul : Opcode::Mul;
+          case BinOp::Div: return fp ? Opcode::FDiv : Opcode::Div;
+          case BinOp::Rem: return Opcode::Rem;
+          case BinOp::And: return Opcode::And;
+          case BinOp::Or: return Opcode::Or;
+          case BinOp::Xor: return Opcode::Xor;
+          case BinOp::Shl: return Opcode::Shl;
+          case BinOp::Shr: return Opcode::Shr;
+          case BinOp::Lt: return Opcode::CmpLt;
+          case BinOp::Le: return Opcode::CmpLe;
+          case BinOp::Gt: return Opcode::CmpGt;
+          case BinOp::Ge: return Opcode::CmpGe;
+          case BinOp::Eq: return Opcode::CmpEq;
+          case BinOp::Ne: return Opcode::CmpNe;
+          default: panic("aluOpcode: not an ALU op");
+        }
+    }
+
+    std::pair<int, Type>
+    genBinary(const BinaryExpr &b)
+    {
+        if (b.op == BinOp::LAnd || b.op == BinOp::LOr)
+            return genShortCircuit(b);
+
+        auto [lr, lt] = genExpr(*b.lhs);
+        auto [rr, rt] = genExpr(*b.rhs);
+
+        Type opType;
+        if (b.op == BinOp::Shl || b.op == BinOp::Shr) {
+            opType = lt;
+        } else {
+            opType = lt == Type::F64 || rt == Type::F64
+                         ? Type::F64
+                         : (lt == Type::U32 || rt == Type::U32 ? Type::U32
+                                                               : Type::I32);
+        }
+        lr = coerce(lr, lt, opType);
+        if (b.op != BinOp::Shl && b.op != BinOp::Shr)
+            rr = coerce(rr, rt, opType);
+
+        bool swap;
+        Opcode op = aluOpcode(b.op, opType, swap);
+        int dst = cur->newReg();
+        emit(Instruction::binary(op, opType, dst, lr, rr));
+        Type result = ir::isCompare(op) ? Type::I32 : opType;
+        return {dst, result};
+    }
+
+    std::pair<int, Type>
+    genShortCircuit(const BinaryExpr &b)
+    {
+        // r = (a && b):  r=0; if (a) r = (b != 0);
+        // r = (a || b):  r=1; if (!a) r = (b != 0);
+        int result = cur->newReg();
+        bool is_and = b.op == BinOp::LAnd;
+        emit(Instruction::movImm(result, is_and ? 0 : 1, Type::I32));
+
+        auto [ar, at] = genExpr(*b.lhs);
+        int acond = toBool(ar, at);
+
+        int rhs_bb = cur->newBlock();
+        int end_bb = cur->newBlock();
+        if (is_and)
+            setTerm(Terminator::br(acond, rhs_bb, end_bb), rhs_bb);
+        else
+            setTerm(Terminator::br(acond, end_bb, rhs_bb), rhs_bb);
+
+        auto [br_, bt] = genExpr(*b.rhs);
+        int bbool = toBool(br_, bt);
+        emit(Instruction::mov(result, bbool, Type::I32));
+        setTerm(Terminator::jmp(end_bb), end_bb);
+        return {result, Type::I32};
+    }
+
+    /** Normalize a value to 0/1. */
+    int
+    toBool(int reg, Type t)
+    {
+        int zero = cur->newReg();
+        if (t == Type::F64)
+            emit(Instruction::movFImm(zero, 0.0));
+        else
+            emit(Instruction::movImm(zero, 0, t));
+        int dst = cur->newReg();
+        emit(Instruction::binary(Opcode::CmpNe, t, dst, reg, zero));
+        return dst;
+    }
+
+    std::pair<int, Type>
+    genAssign(const AssignExpr &a)
+    {
+        LValue lv = genLValue(*a.target);
+        int value;
+        if (a.compound) {
+            int old = loadLValue(lv);
+            auto [rr, rt] = genExpr(*a.value);
+            Type opType;
+            if (a.op == BinOp::Shl || a.op == BinOp::Shr) {
+                opType = lv.type;
+            } else {
+                opType = lv.type == Type::F64 || rt == Type::F64
+                             ? Type::F64
+                             : (lv.type == Type::U32 || rt == Type::U32
+                                    ? Type::U32
+                                    : Type::I32);
+            }
+            int l = coerce(old, lv.type, opType);
+            int r = a.op == BinOp::Shl || a.op == BinOp::Shr
+                        ? coerce(rr, rt, Type::I32)
+                        : coerce(rr, rt, opType);
+            bool swap;
+            Opcode op = aluOpcode(a.op, opType, swap);
+            int dst = cur->newReg();
+            emit(Instruction::binary(op, opType, dst, l, r));
+            value = coerce(dst, opType, lv.type);
+        } else {
+            auto [vr, vt] = genExpr(*a.value);
+            value = coerce(vr, vt, lv.type);
+        }
+        emit(Instruction::store(value, lv.mem, lv.type));
+        return {value, lv.type};
+    }
+
+    std::pair<int, Type>
+    genIncDec(const IncDecExpr &d)
+    {
+        LValue lv = genLValue(*d.target);
+        int old = loadLValue(lv);
+        int one = cur->newReg();
+        emit(Instruction::movImm(one, 1, lv.type));
+        int updated = cur->newReg();
+        emit(Instruction::binary(d.isIncrement ? Opcode::Add : Opcode::Sub,
+                                 lv.type, updated, old, one));
+        emit(Instruction::store(updated, lv.mem, lv.type));
+        return {d.isPostfix ? old : updated, lv.type};
+    }
+
+    std::pair<int, Type>
+    genCall(const CallExpr &c)
+    {
+        if (c.isPrintf)
+            return genPrintf(c);
+
+        const FuncDecl &callee =
+            unit.functions[static_cast<size_t>(c.sym.index)];
+        std::vector<int> args;
+        for (size_t i = 0; i < c.args.size(); ++i) {
+            auto [r, t] = genExpr(*c.args[i]);
+            args.push_back(coerce(r, t, callee.params[i].type));
+        }
+        int dst = callee.retType == Type::Void ? -1 : cur->newReg();
+        emit(Instruction::call(dst, c.sym.index, std::move(args),
+                               callee.retType));
+        return {dst, callee.retType};
+    }
+
+    std::pair<int, Type>
+    genPrintf(const CallExpr &c)
+    {
+        // Determine per-argument expected type from the format string.
+        std::vector<bool> wants_double;
+        const std::string &f = c.format;
+        for (size_t i = 0; i + 1 < f.size(); ++i) {
+            if (f[i] != '%')
+                continue;
+            size_t j = i + 1;
+            while (j < f.size() &&
+                   (std::isdigit(static_cast<unsigned char>(f[j])) ||
+                    f[j] == '.' || f[j] == '-' || f[j] == 'l'))
+                ++j;
+            if (j >= f.size())
+                break;
+            char conv = f[j];
+            if (conv == '%') {
+                i = j;
+                continue;
+            }
+            wants_double.push_back(conv == 'f' || conv == 'g' ||
+                                   conv == 'e');
+            i = j;
+        }
+        std::vector<int> args;
+        for (size_t i = 0; i < c.args.size(); ++i) {
+            auto [r, t] = genExpr(*c.args[i]);
+            bool want_f64 = i < wants_double.size() && wants_double[i];
+            args.push_back(
+                coerce(r, t, want_f64 ? Type::F64 : Type::I32));
+        }
+        emit(Instruction::print(c.format, std::move(args)));
+        return {-1, Type::Void};
+    }
+
+    std::pair<int, Type>
+    genCond(const CondExpr &c)
+    {
+        Type result_type =
+            c.thenExpr->type == Type::F64 || c.elseExpr->type == Type::F64
+                ? Type::F64
+                : (c.thenExpr->type == Type::U32 ||
+                           c.elseExpr->type == Type::U32
+                       ? Type::U32
+                       : Type::I32);
+        int result = cur->newReg();
+
+        auto [cr, ct] = genExpr(*c.cond);
+        int cond = toBool(cr, ct);
+        int then_bb = cur->newBlock();
+        int else_bb = cur->newBlock();
+        int end_bb = cur->newBlock();
+        setTerm(Terminator::br(cond, then_bb, else_bb), then_bb);
+
+        auto [tr, tt] = genExpr(*c.thenExpr);
+        emit(Instruction::mov(result, coerce(tr, tt, result_type),
+                              result_type));
+        setTerm(Terminator::jmp(end_bb), else_bb);
+
+        auto [er, et] = genExpr(*c.elseExpr);
+        emit(Instruction::mov(result, coerce(er, et, result_type),
+                              result_type));
+        setTerm(Terminator::jmp(end_bb), end_bb);
+        return {result, result_type};
+    }
+
+    // --- Statements --------------------------------------------------------
+
+    void
+    genStmt(const Stmt &s)
+    {
+        if (blockTerminated()) {
+            // Unreachable code after break/continue/return: emit into a
+            // fresh dead block to keep the IR well formed.
+            int dead = cur->newBlock();
+            curBlock = dead;
+        }
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const auto &st : static_cast<const BlockStmt &>(s).stmts)
+                genStmt(*st);
+            break;
+          case Stmt::Kind::ExprStmt:
+            genExpr(*static_cast<const ExprStmt &>(s).expr);
+            break;
+          case Stmt::Kind::VarDecl: {
+            const auto &d = static_cast<const VarDeclStmt &>(s);
+            if (d.init) {
+                auto [r, t] = genExpr(*d.init);
+                int v = coerce(r, t, d.declType);
+                emit(Instruction::store(v, localSlot(d.localId),
+                                        d.declType));
+            }
+            break;
+          }
+          case Stmt::Kind::If: {
+            const auto &i = static_cast<const IfStmt &>(s);
+            auto [cr, ct] = genExpr(*i.cond);
+            int cond = toBool(cr, ct);
+            int then_bb = cur->newBlock();
+            int else_bb = i.elseStmt ? cur->newBlock() : -1;
+            int end_bb = cur->newBlock();
+            setTerm(Terminator::br(cond, then_bb,
+                                   i.elseStmt ? else_bb : end_bb),
+                    then_bb);
+            genStmt(*i.thenStmt);
+            setTerm(Terminator::jmp(end_bb),
+                    i.elseStmt ? else_bb : end_bb);
+            if (i.elseStmt) {
+                genStmt(*i.elseStmt);
+                setTerm(Terminator::jmp(end_bb), end_bb);
+            }
+            break;
+          }
+          case Stmt::Kind::While: {
+            const auto &w = static_cast<const WhileStmt &>(s);
+            int cond_bb = cur->newBlock();
+            setTerm(Terminator::jmp(cond_bb), cond_bb);
+            auto [cr, ct] = genExpr(*w.cond);
+            int cond = toBool(cr, ct);
+            int body_bb = cur->newBlock();
+            int exit_bb = cur->newBlock();
+            setTerm(Terminator::br(cond, body_bb, exit_bb), body_bb);
+            breakTargets.push_back(exit_bb);
+            continueTargets.push_back(cond_bb);
+            genStmt(*w.body);
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            setTerm(Terminator::jmp(cond_bb), exit_bb);
+            break;
+          }
+          case Stmt::Kind::DoWhile: {
+            const auto &w = static_cast<const DoWhileStmt &>(s);
+            int body_bb = cur->newBlock();
+            int cond_bb = cur->newBlock();
+            int exit_bb = cur->newBlock();
+            setTerm(Terminator::jmp(body_bb), body_bb);
+            breakTargets.push_back(exit_bb);
+            continueTargets.push_back(cond_bb);
+            genStmt(*w.body);
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            setTerm(Terminator::jmp(cond_bb), cond_bb);
+            auto [cr, ct] = genExpr(*w.cond);
+            int cond = toBool(cr, ct);
+            setTerm(Terminator::br(cond, body_bb, exit_bb), exit_bb);
+            break;
+          }
+          case Stmt::Kind::For: {
+            const auto &f = static_cast<const ForStmt &>(s);
+            if (f.init)
+                genStmt(*f.init);
+            int cond_bb = cur->newBlock();
+            setTerm(Terminator::jmp(cond_bb), cond_bb);
+            int body_bb = cur->newBlock();
+            int step_bb = cur->newBlock();
+            int exit_bb = cur->newBlock();
+            if (f.cond) {
+                auto [cr, ct] = genExpr(*f.cond);
+                int cond = toBool(cr, ct);
+                setTerm(Terminator::br(cond, body_bb, exit_bb), body_bb);
+            } else {
+                setTerm(Terminator::jmp(body_bb), body_bb);
+            }
+            breakTargets.push_back(exit_bb);
+            continueTargets.push_back(step_bb);
+            genStmt(*f.body);
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            setTerm(Terminator::jmp(step_bb), step_bb);
+            if (f.step)
+                genExpr(*f.step);
+            setTerm(Terminator::jmp(cond_bb), exit_bb);
+            break;
+          }
+          case Stmt::Kind::Return: {
+            const auto &r = static_cast<const ReturnStmt &>(s);
+            if (r.value) {
+                auto [vr, vt] = genExpr(*r.value);
+                int v = coerce(vr, vt, cur->retType);
+                int dead = cur->newBlock();
+                setTerm(Terminator::ret(v), dead);
+            } else {
+                int dead = cur->newBlock();
+                setTerm(Terminator::ret(), dead);
+            }
+            break;
+          }
+          case Stmt::Kind::Break: {
+            BSYN_ASSERT(!breakTargets.empty(), "break outside loop");
+            int dead = cur->newBlock();
+            setTerm(Terminator::jmp(breakTargets.back()), dead);
+            break;
+          }
+          case Stmt::Kind::Continue: {
+            BSYN_ASSERT(!continueTargets.empty(), "continue outside loop");
+            int dead = cur->newBlock();
+            setTerm(Terminator::jmp(continueTargets.back()), dead);
+            break;
+          }
+          case Stmt::Kind::Empty:
+            break;
+        }
+    }
+
+    const TranslationUnit &unit;
+    const SemaInfo &info;
+    ir::Module mod;
+
+    ir::Function *cur = nullptr;
+    const FunctionLocals *curLocals = nullptr;
+    std::vector<uint32_t> localOffsets;
+    int curBlock = 0;
+    std::vector<int> breakTargets;
+    std::vector<int> continueTargets;
+};
+
+} // namespace
+
+ir::Module
+generate(const TranslationUnit &tu, const SemaInfo &info)
+{
+    return Codegen(tu, info).run();
+}
+
+} // namespace bsyn::lang

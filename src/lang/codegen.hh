@@ -1,0 +1,34 @@
+/**
+ * @file
+ * IR code generation from the checked MiniC AST.
+ *
+ * Codegen deliberately produces "-O0 shaped" code: every local variable
+ * lives in a frame slot, every use loads it and every assignment stores
+ * it, just like an unoptimized C compiler. The paper profiles binaries
+ * compiled at a low optimization level precisely because this shape makes
+ * pattern recognition tractable and leaves headroom for the compiler
+ * exploration experiments; the optimizer passes in src/opt then model
+ * -O1/-O2/-O3.
+ */
+
+#ifndef BSYN_LANG_CODEGEN_HH
+#define BSYN_LANG_CODEGEN_HH
+
+#include "ir/module.hh"
+#include "lang/sema.hh"
+
+namespace bsyn::lang
+{
+
+/**
+ * Generate an IR module from a checked translation unit.
+ *
+ * @param tu the parsed and sema-checked unit.
+ * @param info sema's local-variable tables.
+ * @return the IR module (verified).
+ */
+ir::Module generate(const TranslationUnit &tu, const SemaInfo &info);
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_CODEGEN_HH

@@ -1,0 +1,18 @@
+#include "lang/frontend.hh"
+
+#include "lang/codegen.hh"
+#include "lang/parser.hh"
+#include "lang/sema.hh"
+
+namespace bsyn::lang
+{
+
+ir::Module
+compile(const std::string &source, const std::string &unit)
+{
+    TranslationUnit tu = parseSource(source, unit);
+    SemaInfo info = analyze(tu);
+    return generate(tu, info);
+}
+
+} // namespace bsyn::lang

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * One-call MiniC front end: source text to verified IR module.
+ */
+
+#ifndef BSYN_LANG_FRONTEND_HH
+#define BSYN_LANG_FRONTEND_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace bsyn::lang
+{
+
+/**
+ * Compile MiniC source text into an (unoptimized, -O0 shaped) IR module.
+ * fatal() with a diagnostic on lex/parse/sema errors.
+ *
+ * @param source the program text.
+ * @param unit a name for diagnostics; becomes the module name.
+ */
+ir::Module compile(const std::string &source, const std::string &unit);
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_FRONTEND_HH

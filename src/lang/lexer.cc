@@ -1,0 +1,436 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwUint: return "'unsigned'";
+      case Tok::KwDouble: return "'double'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Semi: return "';'";
+      case Tok::Comma: return "','";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::SlashAssign: return "'/='";
+      case Tok::PercentAssign: return "'%='";
+      case Tok::AmpAssign: return "'&='";
+      case Tok::PipeAssign: return "'|='";
+      case Tok::CaretAssign: return "'^='";
+      case Tok::ShlAssign: return "'<<='";
+      case Tok::ShrAssign: return "'>>='";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+    }
+    return "<bad token>";
+}
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"int", Tok::KwInt},       {"long", Tok::KwInt},
+    {"char", Tok::KwInt},      {"short", Tok::KwInt},
+    {"uint", Tok::KwUint},     {"unsigned", Tok::KwUint},
+    {"double", Tok::KwDouble}, {"float", Tok::KwDouble},
+    {"void", Tok::KwVoid},     {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"for", Tok::KwFor},
+    {"while", Tok::KwWhile},   {"do", Tok::KwDo},
+    {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue},
+};
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &source, const std::string &unit)
+        : src(source), unitName(unit)
+    {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            Token t = next();
+            bool done = t.kind == Tok::End;
+            out.push_back(std::move(t));
+            if (done)
+                return out;
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        fatal("%s:%d:%d: lex error: %s", unitName.c_str(), line, col,
+              msg.c_str());
+    }
+
+    bool atEnd() const { return pos >= src.size(); }
+    char peek() const { return atEnd() ? '\0' : src[pos]; }
+    char
+    peek2() const
+    {
+        return pos + 1 < src.size() ? src[pos + 1] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek2() == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek2() == '*') {
+                advance();
+                advance();
+                while (!atEnd() && !(peek() == '*' && peek2() == '/'))
+                    advance();
+                if (atEnd())
+                    error("unterminated block comment");
+                advance();
+                advance();
+            } else if (c == '#') {
+                // Tolerate and skip preprocessor-style lines so emitted
+                // synthetic C (which may carry #include lines for real
+                // compilers) still parses.
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token
+    make(Tok kind)
+    {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        t.col = col;
+        return t;
+    }
+
+    Token
+    next()
+    {
+        skipWhitespaceAndComments();
+        if (atEnd())
+            return make(Tok::End);
+
+        Token t = make(Tok::End);
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident(1, c);
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')
+                ident += advance();
+            auto it = keywords.find(ident);
+            if (it != keywords.end()) {
+                t.kind = it->second;
+                // "unsigned int" / "unsigned long" collapse to uint.
+                if (it->second == Tok::KwUint) {
+                    size_t save = pos;
+                    int save_line = line, save_col = col;
+                    skipWhitespaceAndComments();
+                    std::string word;
+                    size_t p = pos;
+                    while (p < src.size() &&
+                           (std::isalpha(
+                                static_cast<unsigned char>(src[p])) ||
+                            src[p] == '_'))
+                        word += src[p++];
+                    if (word == "int" || word == "long" || word == "char") {
+                        while (pos < p)
+                            advance();
+                    } else {
+                        pos = save;
+                        line = save_line;
+                        col = save_col;
+                    }
+                }
+            } else {
+                t.kind = Tok::Ident;
+                t.text = ident;
+            }
+            return t;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            return lexNumber(t, c);
+        }
+
+        switch (c) {
+          case '\'': {
+            if (atEnd())
+                error("unterminated character literal");
+            char v = advance();
+            if (v == '\\') {
+                char e = advance();
+                switch (e) {
+                  case 'n': v = '\n'; break;
+                  case 't': v = '\t'; break;
+                  case '0': v = '\0'; break;
+                  case '\\': v = '\\'; break;
+                  case '\'': v = '\''; break;
+                  default: error("bad escape in character literal");
+                }
+            }
+            if (peek() != '\'')
+                error("unterminated character literal");
+            advance();
+            t.kind = Tok::IntLit;
+            t.intValue = static_cast<unsigned char>(v);
+            return t;
+          }
+          case '"': {
+            std::string s;
+            while (!atEnd() && peek() != '"') {
+                char v = advance();
+                if (v == '\\') {
+                    char e = advance();
+                    switch (e) {
+                      case 'n': s += '\n'; break;
+                      case 't': s += '\t'; break;
+                      case '\\': s += '\\'; break;
+                      case '"': s += '"'; break;
+                      case '%': s += "\\%"; break;
+                      default: s += e; break;
+                    }
+                } else {
+                    s += v;
+                }
+            }
+            if (atEnd())
+                error("unterminated string literal");
+            advance();
+            t.kind = Tok::StrLit;
+            t.text = s;
+            return t;
+          }
+          case '(': t.kind = Tok::LParen; return t;
+          case ')': t.kind = Tok::RParen; return t;
+          case '{': t.kind = Tok::LBrace; return t;
+          case '}': t.kind = Tok::RBrace; return t;
+          case '[': t.kind = Tok::LBracket; return t;
+          case ']': t.kind = Tok::RBracket; return t;
+          case ';': t.kind = Tok::Semi; return t;
+          case ',': t.kind = Tok::Comma; return t;
+          case '?': t.kind = Tok::Question; return t;
+          case ':': t.kind = Tok::Colon; return t;
+          case '~': t.kind = Tok::Tilde; return t;
+          case '+':
+            if (peek() == '+') { advance(); t.kind = Tok::PlusPlus; }
+            else if (peek() == '=') { advance(); t.kind = Tok::PlusAssign; }
+            else t.kind = Tok::Plus;
+            return t;
+          case '-':
+            if (peek() == '-') { advance(); t.kind = Tok::MinusMinus; }
+            else if (peek() == '=') { advance(); t.kind = Tok::MinusAssign; }
+            else t.kind = Tok::Minus;
+            return t;
+          case '*':
+            if (peek() == '=') { advance(); t.kind = Tok::StarAssign; }
+            else t.kind = Tok::Star;
+            return t;
+          case '/':
+            if (peek() == '=') { advance(); t.kind = Tok::SlashAssign; }
+            else t.kind = Tok::Slash;
+            return t;
+          case '%':
+            if (peek() == '=') { advance(); t.kind = Tok::PercentAssign; }
+            else t.kind = Tok::Percent;
+            return t;
+          case '&':
+            if (peek() == '&') { advance(); t.kind = Tok::AmpAmp; }
+            else if (peek() == '=') { advance(); t.kind = Tok::AmpAssign; }
+            else t.kind = Tok::Amp;
+            return t;
+          case '|':
+            if (peek() == '|') { advance(); t.kind = Tok::PipePipe; }
+            else if (peek() == '=') { advance(); t.kind = Tok::PipeAssign; }
+            else t.kind = Tok::Pipe;
+            return t;
+          case '^':
+            if (peek() == '=') { advance(); t.kind = Tok::CaretAssign; }
+            else t.kind = Tok::Caret;
+            return t;
+          case '!':
+            if (peek() == '=') { advance(); t.kind = Tok::NotEq; }
+            else t.kind = Tok::Bang;
+            return t;
+          case '=':
+            if (peek() == '=') { advance(); t.kind = Tok::EqEq; }
+            else t.kind = Tok::Assign;
+            return t;
+          case '<':
+            if (peek() == '<') {
+                advance();
+                if (peek() == '=') { advance(); t.kind = Tok::ShlAssign; }
+                else t.kind = Tok::Shl;
+            } else if (peek() == '=') {
+                advance();
+                t.kind = Tok::Le;
+            } else {
+                t.kind = Tok::Lt;
+            }
+            return t;
+          case '>':
+            if (peek() == '>') {
+                advance();
+                if (peek() == '=') { advance(); t.kind = Tok::ShrAssign; }
+                else t.kind = Tok::Shr;
+            } else if (peek() == '=') {
+                advance();
+                t.kind = Tok::Ge;
+            } else {
+                t.kind = Tok::Gt;
+            }
+            return t;
+          default:
+            error(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Token
+    lexNumber(Token t, char first)
+    {
+        std::string num(1, first);
+        bool is_float = false;
+        if (first == '0' && (peek() == 'x' || peek() == 'X')) {
+            num += advance();
+            while (std::isxdigit(static_cast<unsigned char>(peek())))
+                num += advance();
+            t.kind = Tok::IntLit;
+            t.intValue = static_cast<int64_t>(
+                std::stoull(num.substr(2), nullptr, 16));
+            skipSuffix();
+            return t;
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            num += advance();
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek2()))) {
+            is_float = true;
+            num += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                num += advance();
+        } else if (peek() == '.') {
+            is_float = true;
+            num += advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            is_float = true;
+            num += advance();
+            if (peek() == '+' || peek() == '-')
+                num += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                num += advance();
+        }
+        if (is_float) {
+            t.kind = Tok::FloatLit;
+            t.floatValue = std::stod(num);
+        } else {
+            t.kind = Tok::IntLit;
+            t.intValue = static_cast<int64_t>(std::stoull(num));
+        }
+        skipSuffix();
+        return t;
+    }
+
+    void
+    skipSuffix()
+    {
+        // Accept and ignore C integer/float suffixes (u, l, f).
+        while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+               peek() == 'L' || peek() == 'f' || peek() == 'F')
+            advance();
+    }
+
+    const std::string &src;
+    std::string unitName;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, const std::string &unit)
+{
+    return Lexer(source, unit).run();
+}
+
+} // namespace bsyn::lang

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The MiniC lexer. Supports C-style comments, decimal/hex/char integer
+ * literals, floating literals and string literals (for printf).
+ */
+
+#ifndef BSYN_LANG_LEXER_HH
+#define BSYN_LANG_LEXER_HH
+
+#include <vector>
+
+#include "lang/token.hh"
+
+namespace bsyn::lang
+{
+
+/**
+ * Lex a MiniC translation unit into a token vector (terminated by an
+ * End token). fatal() on malformed input.
+ *
+ * @param source the program text.
+ * @param unit a name used in diagnostics.
+ */
+std::vector<Token> lex(const std::string &source, const std::string &unit);
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_LEXER_HH

@@ -1,0 +1,664 @@
+#include "lang/parser.hh"
+
+#include "lang/lexer.hh"
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+
+namespace
+{
+
+/** Operator precedence (higher binds tighter); -1 = not a binary op. */
+int
+precedence(Tok t)
+{
+    switch (t) {
+      case Tok::Star:
+      case Tok::Slash:
+      case Tok::Percent: return 10;
+      case Tok::Plus:
+      case Tok::Minus: return 9;
+      case Tok::Shl:
+      case Tok::Shr: return 8;
+      case Tok::Lt:
+      case Tok::Le:
+      case Tok::Gt:
+      case Tok::Ge: return 7;
+      case Tok::EqEq:
+      case Tok::NotEq: return 6;
+      case Tok::Amp: return 5;
+      case Tok::Caret: return 4;
+      case Tok::Pipe: return 3;
+      case Tok::AmpAmp: return 2;
+      case Tok::PipePipe: return 1;
+      default: return -1;
+    }
+}
+
+BinOp
+binOpFor(Tok t)
+{
+    switch (t) {
+      case Tok::Plus: return BinOp::Add;
+      case Tok::Minus: return BinOp::Sub;
+      case Tok::Star: return BinOp::Mul;
+      case Tok::Slash: return BinOp::Div;
+      case Tok::Percent: return BinOp::Rem;
+      case Tok::Amp: return BinOp::And;
+      case Tok::Pipe: return BinOp::Or;
+      case Tok::Caret: return BinOp::Xor;
+      case Tok::Shl: return BinOp::Shl;
+      case Tok::Shr: return BinOp::Shr;
+      case Tok::Lt: return BinOp::Lt;
+      case Tok::Le: return BinOp::Le;
+      case Tok::Gt: return BinOp::Gt;
+      case Tok::Ge: return BinOp::Ge;
+      case Tok::EqEq: return BinOp::Eq;
+      case Tok::NotEq: return BinOp::Ne;
+      case Tok::AmpAmp: return BinOp::LAnd;
+      case Tok::PipePipe: return BinOp::LOr;
+      default: panic("binOpFor: not a binary operator");
+    }
+}
+
+/** Compound-assignment operator mapping, or nullopt. */
+bool
+compoundOpFor(Tok t, BinOp &op)
+{
+    switch (t) {
+      case Tok::PlusAssign: op = BinOp::Add; return true;
+      case Tok::MinusAssign: op = BinOp::Sub; return true;
+      case Tok::StarAssign: op = BinOp::Mul; return true;
+      case Tok::SlashAssign: op = BinOp::Div; return true;
+      case Tok::PercentAssign: op = BinOp::Rem; return true;
+      case Tok::AmpAssign: op = BinOp::And; return true;
+      case Tok::PipeAssign: op = BinOp::Or; return true;
+      case Tok::CaretAssign: op = BinOp::Xor; return true;
+      case Tok::ShlAssign: op = BinOp::Shl; return true;
+      case Tok::ShrAssign: op = BinOp::Shr; return true;
+      default: return false;
+    }
+}
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks, const std::string &unit)
+        : tokens(std::move(toks)), unitName(unit)
+    {}
+
+    TranslationUnit
+    run()
+    {
+        TranslationUnit tu;
+        tu.name = unitName;
+        while (peek().kind != Tok::End)
+            parseTopLevel(tu);
+        return tu;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        const Token &t = peek();
+        fatal("%s:%d:%d: parse error: %s (got %s)", unitName.c_str(),
+              t.line, t.col, msg.c_str(), tokName(t.kind));
+    }
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos + ahead;
+        return i < tokens.size() ? tokens[i] : tokens.back();
+    }
+
+    Token
+    advance()
+    {
+        Token t = peek();
+        if (pos < tokens.size() - 1)
+            ++pos;
+        return t;
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind == kind) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok kind, const char *ctx)
+    {
+        if (peek().kind != kind)
+            error(std::string("expected ") + tokName(kind) + " " + ctx);
+        return advance();
+    }
+
+    bool
+    isTypeToken(Tok t) const
+    {
+        return t == Tok::KwInt || t == Tok::KwUint || t == Tok::KwDouble ||
+               t == Tok::KwVoid;
+    }
+
+    Type
+    parseType()
+    {
+        switch (advance().kind) {
+          case Tok::KwInt: return Type::I32;
+          case Tok::KwUint: return Type::U32;
+          case Tok::KwDouble: return Type::F64;
+          case Tok::KwVoid: return Type::Void;
+          default: error("expected a type name");
+        }
+    }
+
+    void
+    parseTopLevel(TranslationUnit &tu)
+    {
+        int line = peek().line;
+        if (!isTypeToken(peek().kind))
+            error("expected a declaration");
+        Type t = parseType();
+        Token name = expect(Tok::Ident, "in declaration");
+
+        if (peek().kind == Tok::LParen) {
+            tu.functions.push_back(parseFunction(t, name.text, line));
+        } else {
+            parseGlobal(tu, t, name.text, line);
+            // Allow "int a, b;" at global scope.
+            while (accept(Tok::Comma)) {
+                Token extra = expect(Tok::Ident, "in declaration");
+                parseGlobal(tu, t, extra.text, line, /*standalone=*/false);
+            }
+            expect(Tok::Semi, "after global declaration");
+        }
+    }
+
+    void
+    parseGlobal(TranslationUnit &tu, Type t, const std::string &name,
+                int line, bool standalone = true)
+    {
+        (void)standalone;
+        if (t == Type::Void)
+            error("void global variable");
+        GlobalDecl g;
+        g.name = name;
+        g.elemType = t;
+        g.line = line;
+        if (accept(Tok::LBracket)) {
+            Token sz = expect(Tok::IntLit, "array size");
+            if (sz.intValue <= 0)
+                error("array size must be positive");
+            g.elems = static_cast<uint64_t>(sz.intValue);
+            g.isArray = true;
+            expect(Tok::RBracket, "after array size");
+        }
+        if (accept(Tok::Assign)) {
+            if (accept(Tok::LBrace)) {
+                if (!g.isArray)
+                    error("brace initializer on a scalar");
+                if (peek().kind != Tok::RBrace) {
+                    g.init.push_back(parseAssignment());
+                    while (accept(Tok::Comma)) {
+                        if (peek().kind == Tok::RBrace)
+                            break; // trailing comma
+                        g.init.push_back(parseAssignment());
+                    }
+                }
+                expect(Tok::RBrace, "after initializer list");
+            } else {
+                g.init.push_back(parseAssignment());
+            }
+        }
+        tu.globals.push_back(std::move(g));
+    }
+
+    FuncDecl
+    parseFunction(Type ret, const std::string &name, int line)
+    {
+        FuncDecl fn;
+        fn.name = name;
+        fn.retType = ret;
+        fn.line = line;
+        expect(Tok::LParen, "after function name");
+        if (!accept(Tok::RParen)) {
+            if (peek().kind == Tok::KwVoid && peek(1).kind == Tok::RParen) {
+                advance();
+            } else {
+                for (;;) {
+                    ParamDecl p;
+                    p.type = parseType();
+                    if (p.type == Type::Void)
+                        error("void parameter");
+                    p.name = expect(Tok::Ident, "parameter name").text;
+                    fn.params.push_back(std::move(p));
+                    if (!accept(Tok::Comma))
+                        break;
+                }
+            }
+            expect(Tok::RParen, "after parameters");
+        }
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    std::unique_ptr<BlockStmt>
+    parseBlock()
+    {
+        expect(Tok::LBrace, "to open a block");
+        auto block = std::make_unique<BlockStmt>();
+        block->line = peek().line;
+        while (peek().kind != Tok::RBrace) {
+            if (peek().kind == Tok::End)
+                error("unterminated block");
+            block->stmts.push_back(parseStatement());
+        }
+        expect(Tok::RBrace, "to close a block");
+        return block;
+    }
+
+    StmtPtr
+    parseStatement()
+    {
+        int line = peek().line;
+        switch (peek().kind) {
+          case Tok::LBrace:
+            return parseBlock();
+          case Tok::Semi: {
+            advance();
+            auto s = std::make_unique<EmptyStmt>();
+            s->line = line;
+            return s;
+          }
+          case Tok::KwInt:
+          case Tok::KwUint:
+          case Tok::KwDouble:
+            return parseVarDecls();
+          case Tok::KwIf: {
+            advance();
+            auto s = std::make_unique<IfStmt>();
+            s->line = line;
+            expect(Tok::LParen, "after 'if'");
+            s->cond = parseExpression();
+            expect(Tok::RParen, "after if condition");
+            s->thenStmt = parseStatement();
+            if (accept(Tok::KwElse))
+                s->elseStmt = parseStatement();
+            return s;
+          }
+          case Tok::KwWhile: {
+            advance();
+            auto s = std::make_unique<WhileStmt>();
+            s->line = line;
+            expect(Tok::LParen, "after 'while'");
+            s->cond = parseExpression();
+            expect(Tok::RParen, "after while condition");
+            s->body = parseStatement();
+            return s;
+          }
+          case Tok::KwDo: {
+            advance();
+            auto s = std::make_unique<DoWhileStmt>();
+            s->line = line;
+            s->body = parseStatement();
+            expect(Tok::KwWhile, "after do body");
+            expect(Tok::LParen, "after 'while'");
+            s->cond = parseExpression();
+            expect(Tok::RParen, "after do-while condition");
+            expect(Tok::Semi, "after do-while");
+            return s;
+          }
+          case Tok::KwFor: {
+            advance();
+            auto s = std::make_unique<ForStmt>();
+            s->line = line;
+            expect(Tok::LParen, "after 'for'");
+            if (peek().kind == Tok::Semi) {
+                advance();
+                s->init = std::make_unique<EmptyStmt>();
+            } else if (isTypeToken(peek().kind)) {
+                s->init = parseVarDecls();
+            } else {
+                auto es = std::make_unique<ExprStmt>();
+                es->expr = parseExpression();
+                s->init = std::move(es);
+                expect(Tok::Semi, "after for initializer");
+            }
+            if (peek().kind != Tok::Semi)
+                s->cond = parseExpression();
+            expect(Tok::Semi, "after for condition");
+            if (peek().kind != Tok::RParen)
+                s->step = parseExpression();
+            expect(Tok::RParen, "after for clauses");
+            s->body = parseStatement();
+            return s;
+          }
+          case Tok::KwReturn: {
+            advance();
+            auto s = std::make_unique<ReturnStmt>();
+            s->line = line;
+            if (peek().kind != Tok::Semi)
+                s->value = parseExpression();
+            expect(Tok::Semi, "after return");
+            return s;
+          }
+          case Tok::KwBreak: {
+            advance();
+            expect(Tok::Semi, "after break");
+            auto s = std::make_unique<BreakStmt>();
+            s->line = line;
+            return s;
+          }
+          case Tok::KwContinue: {
+            advance();
+            expect(Tok::Semi, "after continue");
+            auto s = std::make_unique<ContinueStmt>();
+            s->line = line;
+            return s;
+          }
+          default: {
+            auto s = std::make_unique<ExprStmt>();
+            s->line = line;
+            s->expr = parseExpression();
+            expect(Tok::Semi, "after expression statement");
+            return s;
+          }
+        }
+    }
+
+    /**
+     * Parse "type name [= init | [N]] (, name ...)* ;" and return a
+     * BlockStmt when more than one variable is declared (so callers can
+     * treat it as one statement).
+     */
+    StmtPtr
+    parseVarDecls()
+    {
+        int line = peek().line;
+        Type t = parseType();
+        if (t == Type::Void)
+            error("void local variable");
+
+        std::vector<StmtPtr> decls;
+        for (;;) {
+            auto d = std::make_unique<VarDeclStmt>();
+            d->line = line;
+            d->declType = t;
+            d->name = expect(Tok::Ident, "variable name").text;
+            if (accept(Tok::LBracket)) {
+                Token sz = expect(Tok::IntLit, "array size");
+                if (sz.intValue <= 0)
+                    error("array size must be positive");
+                d->elems = static_cast<uint64_t>(sz.intValue);
+                d->isArray = true;
+                expect(Tok::RBracket, "after array size");
+            }
+            if (accept(Tok::Assign)) {
+                if (d->isArray)
+                    error("local array initializers are not supported");
+                d->init = parseAssignment();
+            }
+            decls.push_back(std::move(d));
+            if (!accept(Tok::Comma))
+                break;
+        }
+        expect(Tok::Semi, "after variable declaration");
+
+        if (decls.size() == 1)
+            return std::move(decls.front());
+        auto block = std::make_unique<BlockStmt>();
+        block->line = line;
+        block->stmts = std::move(decls);
+        block->transparent = true;
+        return block;
+    }
+
+    // --- Expressions ---------------------------------------------------
+
+    ExprPtr
+    parseExpression()
+    {
+        // Comma operator is not supported; assignment is the top level.
+        return parseAssignment();
+    }
+
+    ExprPtr
+    parseAssignment()
+    {
+        ExprPtr lhs = parseConditional();
+        BinOp op;
+        if (peek().kind == Tok::Assign) {
+            int line = peek().line;
+            advance();
+            auto e = std::make_unique<AssignExpr>();
+            e->line = line;
+            e->target = std::move(lhs);
+            e->value = parseAssignment();
+            return e;
+        }
+        if (compoundOpFor(peek().kind, op)) {
+            int line = peek().line;
+            advance();
+            auto e = std::make_unique<AssignExpr>();
+            e->line = line;
+            e->target = std::move(lhs);
+            e->value = parseAssignment();
+            e->compound = true;
+            e->op = op;
+            return e;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseConditional()
+    {
+        ExprPtr cond = parseBinary(0);
+        if (peek().kind != Tok::Question)
+            return cond;
+        int line = advance().line;
+        auto e = std::make_unique<CondExpr>();
+        e->line = line;
+        e->cond = std::move(cond);
+        e->thenExpr = parseAssignment();
+        expect(Tok::Colon, "in conditional expression");
+        e->elseExpr = parseAssignment();
+        return e;
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            int prec = precedence(peek().kind);
+            if (prec < 0 || prec < min_prec)
+                return lhs;
+            Token op = advance();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = std::make_unique<BinaryExpr>();
+            e->line = op.line;
+            e->op = binOpFor(op.kind);
+            e->lhs = std::move(lhs);
+            e->rhs = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        int line = peek().line;
+        switch (peek().kind) {
+          case Tok::Minus: {
+            advance();
+            auto e = std::make_unique<UnaryExpr>();
+            e->line = line;
+            e->op = UnOp::Neg;
+            e->operand = parseUnary();
+            return e;
+          }
+          case Tok::Plus:
+            advance();
+            return parseUnary();
+          case Tok::Bang: {
+            advance();
+            auto e = std::make_unique<UnaryExpr>();
+            e->line = line;
+            e->op = UnOp::LogNot;
+            e->operand = parseUnary();
+            return e;
+          }
+          case Tok::Tilde: {
+            advance();
+            auto e = std::make_unique<UnaryExpr>();
+            e->line = line;
+            e->op = UnOp::BitNot;
+            e->operand = parseUnary();
+            return e;
+          }
+          case Tok::PlusPlus:
+          case Tok::MinusMinus: {
+            bool inc = advance().kind == Tok::PlusPlus;
+            auto e = std::make_unique<IncDecExpr>();
+            e->line = line;
+            e->isIncrement = inc;
+            e->isPostfix = false;
+            e->target = parseUnary();
+            return e;
+          }
+          case Tok::LParen:
+            // Cast: "(type) expr".
+            if (isTypeToken(peek(1).kind) && peek(2).kind == Tok::RParen) {
+                advance();
+                Type t = parseType();
+                expect(Tok::RParen, "after cast type");
+                auto e = std::make_unique<UnaryExpr>();
+                e->line = line;
+                e->op = UnOp::Cast;
+                e->castType = t;
+                e->operand = parseUnary();
+                return e;
+            }
+            return parsePostfix();
+          default:
+            return parsePostfix();
+        }
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        for (;;) {
+            if (peek().kind == Tok::PlusPlus ||
+                peek().kind == Tok::MinusMinus) {
+                bool inc = advance().kind == Tok::PlusPlus;
+                auto pd = std::make_unique<IncDecExpr>();
+                pd->line = e->line;
+                pd->isIncrement = inc;
+                pd->isPostfix = true;
+                pd->target = std::move(e);
+                e = std::move(pd);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        int line = peek().line;
+        switch (peek().kind) {
+          case Tok::IntLit: {
+            auto e = std::make_unique<IntLitExpr>();
+            e->line = line;
+            e->value = advance().intValue;
+            return e;
+          }
+          case Tok::FloatLit: {
+            auto e = std::make_unique<FloatLitExpr>();
+            e->line = line;
+            e->value = advance().floatValue;
+            return e;
+          }
+          case Tok::StrLit: {
+            auto e = std::make_unique<StrLitExpr>();
+            e->line = line;
+            e->value = advance().text;
+            return e;
+          }
+          case Tok::LParen: {
+            advance();
+            ExprPtr e = parseExpression();
+            expect(Tok::RParen, "after parenthesized expression");
+            return e;
+          }
+          case Tok::Ident: {
+            Token name = advance();
+            if (peek().kind == Tok::LParen) {
+                advance();
+                auto call = std::make_unique<CallExpr>();
+                call->line = line;
+                call->callee = name.text;
+                call->isPrintf = name.text == "printf";
+                if (call->isPrintf) {
+                    Token fmt = expect(Tok::StrLit, "printf format");
+                    call->format = fmt.text;
+                    while (accept(Tok::Comma))
+                        call->args.push_back(parseAssignment());
+                } else if (peek().kind != Tok::RParen) {
+                    call->args.push_back(parseAssignment());
+                    while (accept(Tok::Comma))
+                        call->args.push_back(parseAssignment());
+                }
+                expect(Tok::RParen, "after call arguments");
+                return call;
+            }
+            if (peek().kind == Tok::LBracket) {
+                advance();
+                auto idx = std::make_unique<IndexExpr>();
+                idx->line = line;
+                idx->arrayName = name.text;
+                idx->index = parseExpression();
+                expect(Tok::RBracket, "after array index");
+                return idx;
+            }
+            auto e = std::make_unique<IdentExpr>();
+            e->line = line;
+            e->name = name.text;
+            return e;
+          }
+          default:
+            error("expected an expression");
+        }
+    }
+
+    std::vector<Token> tokens;
+    std::string unitName;
+    size_t pos = 0;
+};
+
+} // namespace
+
+TranslationUnit
+parseUnit(std::vector<Token> tokens, const std::string &unit)
+{
+    return Parser(std::move(tokens), unit).run();
+}
+
+TranslationUnit
+parseSource(const std::string &source, const std::string &unit)
+{
+    return parseUnit(lex(source, unit), unit);
+}
+
+} // namespace bsyn::lang

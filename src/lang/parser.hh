@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+
+#ifndef BSYN_LANG_PARSER_HH
+#define BSYN_LANG_PARSER_HH
+
+#include "lang/ast.hh"
+#include "lang/token.hh"
+
+#include <vector>
+
+namespace bsyn::lang
+{
+
+/**
+ * Parse a token stream into a TranslationUnit; fatal() on syntax errors.
+ *
+ * @param tokens the lexed program (must end in Tok::End).
+ * @param unit a name used in diagnostics and as the unit name.
+ */
+TranslationUnit parseUnit(std::vector<Token> tokens,
+                          const std::string &unit);
+
+/** Convenience: lex + parse a source string. */
+TranslationUnit parseSource(const std::string &source,
+                            const std::string &unit);
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_PARSER_HH

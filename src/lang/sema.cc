@@ -1,0 +1,449 @@
+#include "lang/sema.hh"
+
+#include <map>
+
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+
+namespace
+{
+
+/** Usual arithmetic conversions for MiniC's three scalar types. */
+Type
+unify(Type a, Type b)
+{
+    if (a == Type::F64 || b == Type::F64)
+        return Type::F64;
+    if (a == Type::U32 || b == Type::U32)
+        return Type::U32;
+    return Type::I32;
+}
+
+class Sema
+{
+  public:
+    explicit Sema(TranslationUnit &tu) : unit(tu) {}
+
+    SemaInfo
+    run()
+    {
+        // Global scope: globals and functions share a namespace.
+        for (size_t i = 0; i < unit.globals.size(); ++i) {
+            GlobalDecl &g = unit.globals[i];
+            if (globalIndex.count(g.name) || funcIndex.count(g.name))
+                error(g.line, "redefinition of '" + g.name + "'");
+            globalIndex[g.name] = static_cast<int>(i);
+            if (g.init.size() > g.elems)
+                error(g.line, "too many initializers for '" + g.name + "'");
+            for (auto &e : g.init) {
+                checkExpr(*e);
+                if (e->kind != Expr::Kind::IntLit &&
+                    e->kind != Expr::Kind::FloatLit &&
+                    !(e->kind == Expr::Kind::Unary &&
+                      static_cast<UnaryExpr &>(*e).op == UnOp::Neg &&
+                      static_cast<UnaryExpr &>(*e).operand->kind ==
+                          Expr::Kind::IntLit)) {
+                    error(e->line, "global initializers must be literals");
+                }
+            }
+        }
+        for (size_t i = 0; i < unit.functions.size(); ++i) {
+            FuncDecl &f = unit.functions[i];
+            if (globalIndex.count(f.name) || funcIndex.count(f.name))
+                error(f.line, "redefinition of '" + f.name + "'");
+            funcIndex[f.name] = static_cast<int>(i);
+        }
+
+        SemaInfo info;
+        info.functions.resize(unit.functions.size());
+        for (size_t i = 0; i < unit.functions.size(); ++i)
+            checkFunction(unit.functions[i], info.functions[i]);
+        return info;
+    }
+
+  private:
+    [[noreturn]] void
+    error(int line, const std::string &msg)
+    {
+        fatal("%s:%d: semantic error: %s", unit.name.c_str(), line,
+              msg.c_str());
+    }
+
+    // --- Scope management ----------------------------------------------
+
+    struct Scope
+    {
+        std::map<std::string, int> names; ///< name -> localId
+    };
+
+    int
+    declareLocal(int line, const std::string &name, Type t, uint64_t elems,
+                 bool is_array, bool is_param)
+    {
+        BSYN_ASSERT(!scopes.empty(), "no open scope");
+        if (scopes.back().names.count(name))
+            error(line, "redefinition of '" + name + "' in the same scope");
+        LocalVar lv;
+        lv.name = name;
+        lv.type = t;
+        lv.elems = elems;
+        lv.isArray = is_array;
+        lv.isParam = is_param;
+        int id = static_cast<int>(curLocals->locals.size());
+        curLocals->locals.push_back(std::move(lv));
+        scopes.back().names[name] = id;
+        return id;
+    }
+
+    int
+    lookupLocal(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto f = it->names.find(name);
+            if (f != it->names.end())
+                return f->second;
+        }
+        return -1;
+    }
+
+    // --- Function & statement checking ---------------------------------
+
+    void
+    checkFunction(FuncDecl &fn, FunctionLocals &locals)
+    {
+        curFunc = &fn;
+        curLocals = &locals;
+        scopes.clear();
+        scopes.emplace_back();
+        loopDepth = 0;
+        for (const ParamDecl &p : fn.params)
+            declareLocal(fn.line, p.name, p.type, 1, false, true);
+        checkStmt(*fn.body);
+        scopes.pop_back();
+        curLocals = nullptr;
+        curFunc = nullptr;
+    }
+
+    void
+    checkStmt(Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block: {
+            auto &b = static_cast<BlockStmt &>(s);
+            if (!b.transparent)
+                scopes.emplace_back();
+            for (auto &st : b.stmts)
+                checkStmt(*st);
+            if (!b.transparent)
+                scopes.pop_back();
+            break;
+          }
+          case Stmt::Kind::ExprStmt:
+            checkExpr(*static_cast<ExprStmt &>(s).expr);
+            break;
+          case Stmt::Kind::VarDecl: {
+            auto &d = static_cast<VarDeclStmt &>(s);
+            if (d.init)
+                checkExpr(*d.init);
+            d.localId = declareLocal(d.line, d.name, d.declType, d.elems,
+                                     d.isArray, false);
+            break;
+          }
+          case Stmt::Kind::If: {
+            auto &i = static_cast<IfStmt &>(s);
+            checkExpr(*i.cond);
+            checkStmt(*i.thenStmt);
+            if (i.elseStmt)
+                checkStmt(*i.elseStmt);
+            break;
+          }
+          case Stmt::Kind::While: {
+            auto &w = static_cast<WhileStmt &>(s);
+            checkExpr(*w.cond);
+            ++loopDepth;
+            checkStmt(*w.body);
+            --loopDepth;
+            break;
+          }
+          case Stmt::Kind::DoWhile: {
+            auto &w = static_cast<DoWhileStmt &>(s);
+            ++loopDepth;
+            checkStmt(*w.body);
+            --loopDepth;
+            checkExpr(*w.cond);
+            break;
+          }
+          case Stmt::Kind::For: {
+            auto &f = static_cast<ForStmt &>(s);
+            scopes.emplace_back(); // for-init scope
+            if (f.init)
+                checkStmt(*f.init);
+            if (f.cond)
+                checkExpr(*f.cond);
+            if (f.step)
+                checkExpr(*f.step);
+            ++loopDepth;
+            checkStmt(*f.body);
+            --loopDepth;
+            scopes.pop_back();
+            break;
+          }
+          case Stmt::Kind::Return: {
+            auto &r = static_cast<ReturnStmt &>(s);
+            if (r.value) {
+                if (curFunc->retType == Type::Void)
+                    error(r.line, "returning a value from a void function");
+                checkExpr(*r.value);
+            } else if (curFunc->retType != Type::Void) {
+                error(r.line, "non-void function '" + curFunc->name +
+                                  "' returns nothing");
+            }
+            break;
+          }
+          case Stmt::Kind::Break:
+            if (loopDepth == 0)
+                error(s.line, "break outside a loop");
+            break;
+          case Stmt::Kind::Continue:
+            if (loopDepth == 0)
+                error(s.line, "continue outside a loop");
+            break;
+          case Stmt::Kind::Empty:
+            break;
+        }
+    }
+
+    // --- Expression checking -------------------------------------------
+
+    SymbolRef
+    resolve(int line, const std::string &name)
+    {
+        SymbolRef sym;
+        int local = lookupLocal(name);
+        if (local >= 0) {
+            const LocalVar &lv = curLocals->locals[
+                static_cast<size_t>(local)];
+            sym.kind = SymbolRef::Kind::Local;
+            sym.index = local;
+            sym.type = lv.type;
+            sym.isArray = lv.isArray;
+            sym.elems = lv.elems;
+            return sym;
+        }
+        auto g = globalIndex.find(name);
+        if (g != globalIndex.end()) {
+            const GlobalDecl &gd = unit.globals[
+                static_cast<size_t>(g->second)];
+            sym.kind = SymbolRef::Kind::Global;
+            sym.index = g->second;
+            sym.type = gd.elemType;
+            sym.isArray = gd.isArray;
+            sym.elems = gd.elems;
+            return sym;
+        }
+        auto f = funcIndex.find(name);
+        if (f != funcIndex.end()) {
+            sym.kind = SymbolRef::Kind::Func;
+            sym.index = f->second;
+            sym.type =
+                unit.functions[static_cast<size_t>(f->second)].retType;
+            return sym;
+        }
+        error(line, "use of undeclared identifier '" + name + "'");
+    }
+
+    void
+    checkLvalue(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Ident) {
+            const auto &id = static_cast<const IdentExpr &>(e);
+            if (id.sym.isArray)
+                error(e.line, "cannot assign to array '" + id.name + "'");
+            if (id.sym.kind == SymbolRef::Kind::Func)
+                error(e.line, "cannot assign to function '" + id.name + "'");
+            return;
+        }
+        if (e.kind == Expr::Kind::Index)
+            return;
+        error(e.line, "assignment target is not an lvalue");
+    }
+
+    void
+    requireInt(const Expr &e, const char *what)
+    {
+        if (!ir::isIntType(e.type))
+            error(e.line, std::string(what) +
+                              " requires an integer operand");
+    }
+
+    void
+    checkExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::IntLit:
+            e.type = Type::I32;
+            break;
+          case Expr::Kind::FloatLit:
+            e.type = Type::F64;
+            break;
+          case Expr::Kind::StrLit:
+            error(e.line, "string literals are only allowed as printf "
+                          "formats");
+          case Expr::Kind::Ident: {
+            auto &id = static_cast<IdentExpr &>(e);
+            id.sym = resolve(e.line, id.name);
+            if (id.sym.kind == SymbolRef::Kind::Func)
+                error(e.line, "function '" + id.name +
+                                  "' used as a value");
+            if (id.sym.isArray)
+                error(e.line, "array '" + id.name +
+                                  "' used as a scalar value (MiniC has "
+                                  "no pointers)");
+            e.type = id.sym.type;
+            break;
+          }
+          case Expr::Kind::Index: {
+            auto &ix = static_cast<IndexExpr &>(e);
+            ix.sym = resolve(e.line, ix.arrayName);
+            if (!ix.sym.isArray)
+                error(e.line, "'" + ix.arrayName + "' is not an array");
+            checkExpr(*ix.index);
+            requireInt(*ix.index, "array subscript");
+            e.type = ix.sym.type;
+            break;
+          }
+          case Expr::Kind::Unary: {
+            auto &u = static_cast<UnaryExpr &>(e);
+            checkExpr(*u.operand);
+            switch (u.op) {
+              case UnOp::Neg:
+                e.type = u.operand->type;
+                break;
+              case UnOp::LogNot:
+                e.type = Type::I32;
+                break;
+              case UnOp::BitNot:
+                requireInt(*u.operand, "operator ~");
+                e.type = u.operand->type;
+                break;
+              case UnOp::Cast:
+                if (u.castType == Type::Void)
+                    error(e.line, "cast to void");
+                e.type = u.castType;
+                break;
+            }
+            break;
+          }
+          case Expr::Kind::Binary: {
+            auto &b = static_cast<BinaryExpr &>(e);
+            checkExpr(*b.lhs);
+            checkExpr(*b.rhs);
+            switch (b.op) {
+              case BinOp::And:
+              case BinOp::Or:
+              case BinOp::Xor:
+              case BinOp::Rem:
+                requireInt(*b.lhs, "bitwise/modulo operator");
+                requireInt(*b.rhs, "bitwise/modulo operator");
+                e.type = unify(b.lhs->type, b.rhs->type);
+                break;
+              case BinOp::Shl:
+              case BinOp::Shr:
+                requireInt(*b.lhs, "shift operator");
+                requireInt(*b.rhs, "shift operator");
+                e.type = b.lhs->type;
+                break;
+              case BinOp::Lt:
+              case BinOp::Le:
+              case BinOp::Gt:
+              case BinOp::Ge:
+              case BinOp::Eq:
+              case BinOp::Ne:
+              case BinOp::LAnd:
+              case BinOp::LOr:
+                e.type = Type::I32;
+                break;
+              default:
+                e.type = unify(b.lhs->type, b.rhs->type);
+                break;
+            }
+            break;
+          }
+          case Expr::Kind::Assign: {
+            auto &a = static_cast<AssignExpr &>(e);
+            checkExpr(*a.target);
+            checkLvalue(*a.target);
+            checkExpr(*a.value);
+            if (a.compound) {
+                bool int_only = a.op == BinOp::Rem || a.op == BinOp::And ||
+                                a.op == BinOp::Or || a.op == BinOp::Xor ||
+                                a.op == BinOp::Shl || a.op == BinOp::Shr;
+                if (int_only && (!ir::isIntType(a.target->type) ||
+                                 !ir::isIntType(a.value->type)))
+                    error(e.line, "integer compound assignment on "
+                                  "non-integer operands");
+            }
+            e.type = a.target->type;
+            break;
+          }
+          case Expr::Kind::IncDec: {
+            auto &d = static_cast<IncDecExpr &>(e);
+            checkExpr(*d.target);
+            checkLvalue(*d.target);
+            requireInt(*d.target, "++/--");
+            e.type = d.target->type;
+            break;
+          }
+          case Expr::Kind::Call: {
+            auto &c = static_cast<CallExpr &>(e);
+            if (c.isPrintf) {
+                for (auto &a : c.args)
+                    checkExpr(*a);
+                e.type = Type::Void;
+                break;
+            }
+            c.sym = resolve(e.line, c.callee);
+            if (c.sym.kind != SymbolRef::Kind::Func)
+                error(e.line, "'" + c.callee + "' is not a function");
+            const FuncDecl &callee =
+                unit.functions[static_cast<size_t>(c.sym.index)];
+            if (c.args.size() != callee.params.size())
+                error(e.line, "call to '" + c.callee + "' with wrong "
+                              "number of arguments");
+            for (auto &a : c.args)
+                checkExpr(*a);
+            e.type = callee.retType;
+            break;
+          }
+          case Expr::Kind::Cond: {
+            auto &c = static_cast<CondExpr &>(e);
+            checkExpr(*c.cond);
+            checkExpr(*c.thenExpr);
+            checkExpr(*c.elseExpr);
+            e.type = unify(c.thenExpr->type, c.elseExpr->type);
+            break;
+          }
+        }
+    }
+
+    TranslationUnit &unit;
+    std::map<std::string, int> globalIndex;
+    std::map<std::string, int> funcIndex;
+
+    FuncDecl *curFunc = nullptr;
+    FunctionLocals *curLocals = nullptr;
+    std::vector<Scope> scopes;
+    int loopDepth = 0;
+};
+
+} // namespace
+
+SemaInfo
+analyze(TranslationUnit &tu)
+{
+    return Sema(tu).run();
+}
+
+} // namespace bsyn::lang

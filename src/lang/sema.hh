@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Semantic analysis for MiniC: symbol resolution, type checking and type
+ * annotation. Sema mutates the AST in place (SymbolRef / Expr::type) and
+ * returns the per-function local-variable tables that codegen needs.
+ */
+
+#ifndef BSYN_LANG_SEMA_HH
+#define BSYN_LANG_SEMA_HH
+
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace bsyn::lang
+{
+
+/** One local variable (parameters come first, in declaration order). */
+struct LocalVar
+{
+    std::string name;
+    Type type = Type::I32;
+    uint64_t elems = 1;
+    bool isArray = false;
+    bool isParam = false;
+};
+
+/** Locals of one function, indexed by VarDeclStmt::localId. */
+struct FunctionLocals
+{
+    std::vector<LocalVar> locals;
+};
+
+/** Sema output: one entry per function in TranslationUnit order. */
+struct SemaInfo
+{
+    std::vector<FunctionLocals> functions;
+};
+
+/**
+ * Run semantic analysis; fatal() with a diagnostic on the first error.
+ *
+ * @param tu the parsed unit (annotated in place).
+ * @return local-variable tables for code generation.
+ */
+SemaInfo analyze(TranslationUnit &tu);
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_SEMA_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Token definitions for MiniC, the C subset used both for the MiBench
+ * analogue workloads and as the output language of the synthesizer.
+ */
+
+#ifndef BSYN_LANG_TOKEN_HH
+#define BSYN_LANG_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bsyn::lang
+{
+
+/** Token kinds. One enumerator per punctuator/keyword keeps the parser
+ *  a plain switch. */
+enum class Tok : uint8_t
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    StrLit,
+
+    // Keywords.
+    KwInt, KwUint, KwDouble, KwVoid,
+    KwIf, KwElse, KwFor, KwWhile, KwDo,
+    KwReturn, KwBreak, KwContinue,
+
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma,
+
+    // Operators.
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Le, Gt, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    Assign,
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+    PlusPlus, MinusMinus,
+    Question, Colon,
+};
+
+/** @return a printable token-kind name for diagnostics. */
+const char *tokName(Tok t);
+
+/** A lexed token with source location. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;    ///< identifier/string spelling
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+    int col = 0;
+};
+
+} // namespace bsyn::lang
+
+#endif // BSYN_LANG_TOKEN_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Local constant folding, algebraic simplification, strength reduction
+ * and branch folding over block-local constant knowledge.
+ */
+
+#ifndef BSYN_OPT_CONST_FOLD_HH
+#define BSYN_OPT_CONST_FOLD_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Options for the folding pass. */
+struct FoldOptions
+{
+    /** Rewrite mul/div/rem by powers of two into shifts/masks (-O2). */
+    bool strengthReduction = false;
+};
+
+/** Fold within each block of @p fn. @return changed. */
+bool foldConstants(ir::Function &fn, const FoldOptions &opts = {});
+
+/** Run on every function. @return changed. */
+bool foldConstants(ir::Module &mod, const FoldOptions &opts = {});
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_CONST_FOLD_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Local copy propagation and copy coalescing. Dissolves the register
+ * moves that mem2reg introduces and the value-shuffling a naive front
+ * end emits, mirroring GCC's -O1 copy propagation (the paper credits
+ * exactly this class of optimization for the drop in load instructions
+ * at higher optimization levels).
+ */
+
+#ifndef BSYN_OPT_COPY_PROP_HH
+#define BSYN_OPT_COPY_PROP_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Propagate and coalesce copies within each block. @return changed. */
+bool propagateCopies(ir::Function &fn);
+
+/** Run on every function. @return changed. */
+bool propagateCopies(ir::Module &mod);
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_COPY_PROP_HH

@@ -1,0 +1,137 @@
+#include "opt/cse.hh"
+
+#include <map>
+#include <tuple>
+
+#include "support/error.hh"
+
+namespace bsyn::opt
+{
+
+using ir::Instruction;
+using ir::Opcode;
+
+namespace
+{
+
+/** Value key: opcode, type, operands, immediate, memory ref, mem epoch. */
+using Key = std::tuple<uint8_t, uint8_t, int, int, int64_t, int64_t, int,
+                       int, int32_t, int32_t, uint64_t>;
+
+Key
+keyFor(const Instruction &in, uint64_t mem_epoch)
+{
+    int64_t imm = in.imm;
+    int64_t fbits = 0;
+    if (in.type == ir::Type::F64) {
+        static_assert(sizeof(double) == sizeof(int64_t));
+        __builtin_memcpy(&fbits, &in.fimm, sizeof(fbits));
+    }
+    bool is_load = in.op == Opcode::Load;
+    return Key{static_cast<uint8_t>(in.op), static_cast<uint8_t>(in.type),
+               in.src0, in.src1, imm, fbits,
+               is_load ? in.mem.symbol : 0,
+               is_load ? in.mem.indexReg : 0,
+               is_load ? in.mem.scale : 0,
+               is_load ? in.mem.offset : 0,
+               is_load ? mem_epoch : 0};
+}
+
+bool
+cseBlock(ir::BasicBlock &bb)
+{
+    bool changed = false;
+    std::map<Key, int> available; // key -> register holding the value
+    // Registers whose redefinition invalidates dependent entries.
+    std::multimap<int, Key> users;
+    uint64_t mem_epoch = 0;
+
+    auto invalidateReg = [&](int reg) {
+        auto range = users.equal_range(reg);
+        for (auto it = range.first; it != range.second; ++it)
+            available.erase(it->second);
+        users.erase(range.first, range.second);
+    };
+
+    for (auto &in : bb.insts) {
+        bool candidate = false;
+        switch (in.op) {
+          case Opcode::Load:
+            candidate = true;
+            break;
+          case Opcode::Call:
+          case Opcode::Print:
+            break;
+          case Opcode::Store:
+            break;
+          default:
+            candidate = ir::isBinaryAlu(in.op) || ir::isUnaryAlu(in.op) ||
+                        in.op == Opcode::MovImm;
+            break;
+        }
+        // Mov is handled by copy propagation; re-CSEing it is harmful.
+        if (in.op == Opcode::Mov)
+            candidate = false;
+
+        if (candidate && in.dst >= 0) {
+            Key k = keyFor(in, mem_epoch);
+            auto it = available.find(k);
+            if (it != available.end() && it->second != in.dst) {
+                int dst = in.dst;
+                in = Instruction::mov(dst, it->second, in.type);
+                changed = true;
+                invalidateReg(dst);
+                // The mov's destination now aliases the value; keep the
+                // original register as the canonical holder.
+            } else {
+                int dst = in.dst;
+                invalidateReg(dst);
+                // If the result overwrites one of its own operands, the
+                // key would describe the pre-update operand value, so it
+                // must not be recorded.
+                bool self_ref = false;
+                in.forEachSrc([&](int r) {
+                    if (r == dst)
+                        self_ref = true;
+                });
+                if (!self_ref) {
+                    available[k] = dst;
+                    in.forEachSrc([&](int r) { users.emplace(r, k); });
+                    users.emplace(dst, k);
+                }
+            }
+            continue;
+        }
+
+        // Non-candidate instructions still invalidate.
+        if (in.op == Opcode::Store || in.op == Opcode::Call) {
+            // Conservatively kill all load-derived values.
+            ++mem_epoch;
+        }
+        if (in.dst >= 0)
+            invalidateReg(in.dst);
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+eliminateCommonSubexpressions(ir::Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks)
+        changed |= cseBlock(bb);
+    return changed;
+}
+
+bool
+eliminateCommonSubexpressions(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= eliminateCommonSubexpressions(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

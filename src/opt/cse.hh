@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Local common-subexpression elimination (value numbering within a
+ * basic block), including redundant-load elimination with a block-local
+ * memory version counter.
+ */
+
+#ifndef BSYN_OPT_CSE_HH
+#define BSYN_OPT_CSE_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Eliminate block-local redundancies in @p fn. @return changed. */
+bool eliminateCommonSubexpressions(ir::Function &fn);
+
+/** Run on every function. @return changed. */
+bool eliminateCommonSubexpressions(ir::Module &mod);
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_CSE_HH

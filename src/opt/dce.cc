@@ -1,0 +1,103 @@
+#include "opt/dce.hh"
+
+#include "ir/cfg.hh"
+
+namespace bsyn::opt
+{
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Terminator;
+
+namespace
+{
+
+bool
+removable(const Instruction &in)
+{
+    if (in.dst < 0)
+        return false;
+    switch (in.op) {
+      case Opcode::Store:
+      case Opcode::Call: // may have side effects / must preserve counts
+      case Opcode::Print:
+        return false;
+      default:
+        return true; // pure computations and loads
+    }
+}
+
+bool
+dcePass(ir::Function &fn)
+{
+    ir::Cfg cfg(fn);
+    ir::Liveness live(fn, cfg);
+
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        std::vector<bool> live_now(fn.numRegs, false);
+        for (size_t r = 0; r < fn.numRegs; ++r)
+            live_now[r] = live.liveOut(bb.id, static_cast<int>(r));
+        if (bb.term.kind == Terminator::Kind::Br && bb.term.cond >= 0)
+            live_now[static_cast<size_t>(bb.term.cond)] = true;
+        if (bb.term.kind == Terminator::Kind::Ret && bb.term.retReg >= 0)
+            live_now[static_cast<size_t>(bb.term.retReg)] = true;
+
+        bool block_changed = false;
+        for (size_t ii = bb.insts.size(); ii-- > 0;) {
+            Instruction &in = bb.insts[ii];
+            bool dead = removable(in) &&
+                        !live_now[static_cast<size_t>(in.dst)];
+            if (dead) {
+                in.op = Opcode::Nop;
+                in.dst = -1;
+                in.src0 = in.src1 = -1;
+                in.mem = ir::MemRef();
+                changed = true;
+                block_changed = true;
+                continue;
+            }
+            if (in.dst >= 0)
+                live_now[static_cast<size_t>(in.dst)] = false;
+            in.forEachSrc(
+                [&](int r) { live_now[static_cast<size_t>(r)] = true; });
+        }
+
+        // Sweep the nops.
+        if (block_changed) {
+            std::vector<Instruction> kept;
+            kept.reserve(bb.insts.size());
+            for (auto &in : bb.insts)
+                if (in.op != Opcode::Nop)
+                    kept.push_back(std::move(in));
+            bb.insts = std::move(kept);
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+eliminateDeadCode(ir::Function &fn)
+{
+    bool changed = false;
+    // Fixpoint: deleting an instruction can make its operands dead.
+    for (int round = 0; round < 8; ++round) {
+        if (!dcePass(fn))
+            break;
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+eliminateDeadCode(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= eliminateDeadCode(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

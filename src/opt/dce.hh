@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Dead-code elimination driven by global register liveness: pure
+ * computations (including loads) whose result is never observed are
+ * deleted. Runs to a fixpoint because removing one instruction can kill
+ * its operands' last uses.
+ */
+
+#ifndef BSYN_OPT_DCE_HH
+#define BSYN_OPT_DCE_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Remove dead instructions from @p fn. @return changed. */
+bool eliminateDeadCode(ir::Function &fn);
+
+/** Run on every function. @return changed. */
+bool eliminateDeadCode(ir::Module &mod);
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_DCE_HH

@@ -1,0 +1,173 @@
+#include "opt/licm.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/cfg.hh"
+#include "ir/loops.hh"
+#include "support/error.hh"
+
+namespace bsyn::opt
+{
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Terminator;
+
+namespace
+{
+
+/**
+ * Process one loop of @p fn: create a preheader and hoist what is safe.
+ * @return true on change. The caller recomputes analyses afterwards.
+ */
+bool
+processLoop(ir::Function &fn, int loop_header,
+            const std::vector<int> &loop_blocks,
+            const std::vector<int> &latches)
+{
+    std::set<int> in_loop(loop_blocks.begin(), loop_blocks.end());
+    std::set<int> latch_set(latches.begin(), latches.end());
+
+    // Registers defined inside the loop, with definition counts.
+    std::vector<int> def_count(fn.numRegs, 0);
+    for (int b : loop_blocks)
+        for (const auto &in : fn.block(b).insts)
+            if (in.dst >= 0)
+                ++def_count[static_cast<size_t>(in.dst)];
+
+    ir::Cfg cfg(fn);
+    ir::Dominators dom(fn, cfg);
+    ir::Liveness live(fn, cfg);
+
+    // A block qualifies as a hoist source if it executes on every
+    // iteration: it must dominate every latch.
+    auto executesEveryIteration = [&](int b) {
+        for (int l : latches)
+            if (!dom.dominates(b, l))
+                return false;
+        return true;
+    };
+
+    // Collect hoistable instructions (iterate to fixpoint so chains of
+    // invariants hoist together).
+    std::vector<std::pair<int, size_t>> hoists; // (block, index)
+    std::set<std::pair<int, size_t>> hoisted;
+    bool grew = true;
+    std::vector<int> remaining_defs = def_count;
+    while (grew) {
+        grew = false;
+        for (int b : loop_blocks) {
+            if (!executesEveryIteration(b))
+                continue;
+            const auto &insts = fn.block(b).insts;
+            for (size_t i = 0; i < insts.size(); ++i) {
+                if (hoisted.count({b, i}))
+                    continue;
+                const Instruction &in = insts[i];
+                if (in.dst < 0 || !ir::isPure(in.op))
+                    continue;
+                if (remaining_defs[static_cast<size_t>(in.dst)] != 1)
+                    continue;
+                // The destination must not carry a value into the loop
+                // from outside (hoisting would clobber it pre-loop).
+                if (live.liveIn(loop_header, in.dst)) {
+                    // ... unless the only reaching def is this one, which
+                    // we cannot prove cheaply; skip.
+                    continue;
+                }
+                bool invariant = true;
+                in.forEachSrc([&](int r) {
+                    if (remaining_defs[static_cast<size_t>(r)] > 0)
+                        invariant = false;
+                });
+                if (!invariant)
+                    continue;
+                hoists.emplace_back(b, i);
+                hoisted.insert({b, i});
+                --remaining_defs[static_cast<size_t>(in.dst)];
+                grew = true;
+            }
+        }
+    }
+
+    if (hoists.empty())
+        return false;
+
+    // Create the preheader: all non-latch predecessors of the header are
+    // redirected to it.
+    int pre = fn.newBlock();
+    for (auto &bb : fn.blocks) {
+        if (bb.id == pre || in_loop.count(bb.id))
+            continue;
+        if (bb.term.kind == Terminator::Kind::Jmp &&
+            bb.term.target == loop_header)
+            bb.term.target = pre;
+        if (bb.term.kind == Terminator::Kind::Br) {
+            if (bb.term.target == loop_header)
+                bb.term.target = pre;
+            if (bb.term.fallthrough == loop_header)
+                bb.term.fallthrough = pre;
+        }
+    }
+    fn.block(pre).term = Terminator::jmp(loop_header);
+
+    // Move the instructions in discovery order: the fixpoint loop only
+    // marks an instruction hoistable once all of its producers have been
+    // marked, so discovery order is dependence-safe.
+    for (const auto &[b, i] : hoists)
+        fn.block(pre).append(fn.block(b).insts[i]);
+    // Delete from their blocks in descending index order.
+    std::vector<std::pair<int, size_t>> dels = hoists;
+    std::sort(dels.begin(), dels.end());
+    for (auto it = dels.rbegin(); it != dels.rend(); ++it) {
+        auto &insts = fn.block(it->first).insts;
+        insts.erase(insts.begin() + static_cast<long>(it->second));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+hoistLoopInvariants(ir::Function &fn)
+{
+    bool changed = false;
+    // Loops are re-discovered after each change because preheader
+    // creation invalidates block analyses.
+    for (int round = 0; round < 8; ++round) {
+        ir::Cfg cfg(fn);
+        ir::Dominators dom(fn, cfg);
+        ir::LoopForest loops(fn, cfg, dom);
+        bool round_changed = false;
+        // Innermost first (deepest loops have the hottest code).
+        std::vector<const ir::Loop *> order;
+        for (const auto &l : loops.loops())
+            order.push_back(&l);
+        std::sort(order.begin(), order.end(),
+                  [](const ir::Loop *a, const ir::Loop *b) {
+                      return a->depth > b->depth;
+                  });
+        for (const ir::Loop *l : order) {
+            if (processLoop(fn, l->header, l->blocks, l->latches)) {
+                round_changed = true;
+                break; // CFG changed; recompute analyses
+            }
+        }
+        if (!round_changed)
+            break;
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+hoistLoopInvariants(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= hoistLoopInvariants(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

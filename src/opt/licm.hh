@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Loop-invariant code motion: pure computations whose operands are not
+ * redefined inside a natural loop are hoisted into a freshly created
+ * preheader. In front-end output this primarily lifts constant
+ * materialization and invariant address arithmetic out of hot loops.
+ */
+
+#ifndef BSYN_OPT_LICM_HH
+#define BSYN_OPT_LICM_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Hoist invariants out of @p fn's loops. @return changed. */
+bool hoistLoopInvariants(ir::Function &fn);
+
+/** Run on every function. @return changed. */
+bool hoistLoopInvariants(ir::Module &mod);
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_LICM_HH

@@ -1,0 +1,110 @@
+#include "opt/mem2reg.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::opt
+{
+
+using ir::Instruction;
+using ir::MemRef;
+using ir::Opcode;
+using ir::Type;
+
+namespace
+{
+
+/** Find the frame slot covering byte offset @p off, or -1. */
+int
+slotAt(const ir::Function &fn, int64_t off)
+{
+    for (size_t i = 0; i < fn.frame.size(); ++i) {
+        const ir::FrameSlot &s = fn.frame[i];
+        int64_t begin = s.offset;
+        int64_t end = begin + int64_t(ir::typeSize(s.elemType)) * s.elems;
+        if (off >= begin && off < end)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace
+
+bool
+promoteFrameSlots(ir::Function &fn)
+{
+    if (fn.frame.empty())
+        return false;
+
+    // Pass 1: find which scalar slots are accessed only exactly
+    // (constant offset at the slot start, matching access size, no
+    // index register).
+    std::vector<bool> promotable(fn.frame.size(), false);
+    for (size_t i = 0; i < fn.frame.size(); ++i)
+        promotable[i] = fn.frame[i].elems == 1;
+
+    for (const auto &bb : fn.blocks) {
+        for (const auto &in : bb.insts) {
+            if (!in.touchesMemory() ||
+                in.mem.symbol != MemRef::frameBase)
+                continue;
+            int slot = slotAt(fn, in.mem.offset);
+            if (slot < 0) {
+                // Access outside any slot: be conservative, promote
+                // nothing in this function.
+                return false;
+            }
+            const ir::FrameSlot &s = fn.frame[static_cast<size_t>(slot)];
+            bool exact = !in.mem.hasIndex() &&
+                         in.mem.offset == static_cast<int32_t>(s.offset) &&
+                         ir::typeSize(in.type) == ir::typeSize(s.elemType);
+            if (!exact && s.elems == 1)
+                promotable[static_cast<size_t>(slot)] = false;
+        }
+    }
+
+    bool any = false;
+    for (size_t i = 0; i < fn.frame.size(); ++i)
+        if (promotable[i])
+            any = true;
+    if (!any)
+        return false;
+
+    // Pass 2: one register per promoted slot; rewrite accesses.
+    std::vector<int> slotReg(fn.frame.size(), -1);
+    for (size_t i = 0; i < fn.frame.size(); ++i)
+        if (promotable[i])
+            slotReg[i] = fn.newReg();
+
+    for (auto &bb : fn.blocks) {
+        for (auto &in : bb.insts) {
+            if (!in.touchesMemory() ||
+                in.mem.symbol != MemRef::frameBase)
+                continue;
+            int slot = slotAt(fn, in.mem.offset);
+            BSYN_ASSERT(slot >= 0, "mem2reg: unmapped frame access");
+            int reg = slotReg[static_cast<size_t>(slot)];
+            if (reg < 0)
+                continue;
+            if (in.op == Opcode::Load) {
+                in = Instruction::mov(in.dst, reg, in.type);
+            } else {
+                in = Instruction::mov(reg, in.src0, in.type);
+            }
+        }
+    }
+
+    // Note: the promoted slots stay in the frame layout (harmless dead
+    // space); removing them would invalidate other slots' offsets.
+    return true;
+}
+
+bool
+promoteFrameSlots(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= promoteFrameSlots(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

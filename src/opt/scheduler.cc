@@ -1,0 +1,163 @@
+#include "opt/scheduler.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace bsyn::opt
+{
+
+using ir::Instruction;
+using ir::Opcode;
+
+namespace
+{
+
+/** Rough latency estimate for prioritization. */
+int
+latencyOf(const Instruction &in)
+{
+    switch (in.op) {
+      case Opcode::Mul: return 3;
+      case Opcode::Div:
+      case Opcode::Rem: return 20;
+      case Opcode::FMul: return 5;
+      case Opcode::FDiv: return 20;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::CvtIF:
+      case Opcode::CvtFI: return 3;
+      case Opcode::Load: return 3;
+      default: return 1;
+    }
+}
+
+bool
+hasBarrier(const Instruction &in)
+{
+    return in.op == Opcode::Call || in.op == Opcode::Print;
+}
+
+bool
+scheduleBlock(ir::BasicBlock &bb)
+{
+    size_t n = bb.insts.size();
+    if (n < 3)
+        return false;
+
+    // Dependence edges i -> j (i must precede j).
+    std::vector<std::vector<int>> succs(n);
+    std::vector<int> pred_count(n, 0);
+
+    auto addEdge = [&](size_t i, size_t j) {
+        succs[i].push_back(static_cast<int>(j));
+        ++pred_count[j];
+    };
+
+    for (size_t j = 0; j < n; ++j) {
+        const Instruction &b = bb.insts[j];
+        for (size_t i = 0; i < j; ++i) {
+            const Instruction &a = bb.insts[i];
+            bool dep = false;
+            // RAW: b reads a's dst.
+            if (a.dst >= 0) {
+                b.forEachSrc([&](int r) {
+                    if (r == a.dst)
+                        dep = true;
+                });
+                // WAW.
+                if (b.dst == a.dst)
+                    dep = true;
+            }
+            // WAR: b writes a register a reads.
+            if (b.dst >= 0) {
+                a.forEachSrc([&](int r) {
+                    if (r == b.dst)
+                        dep = true;
+                });
+            }
+            // Memory: keep stores ordered with all other memory ops.
+            if ((a.op == Opcode::Store &&
+                 (b.op == Opcode::Load || b.op == Opcode::Store)) ||
+                (b.op == Opcode::Store &&
+                 (a.op == Opcode::Load || a.op == Opcode::Store)))
+                dep = true;
+            // Side-effect barriers stay in place relative to everything.
+            if (hasBarrier(a) || hasBarrier(b))
+                dep = true;
+            if (dep)
+                addEdge(i, j);
+        }
+    }
+
+    // Heights (critical path to the end of the block).
+    std::vector<int> height(n, 0);
+    for (size_t i = n; i-- > 0;) {
+        int h = 0;
+        for (int s : succs[i])
+            h = std::max(h, height[static_cast<size_t>(s)]);
+        height[i] = h + latencyOf(bb.insts[i]);
+    }
+
+    // Greedy list scheduling: ready set ordered by (height desc, index).
+    std::vector<int> order;
+    order.reserve(n);
+    std::vector<bool> emitted(n, false);
+    std::vector<int> remaining = pred_count;
+    for (size_t count = 0; count < n; ++count) {
+        int best = -1;
+        for (size_t i = 0; i < n; ++i) {
+            if (emitted[i] || remaining[i] != 0)
+                continue;
+            if (best < 0 ||
+                height[i] > height[static_cast<size_t>(best)] ||
+                (height[i] == height[static_cast<size_t>(best)] &&
+                 static_cast<int>(i) < best))
+                best = static_cast<int>(i);
+        }
+        BSYN_ASSERT(best >= 0, "scheduler: dependence cycle");
+        emitted[static_cast<size_t>(best)] = true;
+        order.push_back(best);
+        for (int s : succs[static_cast<size_t>(best)])
+            --remaining[static_cast<size_t>(s)];
+    }
+
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+        if (order[i] != static_cast<int>(i)) {
+            changed = true;
+            break;
+        }
+    }
+    if (!changed)
+        return false;
+
+    std::vector<Instruction> scheduled;
+    scheduled.reserve(n);
+    for (int idx : order)
+        scheduled.push_back(std::move(bb.insts[static_cast<size_t>(idx)]));
+    bb.insts = std::move(scheduled);
+    return true;
+}
+
+} // namespace
+
+bool
+scheduleBlocks(ir::Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks)
+        changed |= scheduleBlock(bb);
+    return changed;
+}
+
+bool
+scheduleBlocks(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= scheduleBlocks(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

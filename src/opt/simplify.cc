@@ -1,0 +1,29 @@
+#include "opt/simplify.hh"
+
+#include "opt/pass.hh"
+
+namespace bsyn::opt
+{
+
+bool
+simplifyControlFlow(ir::Function &fn)
+{
+    bool changed = false;
+    for (int round = 0; round < 64; ++round) {
+        if (!simplifyCfg(fn))
+            break;
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+simplifyControlFlow(ir::Module &mod)
+{
+    bool changed = false;
+    for (auto &fn : mod.functions)
+        changed |= simplifyControlFlow(fn);
+    return changed;
+}
+
+} // namespace bsyn::opt

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Module-level control-flow cleanup: jump threading, straight-line block
+ * merging and unreachable-block removal (see pass.hh for the underlying
+ * per-function utilities).
+ */
+
+#ifndef BSYN_OPT_SIMPLIFY_HH
+#define BSYN_OPT_SIMPLIFY_HH
+
+#include "ir/module.hh"
+
+namespace bsyn::opt
+{
+
+/** Run CFG simplification to a fixpoint on @p fn. @return changed. */
+bool simplifyControlFlow(ir::Function &fn);
+
+/** Run on every function. @return changed. */
+bool simplifyControlFlow(ir::Module &mod);
+
+} // namespace bsyn::opt
+
+#endif // BSYN_OPT_SIMPLIFY_HH

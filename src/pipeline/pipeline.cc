@@ -1,0 +1,71 @@
+#include "pipeline/pipeline.hh"
+
+#include "isa/lowering.hh"
+#include "lang/frontend.hh"
+
+namespace bsyn::pipeline
+{
+
+ir::Module
+compileSource(const std::string &source, const std::string &name,
+              opt::OptLevel level, bool schedule_for_in_order)
+{
+    ir::Module mod = lang::compile(source, name);
+    opt::OptOptions oo;
+    oo.scheduleForInOrder = schedule_for_in_order;
+    opt::optimize(mod, level, oo);
+    return mod;
+}
+
+sim::ExecStats
+runSource(const std::string &source, const std::string &name,
+          opt::OptLevel level, const isa::TargetInfo &target)
+{
+    bool in_order = target.family == isa::IsaFamily::Risc;
+    ir::Module mod = compileSource(source, name, level, in_order);
+    isa::MachineProgram prog = isa::lower(mod, target);
+    return sim::execute(prog);
+}
+
+uint64_t
+measureInstructions(const std::string &source)
+{
+    ir::Module mod = lang::compile(source, "measure");
+    isa::MachineProgram prog = isa::lower(mod, isa::targetX86());
+    return sim::execute(prog).instructions;
+}
+
+synth::SynthesisOptions
+defaultSynthesisOptions()
+{
+    synth::SynthesisOptions opts;
+    opts.seed = 0xb5e9c0de;
+    opts.targetInstructions = 120000; // paper's 10M, scaled to suite size
+    opts.calibrationRounds = 2;
+    return opts;
+}
+
+WorkloadRun
+processWorkload(const workloads::Workload &w,
+                const synth::SynthesisOptions &opts)
+{
+    WorkloadRun run;
+    run.workload = w;
+    ir::Module mod = workloads::compileWorkload(w); // -O0 shape
+    run.profile = profile::profileModule(mod);
+    run.synthetic =
+        synth::synthesize(run.profile, opts, &measureInstructions);
+    return run;
+}
+
+sim::TimingStats
+timeOnMachine(const std::string &source, const std::string &name,
+              opt::OptLevel level, const sim::MachineSpec &machine)
+{
+    bool in_order = machine.core.inOrder;
+    ir::Module mod = compileSource(source, name, level, in_order);
+    isa::MachineProgram prog = isa::lower(mod, machine.isa);
+    return sim::simulateTiming(prog, machine.core);
+}
+
+} // namespace bsyn::pipeline

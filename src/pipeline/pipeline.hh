@@ -1,0 +1,63 @@
+/**
+ * @file
+ * End-to-end convenience layer tying the whole framework together:
+ * compile a workload at an optimization level, lower it for a target,
+ * execute/profile it, synthesize its clone, and recompile the clone —
+ * the exact flow of the paper's Figure 1, used by every experiment
+ * harness, example and integration test.
+ */
+
+#ifndef BSYN_PIPELINE_PIPELINE_HH
+#define BSYN_PIPELINE_PIPELINE_HH
+
+#include <string>
+
+#include "opt/pipeline.hh"
+#include "profile/profiler.hh"
+#include "sim/machine.hh"
+#include "synth/synthesizer.hh"
+#include "workloads/suite.hh"
+
+namespace bsyn::pipeline
+{
+
+/** Compile source at a level (optionally scheduling for in-order). */
+ir::Module compileSource(const std::string &source, const std::string &name,
+                         opt::OptLevel level,
+                         bool schedule_for_in_order = false);
+
+/** Compile + lower + execute; @return functional execution stats. */
+sim::ExecStats runSource(const std::string &source, const std::string &name,
+                         opt::OptLevel level, const isa::TargetInfo &target);
+
+/** Dynamic instruction count of a source at O0/x86 (calibration). */
+uint64_t measureInstructions(const std::string &source);
+
+/** One fully processed workload: profile + synthetic clone. */
+struct WorkloadRun
+{
+    workloads::Workload workload;
+    profile::StatisticalProfile profile; ///< measured at -O0
+    synth::SyntheticBenchmark synthetic;
+};
+
+/** Profile @p w at -O0 and synthesize its clone. */
+WorkloadRun processWorkload(const workloads::Workload &w,
+                            const synth::SynthesisOptions &opts = {});
+
+/** Default synthesis options used across the evaluation (fixed seed,
+ *  paper-equivalent instruction budget). */
+synth::SynthesisOptions defaultSynthesisOptions();
+
+/**
+ * Compile source for a machine (its ISA decides scheduling) at a level
+ * and run the timing model. @return timing stats.
+ */
+sim::TimingStats timeOnMachine(const std::string &source,
+                               const std::string &name,
+                               opt::OptLevel level,
+                               const sim::MachineSpec &machine);
+
+} // namespace bsyn::pipeline
+
+#endif // BSYN_PIPELINE_PIPELINE_HH

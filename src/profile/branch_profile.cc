@@ -1,0 +1,7 @@
+// BranchStats/BranchClassifier are header-only; this file exists so the
+// module has a translation unit for future expansion.
+#include "profile/branch_profile.hh"
+
+namespace bsyn::profile
+{
+} // namespace bsyn::profile

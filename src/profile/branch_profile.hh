@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Branch behaviour profiling: per-branch taken rate and transition rate
+ * (how often the outcome flips between taken and not-taken, after
+ * Huang/Sallee/Farrens [12]). The paper classifies branches as easy
+ * (very low or very high transition rate) or hard (medium), and models
+ * them differently in the synthetic benchmark.
+ */
+
+#ifndef BSYN_PROFILE_BRANCH_PROFILE_HH
+#define BSYN_PROFILE_BRANCH_PROFILE_HH
+
+#include <cstdint>
+
+namespace bsyn::profile
+{
+
+/** Per-static-branch outcome counters. */
+struct BranchStats
+{
+    uint64_t executions = 0;
+    uint64_t taken = 0;
+    uint64_t transitions = 0;
+    bool lastOutcome = false;
+    bool hasLast = false;
+
+    /** Record one resolved outcome. */
+    void
+    record(bool was_taken)
+    {
+        ++executions;
+        if (was_taken)
+            ++taken;
+        if (hasLast && was_taken != lastOutcome)
+            ++transitions;
+        lastOutcome = was_taken;
+        hasLast = true;
+    }
+
+    double
+    takenRate() const
+    {
+        return executions ? double(taken) / double(executions) : 0.0;
+    }
+
+    double
+    transitionRate() const
+    {
+        return executions > 1
+                   ? double(transitions) / double(executions - 1)
+                   : 0.0;
+    }
+};
+
+/** Thresholds splitting easy and hard branches. */
+struct BranchClassifier
+{
+    double lowThreshold = 0.1;  ///< <= low  -> easy (sticky outcome)
+    double highThreshold = 0.9; ///< >= high -> easy (alternating)
+
+    bool
+    isEasy(double transition_rate) const
+    {
+        return transition_rate <= lowThreshold ||
+               transition_rate >= highThreshold;
+    }
+};
+
+} // namespace bsyn::profile
+
+#endif // BSYN_PROFILE_BRANCH_PROFILE_HH

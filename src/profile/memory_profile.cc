@@ -1,0 +1,46 @@
+#include "profile/memory_profile.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::profile
+{
+
+int
+missRateClass(double miss_rate)
+{
+    if (miss_rate < 0.0)
+        miss_rate = 0.0;
+    if (miss_rate > 1.0)
+        miss_rate = 1.0;
+    // Boundaries at 6.25%, 18.75%, ..., 93.75% (Table I).
+    if (miss_rate < 0.0625)
+        return 0;
+    for (int c = 1; c <= 7; ++c) {
+        double hi = 0.0625 + 0.125 * c;
+        if (miss_rate < hi)
+            return c;
+    }
+    return 8;
+}
+
+uint32_t
+strideForClass(int miss_class)
+{
+    BSYN_ASSERT(miss_class >= 0 && miss_class < numMissClasses,
+                "bad miss class %d", miss_class);
+    return static_cast<uint32_t>(4 * miss_class);
+}
+
+double
+missRateForClass(int miss_class)
+{
+    BSYN_ASSERT(miss_class >= 0 && miss_class < numMissClasses,
+                "bad miss class %d", miss_class);
+    if (miss_class == 0)
+        return 0.0;
+    if (miss_class == 8)
+        return 1.0;
+    return 0.125 * miss_class; // band centers: 12.5%, 25%, ...
+}
+
+} // namespace bsyn::profile

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory-access behaviour classification (the paper's Table I): every
+ * static memory instruction gets a hit/miss ratio measured against a
+ * cache simulated during profiling, and is binned into one of nine
+ * classes; each class maps to the stride (in bytes) that reproduces the
+ * class's miss rate on a 32-byte-line cache in the synthetic benchmark.
+ */
+
+#ifndef BSYN_PROFILE_MEMORY_PROFILE_HH
+#define BSYN_PROFILE_MEMORY_PROFILE_HH
+
+#include <cstdint>
+
+namespace bsyn::profile
+{
+
+/** Number of miss-rate classes in Table I. */
+constexpr int numMissClasses = 9;
+
+/**
+ * Bin a miss rate into the Table I class (0..8).
+ * Class 0 covers [0, 6.25%), class k covers
+ * [6.25 + 12.5(k-1), 6.25 + 12.5k) percent, class 8 covers
+ * [93.75, 100].
+ */
+int missRateClass(double miss_rate);
+
+/** The Table I stride (bytes) generating the class's miss rate,
+ *  assuming a 32-byte cache line: stride = 4 * class. */
+uint32_t strideForClass(int miss_class);
+
+/** Center of the class's miss-rate band (class 0 -> 0, class 8 -> 1). */
+double missRateForClass(int miss_class);
+
+/** Per-static-instruction access counters. */
+struct MemAccessStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+
+    int missClass() const { return missRateClass(missRate()); }
+};
+
+} // namespace bsyn::profile
+
+#endif // BSYN_PROFILE_MEMORY_PROFILE_HH

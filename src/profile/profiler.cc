@@ -1,0 +1,261 @@
+#include "profile/profiler.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+#include "ir/loops.hh"
+#include "isa/lowering.hh"
+#include "support/error.hh"
+
+namespace bsyn::profile
+{
+
+using isa::MInst;
+using isa::MKind;
+
+namespace
+{
+
+/** Execution observer that fills in the dynamic SFGL annotations. */
+class ProfileObserver : public sim::ExecObserver
+{
+  public:
+    ProfileObserver(const isa::MachineProgram &p,
+                    const std::vector<int> &pc_to_block,
+                    const ProfileOptions &opts)
+        : prog(p), pcToBlock(pc_to_block), cache(opts.profilingCache)
+    {
+        memStats.resize(prog.code.size());
+        branchStats.resize(prog.code.size());
+        blockExec.assign(1 + *std::max_element(pcToBlock.begin(),
+                                               pcToBlock.end()),
+                         0);
+    }
+
+    void
+    onInstruction(int pc, const MInst &mi) override
+    {
+        mix.add(mi.cls());
+
+        // A block "starts" at a PC whose predecessor PC belongs to a
+        // different (func, irBlock) run. Returns land mid-block (just
+        // after the call instruction), so they do not retrigger a block
+        // start — the IR block's execution simply continues.
+        int block = pcToBlock[static_cast<size_t>(pc)];
+        bool block_start =
+            pc == 0 || pcToBlock[static_cast<size_t>(pc - 1)] != block;
+        if (block_start) {
+            ++blockExec[static_cast<size_t>(block)];
+            if (lastBlock >= 0 && lastWasIntraFunc &&
+                prog.code[static_cast<size_t>(lastPc)].funcId ==
+                    mi.funcId) {
+                ++edges[{lastBlock, block}];
+            }
+        }
+
+        lastWasIntraFunc =
+            mi.kind != MKind::Call && mi.kind != MKind::Ret;
+        lastBlock = block;
+        lastPc = pc;
+    }
+
+    void
+    onMemAccess(int pc, uint64_t addr, uint32_t, bool, uint64_t) override
+    {
+        auto &s = memStats[static_cast<size_t>(pc)];
+        ++s.accesses;
+        if (!cache.access(addr))
+            ++s.misses;
+    }
+
+    void
+    onBranch(int pc, bool taken) override
+    {
+        branchStats[static_cast<size_t>(pc)].record(taken);
+    }
+
+    const isa::MachineProgram &prog;
+    const std::vector<int> &pcToBlock;
+    sim::Cache cache;
+
+    InstrMix mix;
+    std::vector<MemAccessStats> memStats;     // per PC
+    std::vector<BranchStats> branchStats;     // per PC
+    std::vector<uint64_t> blockExec;          // per SFGL block
+    std::map<std::pair<int, int>, uint64_t> edges;
+
+    int lastBlock = -1;
+    int lastPc = 0;
+    bool lastWasIntraFunc = false;
+};
+
+} // namespace
+
+StatisticalProfile
+profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
+                const ProfileOptions &opts)
+{
+    BSYN_ASSERT(!prog.code.empty(), "profiling an empty program");
+
+    // --- Static structure: contiguous (func, irBlock) runs are blocks.
+    std::vector<int> pc_to_block(prog.code.size(), -1);
+    Sfgl sfgl;
+    std::map<std::pair<int, int>, int> block_index;
+    std::vector<int> block_start_pc;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        const MInst &mi = prog.code[pc];
+        bool new_block =
+            pc == 0 || prog.code[pc - 1].funcId != mi.funcId ||
+            prog.code[pc - 1].irBlockId != mi.irBlockId;
+        if (new_block) {
+            SfglBlock b;
+            b.id = static_cast<int>(sfgl.blocks.size());
+            b.funcId = mi.funcId;
+            b.irBlockId = mi.irBlockId;
+            block_index[{mi.funcId, mi.irBlockId}] = b.id;
+            sfgl.blocks.push_back(std::move(b));
+            block_start_pc.push_back(static_cast<int>(pc));
+        }
+        SfglBlock &b = sfgl.blocks.back();
+        InstrDescriptor d;
+        d.op = mi.op;
+        d.type = mi.type;
+        d.cls = mi.cls();
+        d.readsMem = mi.readsMemory();
+        d.writesMem = mi.writesMemory();
+        d.isControl = mi.kind == MKind::CondBr || mi.kind == MKind::Jmp ||
+                      mi.kind == MKind::Ret;
+        b.code.push_back(d);
+        if (mi.kind == MKind::CondBr)
+            b.term = SfglTerm::Branch;
+        else if (mi.kind == MKind::Ret)
+            b.term = SfglTerm::Ret;
+        pc_to_block[pc] = b.id;
+    }
+    for (const auto &f : prog.funcs)
+        sfgl.funcNames.push_back(f.name);
+
+    // --- Dynamic annotations.
+    ProfileObserver obs(prog, pc_to_block, opts);
+    sim::ExecStats exec = sim::execute(prog, &obs, opts.limits);
+
+    for (size_t b = 0; b < sfgl.blocks.size(); ++b)
+        sfgl.blocks[b].execCount = obs.blockExec[b];
+    for (const auto &[edge, count] : obs.edges)
+        sfgl.blocks[static_cast<size_t>(edge.first)].succs.push_back(
+            {edge.second, count});
+
+    // Branch annotations: find the CondBr PC of each branch block.
+    for (size_t b = 0; b < sfgl.blocks.size(); ++b) {
+        SfglBlock &blk = sfgl.blocks[b];
+        if (blk.term != SfglTerm::Branch)
+            continue;
+        int start = block_start_pc[b];
+        for (size_t i = 0; i < blk.code.size(); ++i) {
+            int pc = start + static_cast<int>(i);
+            if (prog.code[static_cast<size_t>(pc)].kind == MKind::CondBr) {
+                const BranchStats &bs =
+                    obs.branchStats[static_cast<size_t>(pc)];
+                if (bs.executions > 0) {
+                    blk.takenRate = bs.takenRate();
+                    blk.transitionRate = bs.transitionRate();
+                    blk.easyBranch = opts.branchClassifier.isEasy(
+                        blk.transitionRate);
+                }
+                break;
+            }
+        }
+    }
+
+    // Memory annotations.
+    for (size_t b = 0; b < sfgl.blocks.size(); ++b) {
+        SfglBlock &blk = sfgl.blocks[b];
+        int start = block_start_pc[b];
+        for (size_t i = 0; i < blk.code.size(); ++i) {
+            InstrDescriptor &d = blk.code[i];
+            if (!d.readsMem && !d.writesMem)
+                continue;
+            const MemAccessStats &ms =
+                obs.memStats[static_cast<size_t>(start) + i];
+            d.missClass = ms.accesses ? ms.missClass() : 0;
+        }
+    }
+
+    // --- Loop annotation from the IR CFG.
+    for (size_t fi = 0; fi < mod.functions.size(); ++fi) {
+        const ir::Function &fn = mod.functions[fi];
+        ir::Cfg cfg(fn);
+        ir::Dominators dom(fn, cfg);
+        ir::LoopForest loops(fn, cfg, dom);
+        int loop_base = static_cast<int>(sfgl.loops.size());
+        for (const auto &l : loops.loops()) {
+            SfglLoop sl;
+            sl.id = loop_base + l.id;
+            auto hit = block_index.find({static_cast<int>(fi), l.header});
+            if (hit == block_index.end())
+                continue; // header unreachable / not lowered
+            sl.header = hit->second;
+            for (int b : l.blocks) {
+                auto bit = block_index.find({static_cast<int>(fi), b});
+                if (bit != block_index.end())
+                    sl.blocks.push_back(bit->second);
+            }
+            sl.parent = l.parent >= 0 ? loop_base + l.parent : -1;
+            sl.depth = l.depth;
+            sfgl.loops.push_back(std::move(sl));
+        }
+    }
+
+    // Loop entry counts and average iterations.
+    for (auto &l : sfgl.loops) {
+        std::set<int> members(l.blocks.begin(), l.blocks.end());
+        uint64_t entries = 0;
+        for (const auto &b : sfgl.blocks) {
+            if (members.count(b.id))
+                continue;
+            for (const auto &e : b.succs)
+                if (e.to == l.header)
+                    entries += e.count;
+        }
+        uint64_t header_exec =
+            sfgl.blocks[static_cast<size_t>(l.header)].execCount;
+        if (entries == 0)
+            entries = header_exec > 0 ? 1 : 0;
+        l.entries = entries;
+        l.avgIterations =
+            entries ? double(header_exec) / double(entries) : 0.0;
+    }
+
+    // Innermost loop per block.
+    for (auto &l : sfgl.loops) {
+        for (int b : l.blocks) {
+            SfglBlock &blk = sfgl.blocks[static_cast<size_t>(b)];
+            if (blk.loopId < 0 ||
+                sfgl.loops[static_cast<size_t>(blk.loopId)].blocks.size() >
+                    l.blocks.size())
+                blk.loopId = l.id;
+        }
+    }
+
+    StatisticalProfile profile;
+    profile.workloadName = prog.name;
+    profile.dynamicInstructions = exec.instructions;
+    profile.mix = obs.mix;
+    profile.sfgl = std::move(sfgl);
+    return profile;
+}
+
+StatisticalProfile
+profileModule(const ir::Module &mod, const ProfileOptions &opts)
+{
+    isa::LoweringOptions lopts;
+    lopts.applyFusion = false; // clean load/op/store sequences
+    isa::MachineProgram prog =
+        isa::lower(mod, isa::targetX86(), lopts);
+    return profileWorkload(mod, prog, opts);
+}
+
+} // namespace bsyn::profile

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The workload profiler (the paper's Pin role, §III-A): executes a
+ * -O0-shaped program under instrumentation and produces the complete
+ * StatisticalProfile — SFGL with loop annotations, branch taken and
+ * transition rates, memory hit/miss classes, and the instruction mix.
+ */
+
+#ifndef BSYN_PROFILE_PROFILER_HH
+#define BSYN_PROFILE_PROFILER_HH
+
+#include "ir/module.hh"
+#include "isa/machine_program.hh"
+#include "profile/statistical_profile.hh"
+#include "sim/cache.hh"
+#include "sim/interpreter.hh"
+
+namespace bsyn::profile
+{
+
+/** Profiling parameters. */
+struct ProfileOptions
+{
+    /** Cache simulated during profiling for hit/miss classification. */
+    sim::CacheConfig profilingCache{8 * 1024, 32, 4};
+
+    /** Easy/hard branch thresholds. */
+    BranchClassifier branchClassifier;
+
+    /** Interpreter limits. */
+    sim::ExecLimits limits;
+};
+
+/**
+ * Profile a workload.
+ *
+ * @param mod the IR module compiled at the low optimization level
+ *            (provides the CFG for loop detection).
+ * @param prog the lowered program actually executed; must carry
+ *             provenance to @p mod (same module, any target).
+ * @param opts profiling parameters.
+ * @return the complete statistical profile.
+ */
+StatisticalProfile profileWorkload(const ir::Module &mod,
+                                   const isa::MachineProgram &prog,
+                                   const ProfileOptions &opts = {});
+
+/**
+ * Convenience wrapper used throughout the evaluation: lower @p mod for
+ * the profiling target (x86 with fusion disabled, so instruction
+ * sequences have the clean load/op/store shape pattern recognition
+ * expects) and profile it.
+ */
+StatisticalProfile profileModule(const ir::Module &mod,
+                                 const ProfileOptions &opts = {});
+
+} // namespace bsyn::profile
+
+#endif // BSYN_PROFILE_PROFILER_HH

@@ -1,0 +1,178 @@
+#include "profile/sfgl.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::profile
+{
+
+size_t
+SfglBlock::bodySize() const
+{
+    size_t n = 0;
+    for (const auto &d : code)
+        if (!d.isControl)
+            ++n;
+    return n;
+}
+
+uint64_t
+Sfgl::dynamicBodyInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &b : blocks)
+        total += b.execCount * b.bodySize();
+    return total;
+}
+
+uint64_t
+Sfgl::dynamicInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &b : blocks)
+        total += b.execCount * b.code.size();
+    return total;
+}
+
+namespace
+{
+
+Json
+descriptorToJson(const InstrDescriptor &d)
+{
+    Json j = Json::array();
+    j.push(Json(static_cast<int>(d.op)));
+    j.push(Json(static_cast<int>(d.type)));
+    j.push(Json(static_cast<int>(d.cls)));
+    int flags = (d.readsMem ? 1 : 0) | (d.writesMem ? 2 : 0) |
+                (d.isControl ? 4 : 0);
+    j.push(Json(flags));
+    j.push(Json(d.missClass));
+    return j;
+}
+
+InstrDescriptor
+descriptorFromJson(const Json &j)
+{
+    InstrDescriptor d;
+    d.op = static_cast<ir::Opcode>(j.at(0).asInt());
+    d.type = static_cast<ir::Type>(j.at(1).asInt());
+    d.cls = static_cast<isa::MClass>(j.at(2).asInt());
+    int flags = static_cast<int>(j.at(3).asInt());
+    d.readsMem = flags & 1;
+    d.writesMem = flags & 2;
+    d.isControl = flags & 4;
+    d.missClass = static_cast<int>(j.at(4).asInt());
+    return d;
+}
+
+} // namespace
+
+Json
+Sfgl::toJson() const
+{
+    Json root = Json::object();
+
+    Json jblocks = Json::array();
+    for (const auto &b : blocks) {
+        Json jb = Json::object();
+        jb.set("id", Json(b.id));
+        jb.set("func", Json(b.funcId));
+        jb.set("irBlock", Json(b.irBlockId));
+        jb.set("exec", Json(b.execCount));
+        Json code = Json::array();
+        for (const auto &d : b.code)
+            code.push(descriptorToJson(d));
+        jb.set("code", std::move(code));
+        Json succs = Json::array();
+        for (const auto &e : b.succs) {
+            Json je = Json::array();
+            je.push(Json(e.to));
+            je.push(Json(e.count));
+            succs.push(std::move(je));
+        }
+        jb.set("succs", std::move(succs));
+        jb.set("term", Json(static_cast<int>(b.term)));
+        jb.set("takenRate", Json(b.takenRate));
+        jb.set("transitionRate", Json(b.transitionRate));
+        jb.set("easy", Json(b.easyBranch));
+        jb.set("loop", Json(b.loopId));
+        jblocks.push(std::move(jb));
+    }
+    root.set("blocks", std::move(jblocks));
+
+    Json jloops = Json::array();
+    for (const auto &l : loops) {
+        Json jl = Json::object();
+        jl.set("id", Json(l.id));
+        jl.set("header", Json(l.header));
+        Json mem = Json::array();
+        for (int b : l.blocks)
+            mem.push(Json(b));
+        jl.set("blocks", std::move(mem));
+        jl.set("parent", Json(l.parent));
+        jl.set("depth", Json(l.depth));
+        jl.set("entries", Json(l.entries));
+        jl.set("avgIterations", Json(l.avgIterations));
+        jloops.push(std::move(jl));
+    }
+    root.set("loops", std::move(jloops));
+
+    Json names = Json::array();
+    for (const auto &n : funcNames)
+        names.push(Json(n));
+    root.set("funcNames", std::move(names));
+    return root;
+}
+
+Sfgl
+Sfgl::fromJson(const Json &root)
+{
+    Sfgl g;
+    const Json &jblocks = root.get("blocks");
+    for (size_t i = 0; i < jblocks.size(); ++i) {
+        const Json &jb = jblocks.at(i);
+        SfglBlock b;
+        b.id = static_cast<int>(jb.get("id").asInt());
+        b.funcId = static_cast<int>(jb.get("func").asInt());
+        b.irBlockId = static_cast<int>(jb.get("irBlock").asInt());
+        b.execCount = static_cast<uint64_t>(jb.get("exec").asNumber());
+        const Json &code = jb.get("code");
+        for (size_t k = 0; k < code.size(); ++k)
+            b.code.push_back(descriptorFromJson(code.at(k)));
+        const Json &succs = jb.get("succs");
+        for (size_t k = 0; k < succs.size(); ++k) {
+            SfglEdge e;
+            e.to = static_cast<int>(succs.at(k).at(0).asInt());
+            e.count =
+                static_cast<uint64_t>(succs.at(k).at(1).asNumber());
+            b.succs.push_back(e);
+        }
+        b.term = static_cast<SfglTerm>(jb.get("term").asInt());
+        b.takenRate = jb.get("takenRate").asNumber();
+        b.transitionRate = jb.get("transitionRate").asNumber();
+        b.easyBranch = jb.get("easy").asBool();
+        b.loopId = static_cast<int>(jb.get("loop").asInt());
+        g.blocks.push_back(std::move(b));
+    }
+    const Json &jloops = root.get("loops");
+    for (size_t i = 0; i < jloops.size(); ++i) {
+        const Json &jl = jloops.at(i);
+        SfglLoop l;
+        l.id = static_cast<int>(jl.get("id").asInt());
+        l.header = static_cast<int>(jl.get("header").asInt());
+        const Json &mem = jl.get("blocks");
+        for (size_t k = 0; k < mem.size(); ++k)
+            l.blocks.push_back(static_cast<int>(mem.at(k).asInt()));
+        l.parent = static_cast<int>(jl.get("parent").asInt());
+        l.depth = static_cast<int>(jl.get("depth").asInt());
+        l.entries = static_cast<uint64_t>(jl.get("entries").asNumber());
+        l.avgIterations = jl.get("avgIterations").asNumber();
+        g.loops.push_back(std::move(l));
+    }
+    const Json &names = root.get("funcNames");
+    for (size_t i = 0; i < names.size(); ++i)
+        g.funcNames.push_back(names.at(i).asString());
+    return g;
+}
+
+} // namespace bsyn::profile

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The SFGL — Statistical Flow Graph with Loop annotation — the paper's
+ * central profiling structure (§III-A.1, Fig 2). Nodes are basic blocks
+ * annotated with execution counts and per-instruction type descriptors;
+ * edges carry transition counts; natural loops are annotated with their
+ * average iteration counts; conditional branches carry taken and
+ * transition rates; memory instructions carry their hit/miss class.
+ */
+
+#ifndef BSYN_PROFILE_SFGL_HH
+#define BSYN_PROFILE_SFGL_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/machine_program.hh"
+#include "profile/branch_profile.hh"
+#include "profile/memory_profile.hh"
+#include "support/json.hh"
+
+namespace bsyn::profile
+{
+
+/** Static description of one profiled machine instruction. */
+struct InstrDescriptor
+{
+    ir::Opcode op = ir::Opcode::Nop;
+    ir::Type type = ir::Type::I32;
+    isa::MClass cls = isa::MClass::IntAlu;
+    bool readsMem = false;
+    bool writesMem = false;
+    bool isControl = false; ///< CondBr/Jmp/Ret (not a body statement)
+    int missClass = 0;      ///< Table I class for memory instructions
+};
+
+/** A control-flow edge with its observed traversal count. */
+struct SfglEdge
+{
+    int to = -1;
+    uint64_t count = 0;
+};
+
+/** Terminator category of an SFGL block. */
+enum class SfglTerm : uint8_t { Jump, Branch, Ret };
+
+/** One SFGL node. */
+struct SfglBlock
+{
+    int id = -1;
+    int funcId = -1;
+    int irBlockId = -1;
+    uint64_t execCount = 0;
+    std::vector<InstrDescriptor> code;
+    std::vector<SfglEdge> succs;
+
+    SfglTerm term = SfglTerm::Jump;
+    double takenRate = 0.0;
+    double transitionRate = 0.0;
+    bool easyBranch = true;
+
+    int loopId = -1; ///< innermost containing loop, or -1
+
+    /** Number of non-control instructions. */
+    size_t bodySize() const;
+};
+
+/** One annotated natural loop. */
+struct SfglLoop
+{
+    int id = -1;
+    int header = -1;          ///< SFGL block id
+    std::vector<int> blocks;  ///< member SFGL block ids
+    int parent = -1;
+    int depth = 1;
+    uint64_t entries = 0;     ///< times the loop was entered
+    double avgIterations = 0; ///< header executions per entry
+};
+
+/** The complete statistical flow graph with loop annotation. */
+struct Sfgl
+{
+    std::vector<SfglBlock> blocks;
+    std::vector<SfglLoop> loops;
+    std::vector<std::string> funcNames;
+
+    /** Sum of (block exec count * body size): dynamic body instrs. */
+    uint64_t dynamicBodyInstructions() const;
+
+    /** Total dynamic instructions including control. */
+    uint64_t dynamicInstructions() const;
+
+    Json toJson() const;
+    static Sfgl fromJson(const Json &j);
+};
+
+} // namespace bsyn::profile
+
+#endif // BSYN_PROFILE_SFGL_HH

@@ -1,0 +1,55 @@
+#include "profile/statistical_profile.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::profile
+{
+
+Json
+StatisticalProfile::toJson() const
+{
+    Json root = Json::object();
+    root.set("workload", Json(workloadName));
+    root.set("dynamicInstructions", Json(dynamicInstructions));
+    root.set("mix", mix.toJson());
+    root.set("sfgl", sfgl.toJson());
+    return root;
+}
+
+StatisticalProfile
+StatisticalProfile::fromJson(const Json &j)
+{
+    StatisticalProfile p;
+    p.workloadName = j.get("workload").asString();
+    p.dynamicInstructions =
+        static_cast<uint64_t>(j.get("dynamicInstructions").asNumber());
+    p.mix = InstrMix::fromJson(j.get("mix"));
+    p.sfgl = Sfgl::fromJson(j.get("sfgl"));
+    return p;
+}
+
+std::string
+StatisticalProfile::serialize() const
+{
+    return toJson().dump(-1);
+}
+
+StatisticalProfile
+StatisticalProfile::deserialize(const std::string &text)
+{
+    return fromJson(Json::parse(text));
+}
+
+void
+StatisticalProfile::saveTo(const std::string &path) const
+{
+    writeFile(path, serialize());
+}
+
+StatisticalProfile
+StatisticalProfile::loadFrom(const std::string &path)
+{
+    return deserialize(readFile(path));
+}
+
+} // namespace bsyn::profile

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The statistical profile: everything the synthesizer needs to generate
+ * a clone, and nothing else. This is the artifact a company would ship
+ * instead of its proprietary source (paper Fig 1) — hence it is
+ * serializable and deliberately contains no code text, only statistics.
+ */
+
+#ifndef BSYN_PROFILE_STATISTICAL_PROFILE_HH
+#define BSYN_PROFILE_STATISTICAL_PROFILE_HH
+
+#include <string>
+
+#include "profile/instr_mix.hh"
+#include "profile/sfgl.hh"
+
+namespace bsyn::profile
+{
+
+/** Complete workload profile (paper §III-A). */
+struct StatisticalProfile
+{
+    std::string workloadName;
+    uint64_t dynamicInstructions = 0;
+    InstrMix mix;
+    Sfgl sfgl;
+
+    Json toJson() const;
+    static StatisticalProfile fromJson(const Json &j);
+
+    /** Serialize to / parse from a JSON document string. */
+    std::string serialize() const;
+    static StatisticalProfile deserialize(const std::string &text);
+
+    /** File round-trip helpers. */
+    void saveTo(const std::string &path) const;
+    static StatisticalProfile loadFrom(const std::string &path);
+};
+
+} // namespace bsyn::profile
+
+#endif // BSYN_PROFILE_STATISTICAL_PROFILE_HH

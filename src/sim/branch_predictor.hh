@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Conditional-branch predictors. The paper's evaluation (Fig 9) uses a
+ * hybrid predictor with a bimodal component and a history-based
+ * component, as simulated by PTLSim; we provide bimodal, gshare and the
+ * tournament hybrid, plus trivial static predictors for baselines.
+ */
+
+#ifndef BSYN_SIM_BRANCH_PREDICTOR_HH
+#define BSYN_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bsyn::sim
+{
+
+/** Prediction accuracy counters. */
+struct PredictorStats
+{
+    uint64_t branches = 0;
+    uint64_t correct = 0;
+
+    double accuracy() const
+    {
+        return branches ? double(correct) / double(branches) : 1.0;
+    }
+};
+
+/** Abstract conditional branch predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict, then update with the actual outcome. */
+    void
+    branch(uint64_t pc, bool taken)
+    {
+        bool pred = predict(pc);
+        ++stats_.branches;
+        if (pred == taken)
+            ++stats_.correct;
+        update(pc, taken);
+    }
+
+    /** Predict without updating (used by the timing model). */
+    virtual bool predict(uint64_t pc) const = 0;
+
+    /** Train on the resolved outcome. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    virtual std::string name() const = 0;
+
+    const PredictorStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PredictorStats(); }
+
+  private:
+    PredictorStats stats_;
+};
+
+/** Static always-taken (baseline). */
+class StaticTakenPredictor : public BranchPredictor
+{
+  public:
+    bool predict(uint64_t) const override { return true; }
+    void update(uint64_t, bool) override {}
+    std::string name() const override { return "static"; }
+};
+
+/** Bimodal: per-PC 2-bit saturating counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(uint32_t table_bits = 12);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::vector<uint8_t> table;
+    uint64_t mask;
+};
+
+/** gshare: global history XOR PC indexing 2-bit counters. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(uint32_t table_bits = 12,
+                             uint32_t history_bits = 12);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    uint64_t index(uint64_t pc) const;
+
+    std::vector<uint8_t> table;
+    uint64_t mask;
+    uint64_t history = 0;
+    uint64_t historyMask;
+};
+
+/**
+ * Tournament hybrid of a bimodal and a gshare component with a per-PC
+ * chooser — the "hybrid branch predictor with a bimodal component along
+ * with a history-based component" of the paper's experimental setup.
+ */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(uint32_t table_bits = 12,
+                                 uint32_t history_bits = 12);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+    std::vector<uint8_t> chooser;
+    uint64_t mask;
+};
+
+/** Factory by name: "static", "bimodal", "gshare", "tournament". */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &name);
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_BRANCH_PREDICTOR_HH

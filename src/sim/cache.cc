@@ -1,0 +1,128 @@
+#include "sim/cache.hh"
+
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::sim
+{
+
+std::string
+CacheConfig::describe() const
+{
+    return strprintf("%lluKB/%uB/%u-way",
+                     static_cast<unsigned long long>(sizeBytes / 1024),
+                     lineBytes, associativity);
+}
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u(uint64_t v)
+{
+    uint32_t n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    BSYN_ASSERT(isPow2(cfg.lineBytes), "line size must be a power of two");
+    BSYN_ASSERT(cfg.sizeBytes % (cfg.lineBytes * cfg.associativity) == 0,
+                "cache size must be a multiple of line*assoc");
+    uint64_t sets = cfg.numSets();
+    BSYN_ASSERT(isPow2(sets), "set count must be a power of two");
+    lines.assign(sets * cfg.associativity, Line());
+    setShift = log2u(cfg.lineBytes);
+    setMask = sets - 1;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++stats_.accesses;
+    ++clock;
+    uint64_t line_addr = addr >> setShift;
+    uint64_t set = line_addr & setMask;
+    uint64_t tag = line_addr >> log2u(setMask + 1);
+    Line *base = &lines[set * cfg.associativity];
+
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg.associativity; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lruStamp = clock;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lruStamp < victim->lruStamp) {
+            victim = &l;
+        }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = clock;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t line_addr = addr >> setShift;
+    uint64_t set = line_addr & setMask;
+    uint64_t tag = line_addr >> log2u(setMask + 1);
+    const Line *base = &lines[set * cfg.associativity];
+    for (uint32_t w = 0; w < cfg.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines)
+        l = Line();
+}
+
+CacheSweep::CacheSweep(const std::vector<CacheConfig> &configs)
+{
+    for (const auto &c : configs)
+        caches.emplace_back(c);
+}
+
+void
+CacheSweep::access(uint64_t addr)
+{
+    for (auto &c : caches)
+        c.access(addr);
+}
+
+std::vector<CacheConfig>
+CacheSweep::paperSweep()
+{
+    std::vector<CacheConfig> out;
+    for (uint64_t kb : {1, 2, 4, 8, 16, 32}) {
+        CacheConfig c;
+        c.sizeBytes = kb * 1024;
+        c.lineBytes = 32;
+        c.associativity = 4;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace bsyn::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Set-associative data-cache simulator with true-LRU replacement, plus a
+ * multi-configuration harness that evaluates a sweep of cache sizes in a
+ * single pass over the access stream (the paper cites Hill & Smith [13]
+ * for this single-pass idea and uses it both during profiling and in the
+ * Figure 7/8 evaluation).
+ */
+
+#ifndef BSYN_SIM_CACHE_HH
+#define BSYN_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsyn::sim
+{
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 8 * 1024;
+    uint32_t lineBytes = 32;
+    uint32_t associativity = 4;
+
+    uint64_t numSets() const
+    {
+        return sizeBytes / (lineBytes * associativity);
+    }
+
+    std::string describe() const;
+};
+
+/** Hit/miss counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    uint64_t hits() const { return accesses - misses; }
+    double hitRate() const
+    {
+        return accesses ? double(hits()) / double(accesses) : 1.0;
+    }
+    double missRate() const { return 1.0 - hitRate(); }
+};
+
+/** One set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access @p addr; @return true on hit. Writes allocate like reads
+     * (write-allocate, write-back is irrelevant without a backing
+     * hierarchy model).
+     */
+    bool access(uint64_t addr);
+
+    /** Access without updating statistics (used for warmup). */
+    bool probe(uint64_t addr) const;
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats(); }
+    void flush();
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lruStamp = 0;
+    };
+
+    CacheConfig cfg;
+    CacheStats stats_;
+    std::vector<Line> lines; ///< sets * ways, row-major by set
+    uint64_t clock = 0;
+    uint32_t setShift = 0;
+    uint64_t setMask = 0;
+};
+
+/**
+ * A bank of caches with different configurations fed by one access
+ * stream — the single-pass sweep used in profiling and in Figs 7/8.
+ */
+class CacheSweep
+{
+  public:
+    explicit CacheSweep(const std::vector<CacheConfig> &configs);
+
+    void access(uint64_t addr);
+
+    size_t size() const { return caches.size(); }
+    const Cache &at(size_t i) const { return caches[i]; }
+    Cache &at(size_t i) { return caches[i]; }
+
+    /** The paper's Fig 7/8 sweep: 1..32 KB, 32 B lines, 4-way. */
+    static std::vector<CacheConfig> paperSweep();
+
+  private:
+    std::vector<Cache> caches;
+};
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_CACHE_HH

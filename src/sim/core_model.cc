@@ -1,0 +1,256 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace bsyn::sim
+{
+
+using isa::MClass;
+using isa::MInst;
+using isa::MKind;
+
+CoreModel::CoreModel(const CoreConfig &config)
+    : cfg(config), l1(config.l1d), l2cache(config.l2),
+      pred(makePredictor(config.predictor))
+{
+    robRing.assign(static_cast<size_t>(std::max(cfg.robSize, 1)), 0);
+    ready.assign(64, 0);
+}
+
+CoreModel::~CoreModel() = default;
+
+uint64_t &
+CoreModel::regReady(int r)
+{
+    size_t idx = static_cast<size_t>(r);
+    if (idx >= ready.size())
+        ready.resize(idx + 64, 0);
+    return ready[idx];
+}
+
+uint64_t
+CoreModel::baseLatency(MClass cls) const
+{
+    switch (cls) {
+      case MClass::IntAlu: return 1;
+      case MClass::IntMul: return 4;
+      case MClass::IntDiv: return 24;
+      case MClass::FpAlu: return 5;   // x87-era add/sub/convert
+      case MClass::FpMul: return 7;
+      case MClass::FpDiv: return 38;
+      case MClass::Load: return static_cast<uint64_t>(cfg.l1HitLatency);
+      case MClass::Store: return 1;
+      case MClass::Branch: return 1;
+      case MClass::Jump: return 1;
+      case MClass::Call: return 2;
+      case MClass::Ret: return 2;
+      case MClass::Other: return 1;
+    }
+    return 1;
+}
+
+namespace
+{
+
+/**
+ * Timing class of an instruction. Unlike MInst::cls() — which follows
+ * Pin's memory-behaviour view for the instruction-mix statistics — the
+ * scheduler needs the execution latency of the *operation*, with fused
+ * memory operands accounted for separately (see retirePending).
+ */
+MClass
+timingClass(const MInst &mi)
+{
+    if (mi.kind != MKind::Compute)
+        return mi.cls();
+    switch (mi.op) {
+      case ir::Opcode::Mul:
+        return MClass::IntMul;
+      case ir::Opcode::Div:
+      case ir::Opcode::Rem:
+        return MClass::IntDiv;
+      case ir::Opcode::FMul:
+        return MClass::FpMul;
+      case ir::Opcode::FDiv:
+        return MClass::FpDiv;
+      case ir::Opcode::FAdd:
+      case ir::Opcode::FSub:
+      case ir::Opcode::FNeg:
+      case ir::Opcode::CvtIF:
+      case ir::Opcode::CvtFI:
+        return MClass::FpAlu;
+      default:
+        return MClass::IntAlu;
+    }
+}
+
+} // namespace
+
+void
+CoreModel::onInstruction(int pc, const MInst &mi)
+{
+    retirePending();
+
+    pending.valid = true;
+    pending.pc = pc;
+    pending.cls = timingClass(mi);
+    pending.extraLatency = 0;
+    // A fused load operand serializes in front of the operation.
+    if (mi.kind == MKind::Compute && mi.loadFused)
+        pending.extraLatency += static_cast<uint64_t>(cfg.l1HitLatency);
+    pending.dst = mi.dst;
+    pending.numSrcs = 0;
+    pending.isBranch = mi.kind == MKind::CondBr;
+    pending.taken = false;
+    pending.isCallRet =
+        mi.kind == MKind::Call || mi.kind == MKind::Ret;
+    pending.hasLoad = false;
+    pending.hasStore = false;
+
+    auto addSrc = [&](int r) {
+        if (r >= 0 && pending.numSrcs < 4)
+            pending.srcs[pending.numSrcs++] = r;
+    };
+    addSrc(mi.src0);
+    addSrc(mi.src1);
+    if (mi.memValid)
+        addSrc(mi.mem.indexReg);
+    // Call/print argument registers gate issue as well (cap at 4 tracked).
+    for (int a : mi.args)
+        addSrc(a);
+}
+
+void
+CoreModel::onMemAccess(int, uint64_t addr, uint32_t, bool is_write, uint64_t)
+{
+    bool l1_hit = l1.access(addr);
+    bool l2_hit = true;
+    if (!l1_hit && cfg.hasL2)
+        l2_hit = l2cache.access(addr);
+    if (is_write) {
+        pending.hasStore = true;
+        pending.storeAddr = addr >> 2; // word granularity
+        return; // stores retire without stalling the dependence chain
+    }
+    pending.hasLoad = true;
+    pending.loadAddr = addr >> 2;
+    if (!l1_hit) {
+        pending.extraLatency += static_cast<uint64_t>(cfg.l1MissPenalty);
+        if (cfg.hasL2 && !l2_hit)
+            pending.extraLatency +=
+                static_cast<uint64_t>(cfg.l2MissPenalty);
+    }
+}
+
+void
+CoreModel::onBranch(int, bool taken)
+{
+    pending.taken = taken;
+}
+
+void
+CoreModel::retirePending()
+{
+    if (!pending.valid)
+        return;
+    Pending p = pending;
+    pending.valid = false;
+    ++instructions;
+
+    // --- Dispatch: width-limited, gated by fetch redirect and ROB space.
+    uint64_t rob_free = robRing[robHead]; // retire cycle of the entry we
+                                          // are about to reuse
+    uint64_t min_dispatch = std::max(fetchReady, rob_free);
+    if (min_dispatch > dispatchCycle) {
+        dispatchCycle = min_dispatch;
+        dispatchSlots = 0;
+    }
+    if (dispatchSlots >= cfg.width) {
+        ++dispatchCycle;
+        dispatchSlots = 0;
+        if (dispatchCycle < min_dispatch)
+            dispatchCycle = min_dispatch;
+    }
+    ++dispatchSlots;
+
+    // --- Issue: operands ready; in-order cores also issue in order.
+    uint64_t issue = dispatchCycle;
+    for (int i = 0; i < p.numSrcs; ++i)
+        issue = std::max(issue, regReady(p.srcs[i]));
+    if (p.hasLoad) {
+        const FwdEntry &e = storeReady[p.loadAddr % fwdSlots];
+        if (e.addr == p.loadAddr)
+            issue = std::max(issue, e.ready); // forwarded value
+    }
+    if (cfg.inOrder) {
+        if (issue < lastIssue) {
+            issue = lastIssue;
+        }
+        if (issue == lastIssue && issueSlots >= cfg.width)
+            issue = lastIssue + 1;
+        if (issue != lastIssue) {
+            lastIssue = issue;
+            issueSlots = 0;
+        }
+        ++issueSlots;
+    }
+
+    uint64_t complete = issue + baseLatency(p.cls) + p.extraLatency;
+
+    if (p.dst >= 0)
+        regReady(p.dst) = complete;
+    if (p.hasStore) {
+        FwdEntry &e = storeReady[p.storeAddr % fwdSlots];
+        e.addr = p.storeAddr;
+        e.ready = complete;
+    }
+    if (p.isCallRet) {
+        // Frame switch: approximate by making every register ready when
+        // the call/return completes.
+        for (auto &r : ready)
+            r = std::max(r, complete);
+    }
+
+    // --- In-order retirement (ROB).
+    uint64_t retire = std::max(complete, lastRetire);
+    lastRetire = retire;
+    robRing[robHead] = retire;
+    robHead = (robHead + 1) % robRing.size();
+
+    // --- Branch resolution.
+    if (p.isBranch) {
+        bool predicted = pred->predict(static_cast<uint64_t>(p.pc));
+        pred->branch(static_cast<uint64_t>(p.pc), p.taken);
+        if (predicted != p.taken) {
+            fetchReady = std::max(
+                fetchReady,
+                complete + static_cast<uint64_t>(cfg.mispredictPenalty));
+        }
+    }
+}
+
+TimingStats
+CoreModel::finish()
+{
+    retirePending();
+    TimingStats out;
+    out.instructions = instructions;
+    out.cycles = std::max<uint64_t>(lastRetire, 1);
+    out.branch = pred->stats();
+    out.l1d = l1.stats();
+    out.l2 = l2cache.stats();
+    return out;
+}
+
+TimingStats
+simulateTiming(const isa::MachineProgram &prog, const CoreConfig &cfg,
+               const ExecLimits &limits)
+{
+    CoreModel model(cfg);
+    execute(prog, &model, limits);
+    return model.finish();
+}
+
+} // namespace bsyn::sim

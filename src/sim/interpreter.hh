@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional interpreter for MachinePrograms with Pin-style observation
+ * hooks. The profiler, the cache simulator and the timing models all
+ * attach as observers of the dynamic instruction stream.
+ */
+
+#ifndef BSYN_SIM_INTERPRETER_HH
+#define BSYN_SIM_INTERPRETER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/machine_program.hh"
+#include "sim/memory_image.hh"
+
+namespace bsyn::sim
+{
+
+/**
+ * Observation interface over the executed instruction stream, in the
+ * spirit of Pin's instrumentation callbacks.
+ */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** Called once for every retired instruction. */
+    virtual void onInstruction(int pc, const isa::MInst &mi) = 0;
+
+    /**
+     * Called for every data memory access (including accesses made by
+     * fused CISC memory operands).
+     */
+    virtual void onMemAccess(int pc, uint64_t addr, uint32_t size,
+                             bool is_write, uint64_t raw_value = 0) = 0;
+
+    /** Called for every executed conditional branch. */
+    virtual void onBranch(int pc, bool taken) = 0;
+};
+
+/** Execution statistics. */
+struct ExecStats
+{
+    uint64_t instructions = 0; ///< retired dynamic instructions
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    uint64_t branches = 0;     ///< conditional branches executed
+    uint64_t takenBranches = 0;
+    uint64_t calls = 0;
+    int exitCode = 0;
+    std::string output;        ///< everything printf'd
+};
+
+/** Interpreter configuration. */
+struct ExecLimits
+{
+    uint64_t maxInstructions = 4ull << 30; ///< runaway guard
+    uint64_t stackBytes = 1u << 20;
+};
+
+/**
+ * Execute @p prog from its entry function to completion.
+ *
+ * @param prog the lowered program (must have an entry function).
+ * @param observer optional observation hooks (nullptr = fast path).
+ * @param limits execution limits.
+ * @return execution statistics including captured output.
+ */
+ExecStats execute(const isa::MachineProgram &prog,
+                  ExecObserver *observer = nullptr,
+                  const ExecLimits &limits = {});
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_INTERPRETER_HH

@@ -1,0 +1,129 @@
+#include "sim/machine.hh"
+
+namespace bsyn::sim
+{
+
+namespace
+{
+
+CacheConfig
+cacheKb(uint64_t kb, uint32_t line = 32, uint32_t assoc = 4)
+{
+    CacheConfig c;
+    c.sizeBytes = kb * 1024;
+    c.lineBytes = line;
+    c.associativity = assoc;
+    return c;
+}
+
+} // namespace
+
+std::vector<MachineSpec>
+paperMachines()
+{
+    std::vector<MachineSpec> machines;
+
+    {
+        // Pentium 4 at 3 GHz: x86, deep pipeline (expensive mispredicts),
+        // small L1D, 1 MB L2.
+        MachineSpec m;
+        m.name = "Pentium 4, 3GHz";
+        m.isa = isa::targetX86();
+        m.core.name = "p4";
+        m.core.width = 3;
+        m.core.robSize = 126;
+        m.core.inOrder = false;
+        m.core.mispredictPenalty = 24;
+        m.core.l1d = cacheKb(16, 64, 4);
+        m.core.l1HitLatency = 3;
+        m.core.l1MissPenalty = 18;
+        m.core.l2 = cacheKb(1024, 64, 8);
+        m.core.l2MissPenalty = 200;
+        m.freqGHz = 3.0;
+        machines.push_back(m);
+    }
+    {
+        // Core 2 at 2.2 GHz: x86_64, 4-wide, 2 MB L2.
+        MachineSpec m;
+        m.name = "Core 2";
+        m.isa = isa::targetX8664();
+        m.core.name = "core2";
+        m.core.width = 4;
+        m.core.robSize = 96;
+        m.core.mispredictPenalty = 14;
+        m.core.l1d = cacheKb(32, 64, 8);
+        m.core.l1HitLatency = 3;
+        m.core.l1MissPenalty = 14;
+        m.core.l2 = cacheKb(2048, 64, 8);
+        m.core.l2MissPenalty = 160;
+        m.freqGHz = 2.2;
+        machines.push_back(m);
+    }
+    {
+        // Pentium 4 at 2.8 GHz: same core as above, lower clock.
+        MachineSpec m = machines[0];
+        m.name = "Pentium 4, 2.8GHz";
+        m.freqGHz = 2.8;
+        machines.push_back(m);
+    }
+    {
+        // Itanium 2 at 900 MHz: EPIC — wide but in-order, so compiler
+        // quality directly shapes throughput; small 256 KB L2.
+        MachineSpec m;
+        m.name = "Itanium 2";
+        m.isa = isa::targetIa64();
+        m.core.name = "itanium2";
+        m.core.width = 6;
+        m.core.robSize = 48;
+        m.core.inOrder = true;
+        m.core.mispredictPenalty = 6;
+        m.core.l1d = cacheKb(16, 64, 4);
+        m.core.l1HitLatency = 1;
+        m.core.l1MissPenalty = 7;
+        m.core.l2 = cacheKb(256, 128, 8);
+        m.core.l2MissPenalty = 100;
+        m.freqGHz = 0.9;
+        machines.push_back(m);
+    }
+    {
+        // Core i7 at 2.67 GHz: x86_64, 4-wide, big ROB, 8 MB last level.
+        MachineSpec m;
+        m.name = "Core i7";
+        m.isa = isa::targetX8664();
+        m.core.name = "corei7";
+        m.core.width = 4;
+        m.core.robSize = 128;
+        m.core.mispredictPenalty = 12;
+        m.core.l1d = cacheKb(32, 64, 8);
+        m.core.l1HitLatency = 2;
+        m.core.l1MissPenalty = 10;
+        m.core.l2 = cacheKb(8192, 64, 16);
+        m.core.l2MissPenalty = 120;
+        m.freqGHz = 2.67;
+        machines.push_back(m);
+    }
+
+    return machines;
+}
+
+MachineSpec
+ptlsimConfig(uint64_t dcache_kb)
+{
+    MachineSpec m;
+    m.name = "ooo-2wide";
+    m.isa = isa::targetX86();
+    m.core.name = "ooo2";
+    m.core.width = 2;
+    m.core.robSize = 32;
+    m.core.inOrder = false;
+    m.core.mispredictPenalty = 10;
+    m.core.l1d = cacheKb(dcache_kb, 32, 4);
+    m.core.l1HitLatency = 2;
+    m.core.l1MissPenalty = 12;
+    m.core.l2 = cacheKb(512, 64, 8);
+    m.core.l2MissPenalty = 120;
+    m.freqGHz = 1.0;
+    return m;
+}
+
+} // namespace bsyn::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The machine catalogue: complete (ISA target + core + clock) models of
+ * the five machines in the paper's Table III, plus the 2-wide
+ * out-of-order simulation configuration of Figure 10.
+ */
+
+#ifndef BSYN_SIM_MACHINE_HH
+#define BSYN_SIM_MACHINE_HH
+
+#include "isa/target.hh"
+#include "sim/core_model.hh"
+
+namespace bsyn::sim
+{
+
+/** A full machine: what a benchmark binary runs on end to end. */
+struct MachineSpec
+{
+    std::string name;      ///< e.g. "Pentium 4, 3GHz"
+    isa::TargetInfo isa;   ///< lowering target
+    CoreConfig core;       ///< microarchitecture
+    double freqGHz = 1.0;  ///< clock, for execution-time comparisons
+
+    /** Wall-clock nanoseconds for a given cycle count. */
+    double
+    timeNs(uint64_t cycles) const
+    {
+        return double(cycles) / freqGHz;
+    }
+};
+
+/** The five machines of Table III (modeled analogues). */
+std::vector<MachineSpec> paperMachines();
+
+/**
+ * The PTLSim configuration of Figure 10: a 2-wide out-of-order core;
+ * @p dcache_kb selects the data cache size (the figure sweeps 8/16/32).
+ */
+MachineSpec ptlsimConfig(uint64_t dcache_kb);
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_MACHINE_HH

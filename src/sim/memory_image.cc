@@ -1,0 +1,112 @@
+#include "sim/memory_image.hh"
+
+#include <cstring>
+
+#include "support/error.hh"
+
+namespace bsyn::sim
+{
+
+MemoryImage::MemoryImage(const std::vector<ir::Global> &globals,
+                         uint64_t stack_bytes)
+{
+    layout(globals);
+    // Data segment ends at the current high-water mark; the stack sits
+    // above it with a guard gap.
+    uint64_t data_end = dataBase + bytes.size();
+    uint64_t guard = 4096;
+    stackLimit_ = (data_end + guard + 15) & ~uint64_t(15);
+    stackTop_ = stackLimit_ + ((stack_bytes + 15) & ~uint64_t(15));
+    bytes.resize(stackTop_ - dataBase, 0);
+    initGlobals(globals);
+}
+
+void
+MemoryImage::layout(const std::vector<ir::Global> &globals)
+{
+    uint64_t cursor = 0; // offset from dataBase
+    globalAddr.clear();
+    for (const auto &g : globals) {
+        uint64_t align = ir::typeSize(g.elemType);
+        cursor = (cursor + align - 1) / align * align;
+        globalAddr.push_back(dataBase + cursor);
+        cursor += g.sizeBytes();
+    }
+    // Round the data segment to a cache-line multiple so the stack does
+    // not share a line with the last global.
+    cursor = (cursor + 63) & ~uint64_t(63);
+    bytes.assign(cursor, 0);
+}
+
+void
+MemoryImage::initGlobals(const std::vector<ir::Global> &globals)
+{
+    for (size_t i = 0; i < globals.size(); ++i) {
+        const ir::Global &g = globals[i];
+        if (g.init.empty())
+            continue;
+        uint64_t addr = globalAddr[i];
+        uint32_t esz = ir::typeSize(g.elemType);
+        for (size_t e = 0; e < g.init.size() && e < g.elems; ++e) {
+            if (esz == 4)
+                store32(addr + e * 4, static_cast<uint32_t>(g.init[e]));
+            else
+                store64(addr + e * 8, g.init[e]);
+        }
+    }
+}
+
+void
+MemoryImage::reset(const std::vector<ir::Global> &globals)
+{
+    std::fill(bytes.begin(), bytes.end(), 0);
+    initGlobals(globals);
+}
+
+const uint8_t *
+MemoryImage::ptr(uint64_t addr, uint32_t size) const
+{
+    if (addr < dataBase || addr + size > dataBase + bytes.size())
+        fatal("memory access out of range: address 0x%llx size %u",
+              static_cast<unsigned long long>(addr), size);
+    return bytes.data() + (addr - dataBase);
+}
+
+uint8_t *
+MemoryImage::ptr(uint64_t addr, uint32_t size)
+{
+    if (addr < dataBase || addr + size > dataBase + bytes.size())
+        fatal("memory access out of range: address 0x%llx size %u",
+              static_cast<unsigned long long>(addr), size);
+    return bytes.data() + (addr - dataBase);
+}
+
+uint32_t
+MemoryImage::load32(uint64_t addr) const
+{
+    uint32_t v;
+    std::memcpy(&v, ptr(addr, 4), 4);
+    return v;
+}
+
+void
+MemoryImage::store32(uint64_t addr, uint32_t value)
+{
+    std::memcpy(ptr(addr, 4), &value, 4);
+}
+
+uint64_t
+MemoryImage::load64(uint64_t addr) const
+{
+    uint64_t v;
+    std::memcpy(&v, ptr(addr, 8), 8);
+    return v;
+}
+
+void
+MemoryImage::store64(uint64_t addr, uint64_t value)
+{
+    std::memcpy(ptr(addr, 8), &value, 8);
+}
+
+} // namespace bsyn::sim

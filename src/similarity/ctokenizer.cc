@@ -1,0 +1,142 @@
+#include "similarity/ctokenizer.hh"
+
+#include <cctype>
+#include <map>
+
+namespace bsyn::similarity
+{
+
+namespace
+{
+
+const std::map<std::string, uint16_t> &
+keywordIds()
+{
+    static const std::map<std::string, uint16_t> ids = [] {
+        std::map<std::string, uint16_t> m;
+        uint16_t next = static_cast<uint16_t>(CTok::Keyword) + 1;
+        for (const char *kw :
+             {"int", "unsigned", "long", "short", "char", "double",
+              "float", "void", "if", "else", "for", "while", "do",
+              "return", "break", "continue", "switch", "case", "default",
+              "struct", "union", "enum", "typedef", "static", "const",
+              "sizeof", "goto", "extern", "volatile", "register",
+              "signed", "auto"}) {
+            m[kw] = next++;
+        }
+        return m;
+    }();
+    return ids;
+}
+
+const std::map<std::string, uint16_t> &
+punctIds()
+{
+    static const std::map<std::string, uint16_t> ids = [] {
+        std::map<std::string, uint16_t> m;
+        uint16_t next = static_cast<uint16_t>(CTok::Punct) + 1;
+        for (const char *p :
+             {"(", ")", "{", "}", "[", "]", ";", ",", ".", "->", "++",
+              "--", "+", "-", "*", "/", "%", "<<", ">>", "<", ">", "<=",
+              ">=", "==", "!=", "&&", "||", "!", "&", "|", "^", "~", "=",
+              "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+              ">>=", "?", ":", "#"}) {
+            m[p] = next++;
+        }
+        return m;
+    }();
+    return ids;
+}
+
+} // namespace
+
+std::vector<uint16_t>
+tokenizeC(const std::string &src)
+{
+    std::vector<uint16_t> out;
+    size_t i = 0;
+    size_t n = src.size();
+    auto uc = [](char c) { return static_cast<unsigned char>(c); };
+
+    while (i < n) {
+        char c = src[i];
+        if (std::isspace(uc(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/'))
+                ++i;
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        // Preprocessor lines: normalize to '#' and skip the rest.
+        if (c == '#') {
+            out.push_back(punctIds().at("#"));
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Identifiers / keywords.
+        if (std::isalpha(uc(c)) || c == '_') {
+            std::string word;
+            while (i < n && (std::isalnum(uc(src[i])) || src[i] == '_'))
+                word += src[i++];
+            auto it = keywordIds().find(word);
+            if (it != keywordIds().end())
+                out.push_back(it->second);
+            else
+                out.push_back(static_cast<uint16_t>(CTok::Ident));
+            continue;
+        }
+        // Numbers (incl. hex and floats).
+        if (std::isdigit(uc(c)) ||
+            (c == '.' && i + 1 < n && std::isdigit(uc(src[i + 1])))) {
+            while (i < n &&
+                   (std::isalnum(uc(src[i])) || src[i] == '.' ||
+                    ((src[i] == '+' || src[i] == '-') && i > 0 &&
+                     (src[i - 1] == 'e' || src[i - 1] == 'E'))))
+                ++i;
+            out.push_back(static_cast<uint16_t>(CTok::Number));
+            continue;
+        }
+        // Strings / chars.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\')
+                    ++i;
+                ++i;
+            }
+            ++i;
+            out.push_back(static_cast<uint16_t>(CTok::String));
+            continue;
+        }
+        // Punctuation (longest match first).
+        const auto &punct = punctIds();
+        bool matched = false;
+        for (int len = 3; len >= 1 && !matched; --len) {
+            if (i + static_cast<size_t>(len) > n)
+                continue;
+            auto it = punct.find(src.substr(i, static_cast<size_t>(len)));
+            if (it != punct.end()) {
+                out.push_back(it->second);
+                i += static_cast<size_t>(len);
+                matched = true;
+            }
+        }
+        if (!matched)
+            ++i; // unknown byte: drop
+    }
+    return out;
+}
+
+} // namespace bsyn::similarity

@@ -1,0 +1,18 @@
+#include "similarity/report.hh"
+
+#include "similarity/tiling.hh"
+#include "similarity/winnowing.hh"
+
+namespace bsyn::similarity
+{
+
+SimilarityReport
+compareSources(const std::string &original, const std::string &clone)
+{
+    SimilarityReport r;
+    r.winnow = winnowSimilarity(original, clone);
+    r.tiling = tilingSimilarity(original, clone);
+    return r;
+}
+
+} // namespace bsyn::similarity

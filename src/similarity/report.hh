@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Combined obfuscation report: runs both detectors (winnowing/Moss and
+ * greedy string tiling/JPlag) over an (original, clone) source pair —
+ * the paper's §V-E evaluation.
+ */
+
+#ifndef BSYN_SIMILARITY_REPORT_HH
+#define BSYN_SIMILARITY_REPORT_HH
+
+#include <string>
+
+namespace bsyn::similarity
+{
+
+/** Verdict of both detectors. */
+struct SimilarityReport
+{
+    double winnow = 0.0; ///< Moss-style fingerprint containment
+    double tiling = 0.0; ///< JPlag-style token coverage
+
+    /** The paper's pass criterion: no meaningful similarity. */
+    bool
+    hidesProprietaryInformation(double threshold = 0.25) const
+    {
+        return winnow < threshold && tiling < threshold;
+    }
+};
+
+/** Run both detectors on a source pair. */
+SimilarityReport compareSources(const std::string &original,
+                                const std::string &clone);
+
+} // namespace bsyn::similarity
+
+#endif // BSYN_SIMILARITY_REPORT_HH

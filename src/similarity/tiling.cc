@@ -1,0 +1,82 @@
+#include "similarity/tiling.hh"
+
+#include <algorithm>
+
+#include "similarity/ctokenizer.hh"
+
+namespace bsyn::similarity
+{
+
+TilingResult
+greedyStringTiling(const std::vector<uint16_t> &a,
+                   const std::vector<uint16_t> &b,
+                   const TilingOptions &opts)
+{
+    TilingResult result;
+    result.tokensA = a.size();
+    result.tokensB = b.size();
+
+    std::vector<bool> marked_a(a.size(), false);
+    std::vector<bool> marked_b(b.size(), false);
+
+    size_t min_len = static_cast<size_t>(std::max(
+        opts.minimumMatchLength, 1));
+
+    for (;;) {
+        size_t max_match = min_len - 1;
+        std::vector<std::pair<size_t, size_t>> matches; // (posA, posB)
+
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (marked_a[i])
+                continue;
+            for (size_t j = 0; j < b.size(); ++j) {
+                if (marked_b[j])
+                    continue;
+                size_t k = 0;
+                while (i + k < a.size() && j + k < b.size() &&
+                       !marked_a[i + k] && !marked_b[j + k] &&
+                       a[i + k] == b[j + k])
+                    ++k;
+                if (k > max_match) {
+                    max_match = k;
+                    matches.clear();
+                    matches.emplace_back(i, j);
+                } else if (k == max_match && k >= min_len) {
+                    matches.emplace_back(i, j);
+                }
+            }
+        }
+
+        if (max_match < min_len)
+            break;
+        for (const auto &[i, j] : matches) {
+            // Skip if an earlier tile in this round already claimed any
+            // token of this candidate.
+            bool free = true;
+            for (size_t k = 0; k < max_match && free; ++k)
+                if (marked_a[i + k] || marked_b[j + k])
+                    free = false;
+            if (!free)
+                continue;
+            for (size_t k = 0; k < max_match; ++k) {
+                marked_a[i + k] = true;
+                marked_b[j + k] = true;
+            }
+            result.matched += max_match;
+        }
+    }
+    return result;
+}
+
+double
+tilingSimilarity(const std::string &source_a, const std::string &source_b,
+                 const TilingOptions &opts)
+{
+    auto ta = tokenizeC(source_a);
+    auto tb = tokenizeC(source_b);
+    if (ta.empty() || tb.empty())
+        return source_a == source_b ? 1.0 : 0.0;
+    return greedyStringTiling(ta, tb, opts).similarity();
+}
+
+} // namespace bsyn::similarity

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Greedy String Tiling with the Running-Karp-Rabin speedup — the
+ * structural-similarity algorithm behind JPlag (Prechelt/Malpohl/
+ * Philippsen). Finds maximal non-overlapping matching tile pairs between
+ * two token streams; similarity is the fraction of tokens covered.
+ */
+
+#ifndef BSYN_SIMILARITY_TILING_HH
+#define BSYN_SIMILARITY_TILING_HH
+
+#include <string>
+#include <vector>
+
+namespace bsyn::similarity
+{
+
+/** GST parameters. */
+struct TilingOptions
+{
+    int minimumMatchLength = 9; ///< JPlag's default for C-like code
+};
+
+/** Coverage result. */
+struct TilingResult
+{
+    size_t tokensA = 0;
+    size_t tokensB = 0;
+    size_t matched = 0; ///< tokens covered by tiles (per side)
+
+    /** JPlag similarity: 2*matched / (|A| + |B|). */
+    double
+    similarity() const
+    {
+        size_t denom = tokensA + tokensB;
+        return denom ? 2.0 * double(matched) / double(denom) : 1.0;
+    }
+};
+
+/** Run greedy string tiling over two normalized token streams. */
+TilingResult greedyStringTiling(const std::vector<uint16_t> &a,
+                                const std::vector<uint16_t> &b,
+                                const TilingOptions &opts = {});
+
+/** JPlag-style similarity of two C sources in [0, 1]. */
+double tilingSimilarity(const std::string &source_a,
+                        const std::string &source_b,
+                        const TilingOptions &opts = {});
+
+} // namespace bsyn::similarity
+
+#endif // BSYN_SIMILARITY_TILING_HH

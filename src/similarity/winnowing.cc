@@ -1,0 +1,80 @@
+#include "similarity/winnowing.hh"
+
+#include <algorithm>
+
+#include "similarity/ctokenizer.hh"
+
+namespace bsyn::similarity
+{
+
+namespace
+{
+
+/** Rolling-friendly hash of one k-gram. */
+uint64_t
+hashKgram(const std::vector<uint16_t> &toks, size_t start, int k)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < k; ++i) {
+        h ^= toks[start + static_cast<size_t>(i)];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::set<uint64_t>
+winnowFingerprints(const std::vector<uint16_t> &tokens,
+                   const WinnowOptions &opts)
+{
+    std::set<uint64_t> prints;
+    if (tokens.size() < static_cast<size_t>(opts.k))
+        return prints;
+
+    size_t num_grams = tokens.size() - static_cast<size_t>(opts.k) + 1;
+    std::vector<uint64_t> hashes(num_grams);
+    for (size_t i = 0; i < num_grams; ++i)
+        hashes[i] = hashKgram(tokens, i, opts.k);
+
+    size_t w = static_cast<size_t>(std::max(opts.window, 1));
+    if (num_grams <= w) {
+        prints.insert(*std::min_element(hashes.begin(), hashes.end()));
+        return prints;
+    }
+    // Classic winnowing: record the rightmost minimal hash per window.
+    size_t min_idx = 0;
+    for (size_t right = 0; right + 1 < w; ++right)
+        if (hashes[right] <= hashes[min_idx])
+            min_idx = right;
+    for (size_t right = w - 1; right < num_grams; ++right) {
+        size_t left = right + 1 - w;
+        if (min_idx < left) {
+            min_idx = left;
+            for (size_t i = left + 1; i <= right; ++i)
+                if (hashes[i] <= hashes[min_idx])
+                    min_idx = i;
+        } else if (hashes[right] <= hashes[min_idx]) {
+            min_idx = right;
+        }
+        prints.insert(hashes[min_idx]);
+    }
+    return prints;
+}
+
+double
+winnowSimilarity(const std::string &source_a, const std::string &source_b,
+                 const WinnowOptions &opts)
+{
+    auto fa = winnowFingerprints(tokenizeC(source_a), opts);
+    auto fb = winnowFingerprints(tokenizeC(source_b), opts);
+    if (fa.empty() || fb.empty())
+        return source_a == source_b ? 1.0 : 0.0;
+    size_t common = 0;
+    for (uint64_t h : fa)
+        if (fb.count(h))
+            ++common;
+    return double(common) / double(std::min(fa.size(), fb.size()));
+}
+
+} // namespace bsyn::similarity

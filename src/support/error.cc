@@ -1,0 +1,58 @@
+#include "support/error.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace bsyn
+{
+
+namespace
+{
+
+std::string
+formatMessage(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data());
+}
+
+} // namespace
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatMessage(fmt, args);
+    va_end(args);
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatMessage(fmt, args);
+    va_end(args);
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace bsyn

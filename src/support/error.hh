@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: fatal() for user-caused
+ * conditions the framework cannot continue from, panic() for internal
+ * invariant violations that indicate a bug in bsyn itself.
+ */
+
+#ifndef BSYN_SUPPORT_ERROR_HH
+#define BSYN_SUPPORT_ERROR_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace bsyn
+{
+
+/** Exception thrown by fatal(): the user asked for something impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Report an unrecoverable, user-caused error (bad configuration, malformed
+ * source program, invalid parameters). Throws FatalError.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal framework bug (violated invariant, impossible state).
+ * Throws PanicError.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a non-fatal warning on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Like assert() but always compiled in; raises panic() on failure. */
+#define BSYN_ASSERT(cond, fmt, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::bsyn::panic("assertion '%s' failed at %s:%d: " fmt, #cond,    \
+                          __FILE__, __LINE__, ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace bsyn
+
+#endif // BSYN_SUPPORT_ERROR_HH

@@ -1,0 +1,405 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hh"
+
+namespace bsyn
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    BSYN_ASSERT(kind_ == Kind::Bool, "json: not a bool");
+    return boolean;
+}
+
+double
+Json::asNumber() const
+{
+    BSYN_ASSERT(kind_ == Kind::Number, "json: not a number");
+    return number;
+}
+
+int64_t
+Json::asInt() const
+{
+    return static_cast<int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+Json::asString() const
+{
+    BSYN_ASSERT(kind_ == Kind::String, "json: not a string");
+    return str;
+}
+
+void
+Json::push(Json v)
+{
+    BSYN_ASSERT(kind_ == Kind::Array, "json: push on non-array");
+    items.push_back(std::move(v));
+}
+
+size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return items.size();
+    if (kind_ == Kind::Object)
+        return fields.size();
+    return 0;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    BSYN_ASSERT(kind_ == Kind::Array && i < items.size(),
+                "json: bad array index");
+    return items[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    BSYN_ASSERT(kind_ == Kind::Object, "json: set on non-object");
+    for (auto &kv : fields) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    fields.emplace_back(key, std::move(v));
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &kv : fields)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    BSYN_ASSERT(kind_ == Kind::Object, "json: get on non-object");
+    for (const auto &kv : fields)
+        if (kv.first == key)
+            return kv.second;
+    fatal("json: missing key '%s'", key.c_str());
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double d)
+{
+    if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+    }
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto pad = [&](int d) {
+        if (indent >= 0) {
+            out += '\n';
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::Number:
+        formatNumber(out, number);
+        break;
+      case Kind::String:
+        escapeString(out, str);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += ',';
+            pad(depth + 1);
+            items[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items.empty())
+            pad(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                out += ',';
+            pad(depth + 1);
+            escapeString(out, fields[i].first);
+            out += indent >= 0 ? ": " : ":";
+            fields[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!fields.empty())
+            pad(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos != src.size())
+            fatal("json: trailing garbage at offset %zu", pos);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < src.size() && std::isspace(uc(src[pos])))
+            ++pos;
+    }
+
+    static unsigned char uc(char c) { return static_cast<unsigned char>(c); }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= src.size())
+            fatal("json: unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("json: expected '%c' at offset %zu", c, pos);
+        ++pos;
+    }
+
+    Json
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't': expectWord("true"); return Json(true);
+          case 'f': expectWord("false"); return Json(false);
+          case 'n': expectWord("null"); return Json();
+          default: return parseNumber();
+        }
+    }
+
+    void
+    expectWord(const char *w)
+    {
+        skipWs();
+        size_t len = std::string(w).size();
+        if (src.compare(pos, len, w) != 0)
+            fatal("json: expected '%s' at offset %zu", w, pos);
+        pos += len;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c == '\\') {
+                if (pos >= src.size())
+                    fatal("json: bad escape");
+                char e = src[pos++];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        fatal("json: bad \\u escape");
+                    unsigned code = std::stoul(src.substr(pos, 4), nullptr, 16);
+                    pos += 4;
+                    out += static_cast<char>(code & 0xff);
+                    break;
+                  }
+                  default:
+                    fatal("json: unknown escape '\\%c'", e);
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= src.size())
+            fatal("json: unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        skipWs();
+        size_t start = pos;
+        if (pos < src.size() && (src[pos] == '-' || src[pos] == '+'))
+            ++pos;
+        while (pos < src.size() &&
+               (std::isdigit(uc(src[pos])) || src[pos] == '.' ||
+                src[pos] == 'e' || src[pos] == 'E' || src[pos] == '-' ||
+                src[pos] == '+')) {
+            ++pos;
+        }
+        if (pos == start)
+            fatal("json: expected a number at offset %zu", pos);
+        return Json(std::stod(src.substr(start, pos - start)));
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+            } else if (c == ']') {
+                ++pos;
+                return arr;
+            } else {
+                fatal("json: expected ',' or ']' at offset %zu", pos);
+            }
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        for (;;) {
+            std::string key = parseString();
+            expect(':');
+            obj.set(key, parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+            } else if (c == '}') {
+                ++pos;
+                return obj;
+            } else {
+                fatal("json: expected ',' or '}' at offset %zu", pos);
+            }
+        }
+    }
+
+    const std::string &src;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace bsyn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A minimal JSON value model, writer and parser. Used to serialize
+ * statistical profiles to disk so that profiling and synthesis can run as
+ * separate steps (the "benchmark distribution" arrow in the paper's
+ * Figure 1: the profile, not the source, crosses organizational walls).
+ */
+
+#ifndef BSYN_SUPPORT_JSON_HH
+#define BSYN_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bsyn
+{
+
+/** A dynamically-typed JSON value (null/bool/number/string/array/object). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), boolean(b) {}
+    Json(double d) : kind_(Kind::Number), number(d) {}
+    Json(int64_t i) : kind_(Kind::Number), number(double(i)) {}
+    Json(uint64_t u) : kind_(Kind::Number), number(double(u)) {}
+    Json(int i) : kind_(Kind::Number), number(double(i)) {}
+    Json(const char *s) : kind_(Kind::String), str(s) {}
+    Json(std::string s) : kind_(Kind::String), str(std::move(s)) {}
+
+    /** Build an empty array value. */
+    static Json array();
+    /** Build an empty object value. */
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** @return the boolean payload; panics on kind mismatch. */
+    bool asBool() const;
+    /** @return the numeric payload; panics on kind mismatch. */
+    double asNumber() const;
+    /** @return the numeric payload truncated to int64. */
+    int64_t asInt() const;
+    /** @return the string payload; panics on kind mismatch. */
+    const std::string &asString() const;
+
+    /** Array access. */
+    void push(Json v);
+    size_t size() const;
+    const Json &at(size_t i) const;
+
+    /** Object access. */
+    void set(const std::string &key, Json v);
+    bool has(const std::string &key) const;
+    const Json &get(const std::string &key) const;
+
+    /** Serialize; @p indent < 0 means compact. */
+    std::string dump(int indent = 2) const;
+
+    /** Parse a JSON document; fatal() on malformed input. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> items;
+    // Keep insertion order for reproducible round-trips.
+    std::vector<std::pair<std::string, Json>> fields;
+};
+
+} // namespace bsyn
+
+#endif // BSYN_SUPPORT_JSON_HH

@@ -1,0 +1,106 @@
+#include "support/rng.hh"
+
+#include "support/error.hh"
+
+namespace bsyn
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    BSYN_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    BSYN_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        BSYN_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    BSYN_ASSERT(total > 0.0, "nextWeighted requires a positive total weight");
+    double x = nextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace bsyn

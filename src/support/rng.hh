@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation used throughout the
+ * benchmark synthesizer. Synthesis must be reproducible given a seed, so
+ * all randomness flows through this class rather than std::random_device.
+ */
+
+#ifndef BSYN_SUPPORT_RNG_HH
+#define BSYN_SUPPORT_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsyn
+{
+
+/**
+ * A small, fast xoshiro256** generator. Deterministic across platforms
+ * (unlike std::mt19937 distributions), which matters because the emitted
+ * synthetic C source must be byte-identical for a given seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void reseed(uint64_t seed);
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next();
+
+    /** @return a uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Sample an index proportionally to the given non-negative weights.
+     *
+     * @param weights weight per index; at least one must be positive.
+     * @return the sampled index.
+     */
+    size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Shuffle a vector in place (Fisher-Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        if (items.empty())
+            return;
+        for (size_t i = items.size() - 1; i > 0; --i) {
+            size_t j = nextBounded(i + 1);
+            std::swap(items[i], items[j]);
+        }
+    }
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace bsyn
+
+#endif // BSYN_SUPPORT_RNG_HH

@@ -1,0 +1,109 @@
+#include "support/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hh"
+
+namespace bsyn
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / double(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        BSYN_ASSERT(x > 0.0, "geomean requires positive values");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / double(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / double(xs.size()));
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    BSYN_ASSERT(xs.size() == ys.size(), "pearson needs equal-length series");
+    if (xs.size() < 2)
+        return 0.0;
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+relativeError(double a, double b)
+{
+    if (b == 0.0)
+        return a == 0.0 ? 0.0 : 1.0;
+    return std::fabs(a - b) / std::fabs(b);
+}
+
+double
+meanRelativeError(const std::vector<double> &measured,
+                  const std::vector<double> &reference)
+{
+    BSYN_ASSERT(measured.size() == reference.size(),
+                "meanRelativeError needs equal-length series");
+    if (measured.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < measured.size(); ++i)
+        acc += relativeError(measured[i], reference[i]);
+    return acc / double(measured.size());
+}
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    double delta = x - mu;
+    mu += delta / double(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace bsyn

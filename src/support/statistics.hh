@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harnesses: means,
+ * correlation, relative-error metrics and histogram utilities.
+ */
+
+#ifndef BSYN_SUPPORT_STATISTICS_HH
+#define BSYN_SUPPORT_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace bsyn
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of positive values; 0 for an empty vector. */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** |a-b| / |b| with a guard for b == 0. */
+double relativeError(double a, double b);
+
+/** Mean of relativeError over paired series. */
+double meanRelativeError(const std::vector<double> &measured,
+                         const std::vector<double> &reference);
+
+/**
+ * Running (streaming) statistics accumulator: count, mean, min, max,
+ * variance via Welford's algorithm.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double variance() const { return n > 1 ? m2 / double(n) : 0.0; }
+    double stddev() const;
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace bsyn
+
+#endif // BSYN_SUPPORT_STATISTICS_HH

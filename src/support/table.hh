@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef BSYN_SUPPORT_TABLE_HH
+#define BSYN_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsyn
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; helpers format
+ * numbers consistently (fixed precision, percentages).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 3);
+
+    /** Format a ratio as a percentage with @p digits decimals. */
+    static std::string pct(double ratio, int digits = 1);
+
+    /** Format an integer count. */
+    static std::string count(uint64_t value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bsyn
+
+#endif // BSYN_SUPPORT_TABLE_HH

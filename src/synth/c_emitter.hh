@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The C source emitter: renders the synthetic skeleton + generated
+ * statements into a single self-contained C file. The output is valid
+ * C (compilable with a real compiler) and valid MiniC (recompilable
+ * in-framework at every optimization level), which is exactly the
+ * paper's point of synthesizing at the high-level-language level.
+ */
+
+#ifndef BSYN_SYNTH_C_EMITTER_HH
+#define BSYN_SYNTH_C_EMITTER_HH
+
+#include <string>
+
+#include "synth/pattern.hh"
+#include "synth/skeleton.hh"
+
+namespace bsyn::synth
+{
+
+/** Emission result. */
+struct EmitResult
+{
+    std::string source;
+    PatternStats patternStats;
+};
+
+/** Emitter knobs. */
+struct EmitterOptions
+{
+    uint64_t streamElems = 16384; ///< striding stream size (power of 2)
+    PatternOptions pattern;
+
+    /** Hard-branch modulo period bounds (paper: modulo 1/transition). */
+    int minPeriod = 2;
+    int maxPeriod = 64;
+};
+
+/**
+ * Render the synthetic benchmark.
+ *
+ * @param sfgl the scaled-down SFGL (provides per-block code).
+ * @param skeleton the structural skeleton.
+ * @param rng the seeded generator (constants, obfuscation choices).
+ * @param opts emission knobs.
+ */
+EmitResult emitC(const profile::Sfgl &sfgl, const Skeleton &skeleton,
+                 Rng &rng, const EmitterOptions &opts = {});
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_C_EMITTER_HH

@@ -1,0 +1,52 @@
+#include "synth/consolidate.hh"
+
+#include "support/error.hh"
+
+namespace bsyn::synth
+{
+
+profile::StatisticalProfile
+consolidate(const std::vector<profile::StatisticalProfile> &profiles,
+            const std::string &name)
+{
+    BSYN_ASSERT(!profiles.empty(), "consolidating zero profiles");
+
+    profile::StatisticalProfile out;
+    out.workloadName = name;
+
+    int block_base = 0;
+    int loop_base = 0;
+    int func_base = 0;
+    for (const auto &p : profiles) {
+        out.dynamicInstructions += p.dynamicInstructions;
+        out.mix.merge(p.mix);
+
+        for (auto b : p.sfgl.blocks) {
+            b.id += block_base;
+            b.funcId += func_base;
+            for (auto &e : b.succs)
+                e.to += block_base;
+            if (b.loopId >= 0)
+                b.loopId += loop_base;
+            out.sfgl.blocks.push_back(std::move(b));
+        }
+        for (auto l : p.sfgl.loops) {
+            l.id += loop_base;
+            l.header += block_base;
+            for (auto &b : l.blocks)
+                b += block_base;
+            if (l.parent >= 0)
+                l.parent += loop_base;
+            out.sfgl.loops.push_back(std::move(l));
+        }
+        for (const auto &fname : p.sfgl.funcNames)
+            out.sfgl.funcNames.push_back(p.workloadName + "." + fname);
+
+        block_base = static_cast<int>(out.sfgl.blocks.size());
+        loop_base = static_cast<int>(out.sfgl.loops.size());
+        func_base = static_cast<int>(out.sfgl.funcNames.size());
+    }
+    return out;
+}
+
+} // namespace bsyn::synth

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Benchmark consolidation (paper §II-B.e): merge the statistical
+ * profiles of several workloads into one, so a single synthetic
+ * benchmark can stand in for the whole set (also one more layer of
+ * information hiding). Used by the Figure 11 experiment.
+ */
+
+#ifndef BSYN_SYNTH_CONSOLIDATE_HH
+#define BSYN_SYNTH_CONSOLIDATE_HH
+
+#include <vector>
+
+#include "profile/statistical_profile.hh"
+
+namespace bsyn::synth
+{
+
+/**
+ * Merge @p profiles into one consolidated profile. Block/loop ids are
+ * re-based so the SFGLs stay disjoint; function name lists concatenate;
+ * instruction mixes and dynamic counts add up.
+ */
+profile::StatisticalProfile
+consolidate(const std::vector<profile::StatisticalProfile> &profiles,
+            const std::string &name = "consolidated");
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_CONSOLIDATE_HH

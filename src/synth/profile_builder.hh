@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Programmatic statistical-profile construction — the paper's "generate
+ * emerging workloads" application (§II-B.c): instead of profiling an
+ * existing program, an architect specifies the behaviour a future
+ * workload is expected to have (loop structure, instruction mix, memory
+ * locality classes, branch behaviour) and the synthesizer turns that
+ * specification directly into a runnable C benchmark.
+ */
+
+#ifndef BSYN_SYNTH_PROFILE_BUILDER_HH
+#define BSYN_SYNTH_PROFILE_BUILDER_HH
+
+#include "profile/statistical_profile.hh"
+
+namespace bsyn::synth
+{
+
+/** Composition of one specified basic block. */
+struct BlockSpec
+{
+    uint64_t execCount = 1000;
+
+    int intOps = 4;     ///< integer ALU operations per execution
+    int fpOps = 0;      ///< floating-point operations per execution
+    int loads = 2;      ///< memory reads per execution
+    int stores = 1;     ///< memory writes per execution
+    int loadMissClass = 0;  ///< Table I class of the reads
+    int storeMissClass = 0; ///< Table I class of the writes
+    bool fpMemory = false;  ///< double streams instead of int streams
+
+    /** Conditional terminator behaviour (ignored when not branchy). */
+    bool endsInBranch = false;
+    double takenRate = 0.5;
+    double transitionRate = 0.5; ///< medium = hard to predict
+};
+
+/**
+ * Builds a StatisticalProfile by declaration. Loops may nest; blocks
+ * attach to a loop (or to the top level with loop = -1).
+ */
+class ProfileBuilder
+{
+  public:
+    explicit ProfileBuilder(std::string name);
+
+    /**
+     * Declare a loop.
+     *
+     * @param avg_iterations iterations per entry.
+     * @param entries times the loop is entered.
+     * @param parent enclosing loop id, or -1 for top level.
+     * @return the loop id.
+     */
+    int addLoop(double avg_iterations, uint64_t entries, int parent = -1);
+
+    /**
+     * Declare a basic block inside @p loop (-1 = top level).
+     * @return the block id.
+     */
+    int addBlock(int loop, const BlockSpec &spec);
+
+    /** Finalize into a profile the synthesizer accepts. */
+    profile::StatisticalProfile build() const;
+
+  private:
+    std::string workloadName;
+
+    struct LoopDecl
+    {
+        double iterations;
+        uint64_t entries;
+        int parent;
+    };
+    std::vector<LoopDecl> loops;
+    std::vector<std::pair<int, BlockSpec>> blocks; ///< (loop, spec)
+};
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_PROFILE_BUILDER_HH

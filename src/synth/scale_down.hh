@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SFGL scale-down (paper §III-B.1, Fig 2): divide basic-block execution
+ * counts, edge counts and loop iteration counts by a reduction factor R;
+ * blocks executed fewer than R times disappear. Nested loops scale outer
+ * first: when a loop's entry count cannot absorb the whole factor, the
+ * remainder comes out of its iteration count.
+ */
+
+#ifndef BSYN_SYNTH_SCALE_DOWN_HH
+#define BSYN_SYNTH_SCALE_DOWN_HH
+
+#include "profile/sfgl.hh"
+
+namespace bsyn::synth
+{
+
+/**
+ * Scale @p sfgl down by @p reduction_factor.
+ *
+ * @return a new SFGL whose block ids are preserved (dropped blocks keep
+ * their slot with execCount == 0 so loop membership lists stay valid).
+ */
+profile::Sfgl scaleDown(const profile::Sfgl &sfgl, uint64_t reduction_factor);
+
+/**
+ * Pick the reduction factor that brings @p dynamic_instructions down to
+ * roughly @p target_instructions, clamped to the paper's observed range
+ * [1, 250].
+ */
+uint64_t chooseReductionFactor(uint64_t dynamic_instructions,
+                               uint64_t target_instructions);
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_SCALE_DOWN_HH

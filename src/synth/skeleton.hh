@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Skeleton generation (paper §III-B.2/3): starting from the scaled-down
+ * SFGL, repeatedly pick a random basic block pro rata its remaining
+ * execution count; if it belongs to a loop, generate the whole
+ * (outermost-first, nested) loop structure; otherwise build a
+ * straight-line chain following the dominant control-flow edges.
+ * Execution counts are consumed as structures are generated; the process
+ * ends when the SFGL is empty. Finally the generated structures are
+ * organized into functions that deliberately do NOT correspond to the
+ * original program's functions (information hiding).
+ */
+
+#ifndef BSYN_SYNTH_SKELETON_HH
+#define BSYN_SYNTH_SKELETON_HH
+
+#include <memory>
+#include <vector>
+
+#include "profile/sfgl.hh"
+#include "support/rng.hh"
+
+namespace bsyn::synth
+{
+
+/** A node of the synthetic benchmark's structural skeleton. */
+struct SynNode
+{
+    enum class Kind : uint8_t
+    {
+        Block,  ///< one basic block's worth of statements
+        Loop,   ///< counted for-loop
+        If,     ///< conditional region (easy or hard branch model)
+        Repeat, ///< residual repetition wrapper
+    };
+
+    Kind kind = Kind::Block;
+
+    // Block
+    int sfglBlock = -1;
+
+    // Loop / Repeat
+    uint64_t iterations = 0;
+    std::vector<SynNode> body;
+
+    // If
+    double execProb = 1.0;       ///< probability the region executes
+    bool easyBranch = true;      ///< easy: guarded never-taken else path
+    double transitionRate = 0.0; ///< hard-branch modulo period source
+};
+
+/** One synthetic function: a sequence of top-level structures. */
+struct SynFunction
+{
+    std::string name;
+    std::vector<SynNode> roots;
+};
+
+/** The full skeleton. */
+struct Skeleton
+{
+    std::vector<SynFunction> funcs; ///< called in order by main()
+};
+
+/** Skeleton-generation knobs. */
+struct SkeletonOptions
+{
+    /** Max distinct synthetic functions (paper: function assignment is
+     *  randomized, not mirrored from the original). */
+    int maxFunctions = 8;
+
+    /** Use the loop annotation (the "L" in SFGL). When false, loops are
+     *  flattened into Repeat wrappers — the prior-work baseline the
+     *  paper compares against (ablation). */
+    bool useLoopInfo = true;
+
+    /** Member blocks with execution probability below this threshold are
+     *  modeled as never-executed guarded paths. */
+    double coldThreshold = 0.05;
+
+    /** Probability above which a member block is emitted unconditionally. */
+    double hotThreshold = 0.95;
+};
+
+/**
+ * Generate the skeleton from a scaled-down SFGL.
+ *
+ * @param scaled the scaled-down SFGL (consumed counts are internal).
+ * @param rng seeded generator (drives all random choices).
+ * @param opts structure knobs.
+ */
+Skeleton buildSkeleton(const profile::Sfgl &scaled, Rng &rng,
+                       const SkeletonOptions &opts = {});
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_SKELETON_HH

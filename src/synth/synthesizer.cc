@@ -1,0 +1,83 @@
+#include "synth/synthesizer.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+#include "synth/scale_down.hh"
+
+namespace bsyn::synth
+{
+
+namespace
+{
+
+SyntheticBenchmark
+generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
+             const SynthesisOptions &opts)
+{
+    Rng rng(opts.seed ^ (r * 0x9e3779b97f4a7c15ULL));
+    profile::Sfgl scaled = scaleDown(prof.sfgl, r);
+
+    // Big (consolidated) profiles must split across more functions:
+    // recompiling the clone is part of its job description, and a
+    // compiler's per-function analyses scale super-linearly, so a
+    // 100k-instruction main() would be as unusable for compiler teams
+    // as it would be unrealistic.
+    SkeletonOptions sk = opts.skeleton;
+    size_t live_blocks = 0;
+    for (const auto &b : scaled.blocks)
+        if (b.execCount > 0)
+            ++live_blocks;
+    int adaptive =
+        static_cast<int>(std::min<size_t>(64, live_blocks / 12));
+    sk.maxFunctions = std::max(sk.maxFunctions, adaptive);
+
+    Skeleton skeleton = buildSkeleton(scaled, rng, sk);
+    EmitResult emitted = emitC(scaled, skeleton, rng, opts.emitter);
+
+    SyntheticBenchmark syn;
+    syn.name = prof.workloadName + "_syn";
+    syn.cSource = std::move(emitted.source);
+    syn.reductionFactor = r;
+    syn.patternStats = emitted.patternStats;
+    return syn;
+}
+
+} // namespace
+
+SyntheticBenchmark
+synthesize(const profile::StatisticalProfile &prof,
+           const SynthesisOptions &opts,
+           uint64_t (*measure)(const std::string &source))
+{
+    uint64_t r = opts.reductionFactor
+                     ? opts.reductionFactor
+                     : chooseReductionFactor(prof.dynamicInstructions,
+                                             opts.targetInstructions);
+    SyntheticBenchmark syn = generateOnce(prof, r, opts);
+
+    if (measure == nullptr || opts.calibrationRounds <= 0 ||
+        opts.reductionFactor != 0)
+        return syn;
+
+    // Calibration: the analytic R misses when control structure (loop
+    // overheads, guards, index advances) shifts the clone's size;
+    // remeasure and retune, as the paper does empirically.
+    for (int round = 0; round < opts.calibrationRounds; ++round) {
+        uint64_t measured = measure(syn.cSource);
+        if (measured == 0)
+            break;
+        double ratio = double(measured) / double(opts.targetInstructions);
+        if (ratio < 2.0 && ratio > 0.5)
+            break; // close enough (within 2x)
+        uint64_t new_r = std::clamp<uint64_t>(
+            static_cast<uint64_t>(double(r) * ratio + 0.5), 1, 250);
+        if (new_r == r)
+            break;
+        r = new_r;
+        syn = generateOnce(prof, r, opts);
+    }
+    return syn;
+}
+
+} // namespace bsyn::synth

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Synthesizer facade: statistical profile in, synthetic C benchmark
+ * out. Wires together reduction-factor selection, SFGL scale-down,
+ * skeleton generation and C emission, with an optional calibration loop
+ * that retunes R until the clone's dynamic instruction count lands near
+ * the requested budget (the paper chooses R empirically so clones run
+ * ~10M instructions).
+ */
+
+#ifndef BSYN_SYNTH_SYNTHESIZER_HH
+#define BSYN_SYNTH_SYNTHESIZER_HH
+
+#include <string>
+
+#include "profile/statistical_profile.hh"
+#include "synth/c_emitter.hh"
+#include "synth/skeleton.hh"
+
+namespace bsyn::synth
+{
+
+/** Full synthesis configuration. */
+struct SynthesisOptions
+{
+    uint64_t seed = 0xb5e9c0de;
+
+    /** Fixed reduction factor; 0 selects automatically from the target. */
+    uint64_t reductionFactor = 0;
+
+    /** Dynamic-instruction budget for the clone (paper: ~10M; scaled
+     *  down here because whole suites run through an interpreter). */
+    uint64_t targetInstructions = 200000;
+
+    /** Re-measure and retune R this many times (0 = trust the first
+     *  estimate). Requires a measurement callback, see synthesize(). */
+    int calibrationRounds = 2;
+
+    SkeletonOptions skeleton;
+    EmitterOptions emitter;
+};
+
+/** The synthesized clone. */
+struct SyntheticBenchmark
+{
+    std::string name;
+    std::string cSource;
+    uint64_t reductionFactor = 1;
+    PatternStats patternStats;
+};
+
+/**
+ * Generate a synthetic clone of @p prof.
+ *
+ * @param prof the statistical profile (possibly consolidated).
+ * @param opts synthesis configuration.
+ * @param measure optional callback that compiles+runs a candidate source
+ *        and returns its dynamic instruction count (used by the
+ *        calibration loop); pass nullptr to skip calibration.
+ */
+SyntheticBenchmark
+synthesize(const profile::StatisticalProfile &prof,
+           const SynthesisOptions &opts = {},
+           uint64_t (*measure)(const std::string &source) = nullptr);
+
+} // namespace bsyn::synth
+
+#endif // BSYN_SYNTH_SYNTHESIZER_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * adpcm — IMA ADPCM codec (MiBench telecom analogue). large1/small1
+ * encode a synthetic speech-like waveform; large2/small2 decode the
+ * encoded stream back. Fixed-point, branchy, table-driven — the most
+ * branch-predictor-sensitive benchmark in the paper's Figure 9.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+// Shared tables + waveform generator + encoder/decoder core.
+const char *adpcmCommon = R"(
+int indexTable[16] = { -1, -1, -1, -1, 2, 4, 6, 8,
+                       -1, -1, -1, -1, 2, 4, 6, 8 };
+int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767 };
+
+int pcm[4096];
+int code[4096];
+int decoded[4096];
+uint waveState;
+
+/* Synthetic speech-ish waveform: sum of two integer oscillators plus
+ * pseudo-random noise. */
+int nextSample(int t) {
+  waveState = waveState * 1103515245 + 12345;
+  int noise = (int)((waveState >> 20) & 255) - 128;
+  int tri = (t & 511) - 256;
+  if (tri < 0) tri = -tri;
+  int saw = (t * 37) & 1023;
+  return tri * 40 + saw * 8 + noise * 6 - 16384;
+}
+
+int valpred;
+int indexv;
+
+void encodeBlock(int n) {
+  int i;
+  valpred = 0;
+  indexv = 0;
+  for (i = 0; i < n; i++) {
+    int val = pcm[i];
+    int step = stepsizeTable[indexv];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = -diff; }
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+    if (sign) valpred = valpred - vpdiff;
+    else valpred = valpred + vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    delta = delta | sign;
+    indexv = indexv + indexTable[delta];
+    if (indexv < 0) indexv = 0;
+    if (indexv > 88) indexv = 88;
+    code[i] = delta;
+  }
+}
+
+void decodeBlock(int n) {
+  int i;
+  valpred = 0;
+  indexv = 0;
+  for (i = 0; i < n; i++) {
+    int delta = code[i];
+    int step = stepsizeTable[indexv];
+    indexv = indexv + indexTable[delta];
+    if (indexv < 0) indexv = 0;
+    if (indexv > 88) indexv = 88;
+    int sign = delta & 8;
+    delta = delta & 7;
+    int vpdiff = step >> 3;
+    if (delta & 4) vpdiff = vpdiff + step;
+    if (delta & 2) vpdiff = vpdiff + (step >> 1);
+    if (delta & 1) vpdiff = vpdiff + (step >> 2);
+    if (sign) valpred = valpred - vpdiff;
+    else valpred = valpred + vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    decoded[i] = valpred;
+  }
+}
+)";
+
+Workload
+make(const std::string &input, int blocks, bool decode)
+{
+    Workload w;
+    w.benchmark = "adpcm";
+    w.input = input;
+    std::string main_body = strprintf(R"(
+int main() {
+  int b, i;
+  uint check = 0;
+  int t = 0;
+  waveState = 1u;
+  for (b = 0; b < %d; b++) {
+    for (i = 0; i < 1024; i++) { pcm[i] = nextSample(t); t++; }
+    encodeBlock(1024);
+    if (%d) {
+      decodeBlock(1024);
+      for (i = 0; i < 1024; i++)
+        check = check * 31 + (uint)(decoded[i] & 65535);
+    } else {
+      for (i = 0; i < 1024; i++)
+        check = check * 31 + (uint)code[i];
+    }
+  }
+  printf("adpcm_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                      blocks, decode ? 1 : 0,
+                                      input.c_str());
+    w.source = std::string(adpcmCommon) + main_body;
+    w.expectedOutput = "adpcm_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+adpcmWorkloads()
+{
+    return {
+        make("large1", 40, false), // encode, large input
+        make("large2", 40, true),  // encode+decode, large input
+        make("small1", 8, false),
+        make("small2", 8, true),
+    };
+}
+
+} // namespace bsyn::workloads

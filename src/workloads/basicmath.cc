@@ -1,0 +1,152 @@
+/**
+ * @file
+ * basicmath — cubic-equation solving, integer square roots and
+ * degree/radian conversions (MiBench automotive analogue). Double-heavy
+ * with Newton iterations; integer sqrt is pure bit manipulation.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *basicmathCommon = R"(
+double solx1;
+double solx2;
+double solx3;
+int nsols;
+
+/* Newton cube root (no libm in MiniC). */
+double cbrtApprox(double x) {
+  int i;
+  double neg = 0.0;
+  if (x < 0.0) { neg = 1.0; x = -x; }
+  if (x == 0.0) return 0.0;
+  double guess = x;
+  if (guess > 1.0) guess = x / 3.0 + 0.5;
+  for (i = 0; i < 24; i++) {
+    double g2 = guess * guess;
+    guess = guess - (guess * g2 - x) / (3.0 * g2 + 0.000000001);
+  }
+  if (neg > 0.5) return -guess;
+  return guess;
+}
+
+double sqrtApprox(double x) {
+  int i;
+  if (x <= 0.0) return 0.0;
+  double guess = x * 0.5 + 0.5;
+  for (i = 0; i < 20; i++)
+    guess = 0.5 * (guess + x / guess);
+  return guess;
+}
+
+/* Solve x^3 + a x^2 + b x + c = 0 (Cardano-style, trig-free variant
+ * using iterative root polishing from a bracketing estimate). */
+void solveCubic(double a, double b, double c) {
+  double a3 = a / 3.0;
+  double p = b - a * a3;
+  double q = c + (2.0 * a * a * a - 9.0 * a * b) / 27.0;
+  double disc = q * q / 4.0 + p * p * p / 27.0;
+  if (disc >= 0.0) {
+    double sd = sqrtApprox(disc);
+    double u = cbrtApprox(-q / 2.0 + sd);
+    double v = cbrtApprox(-q / 2.0 - sd);
+    solx1 = u + v - a3;
+    nsols = 1;
+  } else {
+    /* three real roots: polish three spaced starting points */
+    int k;
+    double start = -2.0;
+    nsols = 0;
+    for (k = 0; k < 3; k++) {
+      double x = start + (double)k * 2.0;
+      int i;
+      for (i = 0; i < 30; i++) {
+        double f = ((x + a) * x + b) * x + c;
+        double fp = (3.0 * x + 2.0 * a) * x + b;
+        if (fp < 0.000001) { if (fp > -0.000001) fp = 0.000001; }
+        x = x - f / fp;
+      }
+      if (k == 0) solx1 = x;
+      if (k == 1) solx2 = x;
+      if (k == 2) solx3 = x;
+      nsols = nsols + 1;
+    }
+  }
+}
+
+uint isqrt(uint x) {
+  uint result = 0;
+  uint bit = 1073741824u;
+  while (bit > x) bit = bit >> 2;
+  while (bit != 0) {
+    if (x >= result + bit) {
+      x = x - (result + bit);
+      result = (result >> 1) + bit;
+    } else {
+      result = result >> 1;
+    }
+    bit = bit >> 2;
+  }
+  return result;
+}
+
+double deg2rad(double deg) { return deg * 3.14159265358979 / 180.0; }
+double rad2deg(double rad) { return rad * 180.0 / 3.14159265358979; }
+)";
+
+Workload
+make(const std::string &input, int cubics, int sqrts, int angles)
+{
+    Workload w;
+    w.benchmark = "basicmath";
+    w.input = input;
+    w.source = std::string(basicmathCommon) + strprintf(R"(
+int main() {
+  int i;
+  double acc = 0.0;
+  uint ich = 0;
+  for (i = 0; i < %d; i++) {
+    double a = (double)(i %% 40) - 20.0;
+    double b = (double)((i * 7) %% 60) - 30.0;
+    double c = (double)((i * 13) %% 30) - 15.0;
+    solveCubic(a, b, c);
+    acc = acc + solx1;
+    if (nsols > 1) acc = acc + solx2 * 0.5 + solx3 * 0.25;
+  }
+  for (i = 0; i < %d; i++)
+    ich = ich * 3 + isqrt((uint)i * 37u + 1000u);
+  for (i = 0; i < %d; i++) {
+    double r = deg2rad((double)(i %% 360));
+    acc = acc + rad2deg(r) * 0.001;
+  }
+  int scaled = (int)(acc * 100.0);
+  printf("basicmath_%s=%%d_%%u\n", scaled, ich);
+  return scaled;
+}
+)",
+                                                        cubics, sqrts,
+                                                        angles,
+                                                        input.c_str());
+    w.expectedOutput = "basicmath_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+basicmathWorkloads()
+{
+    return {
+        make("large", 2500, 20000, 20000),
+        make("small", 500, 4000, 4000),
+    };
+}
+
+} // namespace bsyn::workloads

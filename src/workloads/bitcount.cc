@@ -1,0 +1,114 @@
+/**
+ * @file
+ * bitcount — four bit-counting strategies over a pseudo-random stream
+ * (MiBench automotive analogue): iterated shift, Kernighan sparse,
+ * nibble lookup table and SWAR parallel reduction.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *bitcountCommon = R"(
+uint nibbleBits[16];
+uint rngState;
+
+void initTables() {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    uint n = 0;
+    for (j = 0; j < 4; j++)
+      if (i & (1 << j)) n = n + 1;
+    nibbleBits[i] = n;
+  }
+}
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+uint countShift(uint x) {
+  uint n = 0;
+  while (x != 0) {
+    n = n + (x & 1);
+    x = x >> 1;
+  }
+  return n;
+}
+
+uint countSparse(uint x) {
+  uint n = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+uint countNibble(uint x) {
+  uint n = 0;
+  while (x != 0) {
+    n = n + nibbleBits[x & 15];
+    x = x >> 4;
+  }
+  return n;
+}
+
+uint countParallel(uint x) {
+  x = (x & 0x55555555) + ((x >> 1) & 0x55555555);
+  x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+  x = (x & 0x0F0F0F0F) + ((x >> 4) & 0x0F0F0F0F);
+  x = (x & 0x00FF00FF) + ((x >> 8) & 0x00FF00FF);
+  x = (x & 0x0000FFFF) + (x >> 16);
+  return x;
+}
+)";
+
+Workload
+make(const std::string &input, int iterations)
+{
+    Workload w;
+    w.benchmark = "bitcount";
+    w.input = input;
+    w.source = std::string(bitcountCommon) + strprintf(R"(
+int main() {
+  int i;
+  uint total = 0;
+  initTables();
+  rngState = 12345u;
+  for (i = 0; i < %d; i++) {
+    uint x = nextRand();
+    total = total + countShift(x);
+    total = total + countSparse(x);
+    total = total + countNibble(x);
+    total = total + countParallel(x);
+  }
+  printf("bitcount_%s=%%u\n", total);
+  return (int)total;
+}
+)",
+                                                       iterations,
+                                                       input.c_str());
+    w.expectedOutput = "bitcount_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+bitcountWorkloads()
+{
+    return {
+        make("large", 9000),
+        make("small", 1800),
+    };
+}
+
+} // namespace bsyn::workloads

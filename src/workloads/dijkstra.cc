@@ -1,0 +1,104 @@
+/**
+ * @file
+ * dijkstra — all-pairs-ish shortest paths by repeated Dijkstra runs over
+ * a dense adjacency matrix (MiBench network analogue). The matrix scan
+ * makes it the paper's most cache-size-sensitive benchmark (Fig 7).
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *dijkstraCommon = R"(
+uint adj[16384];     /* up to 128 x 128 dense matrix */
+uint dist[128];
+int visited[128];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+void buildGraph(int n) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      uint wgt = (nextRand() >> 16) & 1023;
+      if (wgt == 0) wgt = 1;
+      adj[i * n + j] = wgt;
+    }
+  }
+}
+
+uint runDijkstra(int n, int source) {
+  int i, k;
+  for (i = 0; i < n; i++) {
+    dist[i] = 0xFFFFFFF;
+    visited[i] = 0;
+  }
+  dist[source] = 0;
+  for (k = 0; k < n; k++) {
+    int best = -1;
+    uint bestDist = 0xFFFFFFF;
+    for (i = 0; i < n; i++) {
+      if (!visited[i] && dist[i] < bestDist) {
+        bestDist = dist[i];
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    visited[best] = 1;
+    for (i = 0; i < n; i++) {
+      uint cand = dist[best] + adj[best * n + i];
+      if (cand < dist[i]) dist[i] = cand;
+    }
+  }
+  uint sum = 0;
+  for (i = 0; i < n; i++) sum = sum + dist[i];
+  return sum;
+}
+)";
+
+Workload
+make(const std::string &input, int n, int sources)
+{
+    Workload w;
+    w.benchmark = "dijkstra";
+    w.input = input;
+    w.source = std::string(dijkstraCommon) + strprintf(R"(
+int main() {
+  int s;
+  uint check = 0;
+  rngState = 424242u;
+  buildGraph(%d);
+  for (s = 0; s < %d; s++)
+    check = check * 17 + runDijkstra(%d, s %% %d);
+  printf("dijkstra_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                                       n, sources, n, n,
+                                                       input.c_str());
+    w.expectedOutput = "dijkstra_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+dijkstraWorkloads()
+{
+    return {
+        make("large", 96, 48),
+        make("small", 48, 16),
+    };
+}
+
+} // namespace bsyn::workloads

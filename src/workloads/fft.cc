@@ -1,0 +1,145 @@
+/**
+ * @file
+ * fft — iterative radix-2 Cooley-Tukey FFT on doubles with Taylor-series
+ * trigonometry (MiBench telecom analogue). The heaviest floating-point
+ * benchmark — the paper's highest-CPI workload in Figure 10. large1 is
+ * forward transforms, large2 round-trips (forward + inverse), small1 is
+ * a reduced forward run.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *fftCommon = R"(
+double re[1024];
+double im[1024];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+/* sin via Taylor series with range reduction into [-pi, pi]. */
+double tsin(double x) {
+  double pi = 3.14159265358979;
+  double twopi = 6.28318530717959;
+  while (x > pi) x = x - twopi;
+  while (x < -pi) x = x + twopi;
+  double x2 = x * x;
+  double term = x;
+  double sum = x;
+  int k;
+  for (k = 1; k <= 9; k++) {
+    term = -term * x2 / (double)((2 * k) * (2 * k + 1));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double tcos(double x) { return tsin(x + 1.5707963267949); }
+
+/* In-place iterative radix-2 FFT; dir = 1 forward, -1 inverse. */
+void fftRun(int n, int dir) {
+  int i, j, len;
+  /* bit reversal permutation */
+  j = 0;
+  for (i = 1; i < n; i++) {
+    int bit = n >> 1;
+    while (j & bit) {
+      j = j ^ bit;
+      bit = bit >> 1;
+    }
+    j = j | bit;
+    if (i < j) {
+      double tr = re[i]; re[i] = re[j]; re[j] = tr;
+      double ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+  for (len = 2; len <= n; len = len << 1) {
+    double ang = 6.28318530717959 / (double)len * (double)dir;
+    for (i = 0; i < n; i = i + len) {
+      int half = len >> 1;
+      for (j = 0; j < half; j++) {
+        /* Like the original MiBench fft, the twiddle factors are
+         * computed with trigonometric calls inside the inner loop. */
+        double phase = ang * (double)j;
+        double curR = tcos(phase);
+        double curI = tsin(phase);
+        int a = i + j;
+        int b = i + j + half;
+        double xr = re[b] * curR - im[b] * curI;
+        double xi = re[b] * curI + im[b] * curR;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+  }
+  if (dir < 0) {
+    for (i = 0; i < n; i++) {
+      re[i] = re[i] / (double)n;
+      im[i] = im[i] / (double)n;
+    }
+  }
+}
+
+void fillSignal(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    re[i] = (double)((int)(nextRand() & 2047) - 1024) / 512.0;
+    im[i] = 0.0;
+  }
+}
+)";
+
+Workload
+make(const std::string &input, int n, int reps, bool inverse)
+{
+    Workload w;
+    w.benchmark = "fft";
+    w.input = input;
+    w.source = std::string(fftCommon) + strprintf(R"(
+int main() {
+  int r, i;
+  double acc = 0.0;
+  rngState = 2024u;
+  for (r = 0; r < %d; r++) {
+    fillSignal(%d);
+    fftRun(%d, 1);
+    if (%d) fftRun(%d, -1);
+    for (i = 0; i < 8; i++) acc = acc + re[i * 37 %% %d] + im[i * 53 %% %d];
+  }
+  int scaled = (int)(acc * 1000.0);
+  printf("fft_%s=%%d\n", scaled);
+  return scaled;
+}
+)",
+                                                  reps, n, n,
+                                                  inverse ? 1 : 0, n, n,
+                                                  n, input.c_str());
+    w.expectedOutput = "fft_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+fftWorkloads()
+{
+    return {
+        make("large1", 1024, 3, false),
+        make("large2", 1024, 1, true),
+        make("small1", 256, 2, false),
+    };
+}
+
+} // namespace bsyn::workloads

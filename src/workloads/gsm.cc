@@ -1,0 +1,171 @@
+/**
+ * @file
+ * gsm — simplified GSM full-rate speech codec front end (MiBench telecom
+ * analogue): per-frame preemphasis, autocorrelation, Schur reflection
+ * coefficients and LTP lag search in saturating fixed point. large1/
+ * small1 run analysis (encode side), large2/small2 add the synthesis
+ * filter (decode side).
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *gsmCommon = R"(
+int frame[160];
+int prevFrame[160];
+int acf[9];
+int refc[8];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+int saturate(int x) {
+  if (x > 32767) return 32767;
+  if (x < -32768) return -32768;
+  return x;
+}
+
+void fillFrame(int t) {
+  int i;
+  for (i = 0; i < 160; i++) {
+    int tri = ((t + i) & 255) - 128;
+    if (tri < 0) tri = -tri;
+    int noise = (int)((nextRand() >> 21) & 511) - 256;
+    frame[i] = saturate(tri * 90 + noise * 16 - 8192);
+  }
+}
+
+void preemphasis() {
+  int i;
+  int prev = 0;
+  for (i = 0; i < 160; i++) {
+    int s = frame[i];
+    frame[i] = saturate(s - ((prev * 28180) >> 15));
+    prev = s;
+  }
+}
+
+void autocorrelation() {
+  int k, i;
+  for (k = 0; k <= 8; k++) {
+    int sum = 0;
+    for (i = k; i < 160; i++)
+      sum = sum + ((frame[i] >> 3) * (frame[i - k] >> 3) >> 6);
+    acf[k] = sum;
+  }
+}
+
+void schurReflection() {
+  int p[9];
+  int k[9];
+  int i, n;
+  for (i = 0; i <= 8; i++) p[i] = acf[i];
+  for (n = 0; n < 8; n++) {
+    int denom = p[0];
+    if (denom == 0) denom = 1;
+    int r = -(p[n + 1] * 256) / denom;
+    if (r > 255) r = 255;
+    if (r < -255) r = -255;
+    refc[n] = r;
+    for (i = 0; i <= 7 - n; i++) {
+      int pn = p[i + n + 1];
+      p[i + n + 1] = pn + ((r * p[i + n]) >> 8);
+    }
+  }
+}
+
+int ltpLagSearch() {
+  int lag, i;
+  int bestLag = 40;
+  int bestScore = -2147483647;
+  for (lag = 40; lag < 120; lag++) {
+    int score = 0;
+    for (i = 0; i < 40; i++)
+      score = score + ((frame[i + 40] >> 4) * (prevFrame[(i + 160 - lag) %% 160] >> 4) >> 4);
+    if (score > bestScore) { bestScore = score; bestLag = lag; }
+  }
+  return bestLag;
+}
+
+void synthesisFilter() {
+  int i, n;
+  for (i = 0; i < 160; i++) {
+    int acc2 = frame[i] << 4;
+    for (n = 0; n < 8; n++)
+      acc2 = acc2 - ((refc[n] * (i > n ? frame[i - n - 1] : prevFrame[160 - 1 - n])) >> 8);
+    frame[i] = saturate(acc2 >> 4);
+  }
+}
+)";
+
+Workload
+make(const std::string &input, int frames, bool decode)
+{
+    Workload w;
+    w.benchmark = "gsm";
+    w.input = input;
+    // The common body uses %% for the one literal modulo; rebuild it.
+    std::string common = gsmCommon;
+    std::string fixed;
+    for (size_t i = 0; i < common.size(); ++i) {
+        if (common[i] == '%' && i + 1 < common.size() &&
+            common[i + 1] == '%') {
+            fixed += '%';
+            ++i;
+        } else {
+            fixed += common[i];
+        }
+    }
+    w.source = fixed + strprintf(R"(
+int main() {
+  int f, i;
+  uint check = 0;
+  rngState = 909u;
+  for (i = 0; i < 160; i++) prevFrame[i] = 0;
+  for (f = 0; f < %d; f++) {
+    fillFrame(f * 160);
+    preemphasis();
+    autocorrelation();
+    schurReflection();
+    int lag = ltpLagSearch();
+    if (%d) {
+      synthesisFilter();
+      check = check * 31 + (uint)(frame[40] & 65535);
+    }
+    for (i = 0; i < 8; i++) check = check * 31 + (uint)(refc[i] & 1023);
+    check = check * 31 + (uint)lag;
+    for (i = 0; i < 160; i++) prevFrame[i] = frame[i];
+  }
+  printf("gsm_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                 frames, decode ? 1 : 0, input.c_str());
+    w.expectedOutput = "gsm_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+gsmWorkloads()
+{
+    return {
+        make("large1", 60, false),
+        make("large2", 60, true),
+        make("small1", 12, false),
+        make("small2", 12, true),
+    };
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * jpeg — JPEG-style forward path (MiBench consumer analogue): an 8x8
+ * integer DCT, quantization and zig-zag run-length accounting over a
+ * procedurally generated image. Integer multiply heavy with block-local
+ * memory behaviour. The paper only evaluates jpeg/large1.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *jpegCommon = R"(
+int image[65536];   /* up to 256 x 256 */
+int block[64];
+int coef[64];
+int quantTable[64];
+int zigzag[64] = {
+   0,  1,  8, 16,  9,  2,  3, 10,
+  17, 24, 32, 25, 18, 11,  4,  5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13,  6,  7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63 };
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+void initQuant(int quality) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int base = 16 + ((i & 7) + (i >> 3)) * 3;
+    int q = (base * quality) / 50;
+    if (q < 1) q = 1;
+    if (q > 255) q = 255;
+    quantTable[i] = q;
+  }
+}
+
+void makeImage(int w, int h) {
+  int x, y;
+  for (y = 0; y < h; y++) {
+    for (x = 0; x < w; x++) {
+      int v = ((x * x + y * y) >> 3) & 255;
+      v = v + (int)((nextRand() >> 24) & 31);
+      image[y * w + x] = (v & 255) - 128;
+    }
+  }
+}
+
+/* 1-D integer DCT on 8 values (fixed point, scale 2^10). */
+void dct1d(int s0, int s1, int s2, int s3, int s4, int s5, int s6, int s7) {
+  /* constants: cos(k*pi/16) * 1024 */
+  int c1 = 1004; int c2 = 946; int c3 = 851;
+  int c4 = 724; int c5 = 569; int c6 = 392; int c7 = 200;
+  coef[0] = ((s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7) * c4) >> 10;
+  coef[1] = (s0*c1 + s1*c3 + s2*c5 + s3*c7 - s4*c7 - s5*c5 - s6*c3 - s7*c1) >> 10;
+  coef[2] = ((s0 - s3 - s4 + s7)*c2 + (s1 - s2 - s5 + s6)*c6) >> 10;
+  coef[3] = (s0*c3 - s1*c7 - s2*c1 - s3*c5 + s4*c5 + s5*c1 + s6*c7 - s7*c3) >> 10;
+  coef[4] = ((s0 - s1 - s2 + s3 + s4 - s5 - s6 + s7) * c4) >> 10;
+  coef[5] = (s0*c5 - s1*c1 + s2*c7 + s3*c3 - s4*c3 - s5*c7 + s6*c1 - s7*c5) >> 10;
+  coef[6] = ((s0 - s3 - s4 + s7)*c6 - (s1 - s2 - s5 + s6)*c2) >> 10;
+  coef[7] = (s0*c7 - s1*c5 + s2*c3 - s3*c1 + s4*c1 - s5*c3 + s6*c5 - s7*c7) >> 10;
+}
+
+uint encodeBlock8x8(int w, int bx, int by) {
+  int r, c2, i;
+  /* load block */
+  for (r = 0; r < 8; r++)
+    for (c2 = 0; c2 < 8; c2++)
+      block[r * 8 + c2] = image[(by * 8 + r) * w + bx * 8 + c2];
+  /* rows */
+  for (r = 0; r < 8; r++) {
+    int base = r * 8;
+    dct1d(block[base], block[base+1], block[base+2], block[base+3],
+          block[base+4], block[base+5], block[base+6], block[base+7]);
+    for (i = 0; i < 8; i++) block[base + i] = coef[i];
+  }
+  /* columns */
+  for (c2 = 0; c2 < 8; c2++) {
+    dct1d(block[c2], block[c2+8], block[c2+16], block[c2+24],
+          block[c2+32], block[c2+40], block[c2+48], block[c2+56]);
+    for (i = 0; i < 8; i++) block[c2 + i * 8] = coef[i];
+  }
+  /* quantize + zig-zag run-length checksum */
+  uint check = 0;
+  int run = 0;
+  for (i = 0; i < 64; i++) {
+    int q = block[zigzag[i]] / quantTable[i];
+    if (q == 0) {
+      run = run + 1;
+    } else {
+      check = check * 31 + (uint)(q & 65535) + (uint)run;
+      run = 0;
+    }
+  }
+  return check;
+}
+)";
+
+Workload
+make(const std::string &input, int dim, int passes)
+{
+    Workload w;
+    w.benchmark = "jpeg";
+    w.input = input;
+    w.source = std::string(jpegCommon) + strprintf(R"(
+int main() {
+  int p, bx, by;
+  uint check = 0;
+  rngState = 5150u;
+  makeImage(%d, %d);
+  for (p = 0; p < %d; p++) {
+    initQuant(25 + p * 25);
+    for (by = 0; by < %d; by++)
+      for (bx = 0; bx < %d; bx++)
+        check = check * 7 + encodeBlock8x8(%d, bx, by);
+  }
+  printf("jpeg_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                                   dim, dim, passes,
+                                                   dim / 8, dim / 8, dim,
+                                                   input.c_str());
+    w.expectedOutput = "jpeg_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+jpegWorkloads()
+{
+    return {
+        make("large1", 128, 2),
+    };
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * patricia — PATRICIA trie for IP-style route lookups (MiBench network
+ * analogue), using index-based node storage (MiniC has no pointers).
+ * Pointer-chasing loads with data-dependent branches. The paper only
+ * evaluates patricia/small.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *patriciaCommon = R"(
+uint nodeKey[8192];
+int nodeBit[8192];
+int nodeLeft[8192];
+int nodeRight[8192];
+int numNodes;
+int rootNode;
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+int bitOf(uint key, int bit) {
+  if (bit > 31) return 0;
+  return (int)((key >> (31 - bit)) & 1);
+}
+
+/* Search to the closest leaf-ish node (classic PATRICIA descent,
+ * stopping when the bit index stops increasing). */
+int descend(uint key) {
+  int cur = rootNode;
+  int prevBit = -1;
+  while (nodeBit[cur] > prevBit) {
+    prevBit = nodeBit[cur];
+    if (bitOf(key, nodeBit[cur]))
+      cur = nodeRight[cur];
+    else
+      cur = nodeLeft[cur];
+  }
+  return cur;
+}
+
+void insert(uint key) {
+  if (numNodes == 0) {
+    nodeKey[0] = key;
+    nodeBit[0] = 0;
+    nodeLeft[0] = 0;
+    nodeRight[0] = 0;
+    rootNode = 0;
+    numNodes = 1;
+    return;
+  }
+  int found = descend(key);
+  uint diff = nodeKey[found] ^ key;
+  if (diff == 0) return; /* already present */
+  /* first differing bit */
+  int bit = 0;
+  while (bit < 32 && ((diff >> (31 - bit)) & 1) == 0) bit = bit + 1;
+  /* re-descend to the insertion point */
+  int parent = -1;
+  int cur = rootNode;
+  int prevBit = -1;
+  while (nodeBit[cur] > prevBit && nodeBit[cur] < bit) {
+    prevBit = nodeBit[cur];
+    parent = cur;
+    if (bitOf(key, nodeBit[cur]))
+      cur = nodeRight[cur];
+    else
+      cur = nodeLeft[cur];
+  }
+  int fresh = numNodes;
+  numNodes = numNodes + 1;
+  nodeKey[fresh] = key;
+  nodeBit[fresh] = bit;
+  if (bitOf(key, bit)) {
+    nodeLeft[fresh] = cur;
+    nodeRight[fresh] = fresh;
+  } else {
+    nodeLeft[fresh] = fresh;
+    nodeRight[fresh] = cur;
+  }
+  if (parent < 0) {
+    rootNode = fresh;
+  } else if (bitOf(key, nodeBit[parent])) {
+    nodeRight[parent] = fresh;
+  } else {
+    nodeLeft[parent] = fresh;
+  }
+}
+
+int lookup(uint key) {
+  int found = descend(key);
+  if (nodeKey[found] == key) return 1;
+  return 0;
+}
+)";
+
+Workload
+make(const std::string &input, int inserts, int lookups)
+{
+    Workload w;
+    w.benchmark = "patricia";
+    w.input = input;
+    w.source = std::string(patriciaCommon) + strprintf(R"(
+int main() {
+  int i;
+  uint hits = 0;
+  numNodes = 0;
+  rngState = 31337u;
+  for (i = 0; i < %d; i++)
+    insert(nextRand() & 0xFFFFFF00);
+  for (i = 0; i < %d; i++) {
+    uint probe = nextRand() & 0xFFFFFF00;
+    hits = hits + (uint)lookup(probe);
+    if (i & 1) hits = hits + (uint)lookup((uint)i << 8);
+  }
+  printf("patricia_%s=%%u_%%d\n", hits, numNodes);
+  return (int)hits;
+}
+)",
+                                                      inserts, lookups,
+                                                      input.c_str());
+    w.expectedOutput = "patricia_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+patriciaWorkloads()
+{
+    return {
+        make("small", 2500, 12000),
+    };
+}
+
+} // namespace bsyn::workloads

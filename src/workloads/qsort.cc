@@ -1,0 +1,110 @@
+/**
+ * @file
+ * qsort — recursive quicksort with insertion-sort leaves over
+ * pseudo-random keys (MiBench automotive analogue). Exercises deep
+ * call/return behaviour and data-dependent branches. The paper only
+ * evaluates qsort/large.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *qsortCommon = R"(
+uint data[32768];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+void insertionSort(int lo, int hi) {
+  int i, j;
+  for (i = lo + 1; i <= hi; i++) {
+    uint key = data[i];
+    j = i - 1;
+    while (j >= lo && data[j] > key) {
+      data[j + 1] = data[j];
+      j = j - 1;
+    }
+    data[j + 1] = key;
+  }
+}
+
+void quickSort(int lo, int hi) {
+  if (hi - lo < 12) {
+    insertionSort(lo, hi);
+    return;
+  }
+  /* median-of-three pivot */
+  int mid = lo + ((hi - lo) >> 1);
+  uint a = data[lo];
+  uint b = data[mid];
+  uint c = data[hi];
+  uint pivot = a;
+  if (a > b) { if (b > c) pivot = b; else if (a > c) pivot = c; }
+  else { if (a > c) pivot = a; else if (b > c) pivot = c; else pivot = b; }
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (data[i] < pivot) i = i + 1;
+    while (data[j] > pivot) j = j - 1;
+    if (i <= j) {
+      uint tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  if (lo < j) quickSort(lo, j);
+  if (i < hi) quickSort(i, hi);
+}
+)";
+
+Workload
+make(const std::string &input, int n, int rounds)
+{
+    Workload w;
+    w.benchmark = "qsort";
+    w.input = input;
+    w.source = std::string(qsortCommon) + strprintf(R"(
+int main() {
+  int r, i;
+  uint check = 0;
+  rngState = 8675309u;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < %d; i++) data[i] = nextRand();
+    quickSort(0, %d - 1);
+    for (i = 1; i < %d; i++)
+      if (data[i - 1] > data[i]) check = 0xDEAD0000;
+    check = check * 31 + data[%d / 2] + data[7];
+  }
+  printf("qsort_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                                    rounds, n, n, n, n,
+                                                    input.c_str());
+    w.expectedOutput = "qsort_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+qsortWorkloads()
+{
+    return {
+        make("large", 12000, 2),
+    };
+}
+
+} // namespace bsyn::workloads

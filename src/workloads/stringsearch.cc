@@ -1,0 +1,114 @@
+/**
+ * @file
+ * stringsearch — Boyer-Moore-Horspool substring search over generated
+ * text (MiBench office analogue). Skip-table loads with highly variable
+ * inner-loop trip counts.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *searchCommon = R"(
+int text[16384];
+int pat[32];
+int skip[64];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+/* English-ish text over a 27-letter alphabet with word structure. */
+void makeText(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    uint r = nextRand();
+    if ((r & 7) == 0) text[i] = 26;           /* space */
+    else text[i] = (int)((r >> 8) %% 26);
+  }
+}
+
+void makePattern(int plen, int seedPos) {
+  int i;
+  for (i = 0; i < plen; i++)
+    pat[i] = text[(seedPos + i) %% 16384];
+}
+
+int searchAll(int n, int plen) {
+  int i, j, k;
+  int found = 0;
+  for (k = 0; k < 64; k++) skip[k] = plen;
+  for (k = 0; k < plen - 1; k++) skip[pat[k]] = plen - 1 - k;
+  i = plen - 1;
+  while (i < n) {
+    j = plen - 1;
+    k = i;
+    while (j >= 0 && text[k] == pat[j]) {
+      j = j - 1;
+      k = k - 1;
+    }
+    if (j < 0) found = found + 1;
+    i = i + skip[text[i]];
+  }
+  return found;
+}
+)";
+
+Workload
+make(const std::string &input, int text_len, int patterns)
+{
+    Workload w;
+    w.benchmark = "stringsearch";
+    w.input = input;
+    std::string common = searchCommon;
+    std::string fixed;
+    for (size_t i = 0; i < common.size(); ++i) {
+        if (common[i] == '%' && i + 1 < common.size() &&
+            common[i + 1] == '%') {
+            fixed += '%';
+            ++i;
+        } else {
+            fixed += common[i];
+        }
+    }
+    w.source = fixed + strprintf(R"(
+int main() {
+  int p;
+  uint total = 0;
+  rngState = 60606u;
+  makeText(%d);
+  for (p = 0; p < %d; p++) {
+    int plen = 3 + (p %% 14);
+    makePattern(plen, p * 389);
+    total = total * 31 + (uint)searchAll(%d, plen);
+  }
+  printf("stringsearch_%s=%%u\n", total);
+  return (int)total;
+}
+)",
+                                 text_len, patterns, text_len,
+                                 input.c_str());
+    w.expectedOutput = "stringsearch_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+stringsearchWorkloads()
+{
+    return {
+        make("large", 16384, 90),
+        make("small", 8192, 24),
+    };
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,59 @@
+#include "workloads/suite.hh"
+
+#include <set>
+
+#include "support/error.hh"
+
+namespace bsyn::workloads
+{
+
+const std::vector<Workload> &
+mibenchSuite()
+{
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> all;
+        auto add = [&](std::vector<Workload> group) {
+            for (auto &w : group)
+                all.push_back(std::move(w));
+        };
+        // Figure 4 order.
+        add(adpcmWorkloads());
+        add(basicmathWorkloads());
+        add(bitcountWorkloads());
+        add(crc32Workloads());
+        add(dijkstraWorkloads());
+        add(fftWorkloads());
+        add(gsmWorkloads());
+        add(jpegWorkloads());
+        add(patriciaWorkloads());
+        add(qsortWorkloads());
+        add(shaWorkloads());
+        add(stringsearchWorkloads());
+        add(susanWorkloads());
+        return all;
+    }();
+    return suite;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : mibenchSuite())
+        if (w.name() == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    std::set<std::string> seen;
+    for (const auto &w : mibenchSuite()) {
+        if (seen.insert(w.benchmark).second)
+            names.push_back(w.benchmark);
+    }
+    return names;
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The full MiBench-analogue suite (31 instances), mirroring the
+ * benchmark/input list of the paper's Figure 4.
+ */
+
+#ifndef BSYN_WORKLOADS_SUITE_HH
+#define BSYN_WORKLOADS_SUITE_HH
+
+#include "workloads/workload.hh"
+
+namespace bsyn::workloads
+{
+
+/** Every workload instance, in the paper's Figure 4 order. */
+const std::vector<Workload> &mibenchSuite();
+
+/** Look up an instance by "benchmark/input" name; fatal() if missing. */
+const Workload &findWorkload(const std::string &name);
+
+/** Distinct benchmark names in suite order. */
+std::vector<std::string> benchmarkNames();
+
+} // namespace bsyn::workloads
+
+#endif // BSYN_WORKLOADS_SUITE_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * susan — SUSAN image processing (MiBench automotive analogue): the
+ * three MiBench modes map to large1/small1 smoothing, large2/small2
+ * edge response and large3/small3 corner detection, all built on the
+ * brightness-similarity lookup table of the original algorithm.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/string_util.hh"
+
+namespace bsyn::workloads
+{
+
+namespace
+{
+
+const char *susanCommon = R"(
+int img[16384];    /* up to 128 x 128 */
+int out[16384];
+int lut[512];      /* brightness similarity, index diff+256 */
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525 + 1013904223;
+  return rngState;
+}
+
+void makeImage(int w, int h) {
+  int x, y;
+  for (y = 0; y < h; y++) {
+    for (x = 0; x < w; x++) {
+      int v = ((x * 5) ^ (y * 3)) & 127;
+      if (((x >> 4) + (y >> 4)) & 1) v = v + 96;  /* blocks -> edges */
+      v = v + (int)((nextRand() >> 26) & 15);
+      img[y * w + x] = v & 255;
+    }
+  }
+}
+
+/* exp(-(d/t)^6)-style similarity, computed in fixed point without libm:
+ * s = 4096 / (1 + (d/t)^6), monotone and saturating like the original. */
+void makeLut(int threshold) {
+  int d;
+  for (d = -256; d < 256; d++) {
+    int ad = d; if (ad < 0) ad = -ad;
+    int r = (ad * 64) / threshold;       /* scaled ratio */
+    if (r > 100) r = 100;                /* keep r^6 inside 32 bits */
+    int r2 = (r * r) >> 6;
+    int r6 = (r2 * r2 >> 6) * r2 >> 6;
+    lut[d + 256] = 4096 / (1 + r6);
+  }
+}
+
+void smooth(int w, int h) {
+  int x, y, dx, dy;
+  for (y = 1; y < h - 1; y++) {
+    for (x = 1; x < w - 1; x++) {
+      int center = img[y * w + x];
+      int num = 0;
+      int den = 0;
+      for (dy = -1; dy <= 1; dy++) {
+        for (dx = -1; dx <= 1; dx++) {
+          int pix = img[(y + dy) * w + x + dx];
+          int wgt = lut[pix - center + 256];
+          num = num + pix * wgt;
+          den = den + wgt;
+        }
+      }
+      if (den == 0) den = 1;
+      out[y * w + x] = num / den;
+    }
+  }
+}
+
+/* USAN area: small area = edge/corner response. */
+void usan(int w, int h, int radius) {
+  int x, y, dx, dy;
+  for (y = radius; y < h - radius; y++) {
+    for (x = radius; x < w - radius; x++) {
+      int center = img[y * w + x];
+      int area = 0;
+      for (dy = -radius; dy <= radius; dy++) {
+        for (dx = -radius; dx <= radius; dx++) {
+          int pix = img[(y + dy) * w + x + dx];
+          area = area + lut[pix - center + 256];
+        }
+      }
+      out[y * w + x] = area;
+    }
+  }
+}
+
+uint cornerScan(int w, int h, int radius, int geom) {
+  int x, y;
+  uint corners = 0;
+  for (y = radius; y < h - radius; y++) {
+    for (x = radius; x < w - radius; x++) {
+      int area = out[y * w + x];
+      if (area < geom) {
+        /* local minimum check in 3x3 */
+        int best = 1;
+        int dy2, dx2;
+        for (dy2 = -1; dy2 <= 1; dy2++)
+          for (dx2 = -1; dx2 <= 1; dx2++)
+            if (out[(y + dy2) * w + x + dx2] < area) best = 0;
+        if (best) corners = corners + 1;
+      }
+    }
+  }
+  return corners;
+}
+)";
+
+Workload
+make(const std::string &input, int dim, int mode)
+{
+    Workload w;
+    w.benchmark = "susan";
+    w.input = input;
+    w.source = std::string(susanCommon) + strprintf(R"(
+int main() {
+  int i;
+  uint check = 0;
+  rngState = 11211u;
+  makeImage(%d, %d);
+  makeLut(20);
+  if (%d == 1) {
+    smooth(%d, %d);
+    smooth(%d, %d);
+  } else if (%d == 2) {
+    usan(%d, %d, 1);
+  } else {
+    usan(%d, %d, 2);
+    check = check + cornerScan(%d, %d, 2, 60000);
+  }
+  for (i = 0; i < 64; i++)
+    check = check * 31 + (uint)(out[i * 97 %% (%d * %d)] & 65535);
+  printf("susan_%s=%%u\n", check);
+  return (int)check;
+}
+)",
+                                                    dim, dim, mode, dim,
+                                                    dim, dim, dim, mode,
+                                                    dim, dim, dim, dim,
+                                                    dim, dim, dim, dim,
+                                                    input.c_str());
+    w.expectedOutput = "susan_" + input + "=";
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+susanWorkloads()
+{
+    return {
+        make("large1", 128, 1),
+        make("large2", 128, 2),
+        make("large3", 128, 3),
+        make("small1", 64, 1),
+        make("small2", 64, 2),
+        make("small3", 64, 3),
+    };
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,14 @@
+#include "workloads/workload.hh"
+
+#include "lang/frontend.hh"
+
+namespace bsyn::workloads
+{
+
+ir::Module
+compileWorkload(const Workload &w)
+{
+    return lang::compile(w.source, w.name());
+}
+
+} // namespace bsyn::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload definitions: MiBench-analogue kernels written in MiniC, each
+ * with the small/large input instances the paper evaluates (31 workload
+ * instances across 13 benchmarks, matching Figure 4's x-axis).
+ */
+
+#ifndef BSYN_WORKLOADS_WORKLOAD_HH
+#define BSYN_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsyn::workloads
+{
+
+/** One benchmark instance (benchmark + input size). */
+struct Workload
+{
+    std::string benchmark; ///< e.g. "crc32"
+    std::string input;     ///< e.g. "large"
+    std::string source;    ///< MiniC/C source text
+
+    /** Substring the program must print (correctness check). */
+    std::string expectedOutput;
+
+    /** "crc32/large" */
+    std::string
+    name() const
+    {
+        return benchmark + "/" + input;
+    }
+};
+
+/** Compile a workload's source to an IR module (-O0 shape). */
+ir::Module compileWorkload(const Workload &w);
+
+// Per-benchmark instance factories (defined in one file each).
+std::vector<Workload> adpcmWorkloads();
+std::vector<Workload> basicmathWorkloads();
+std::vector<Workload> bitcountWorkloads();
+std::vector<Workload> crc32Workloads();
+std::vector<Workload> dijkstraWorkloads();
+std::vector<Workload> fftWorkloads();
+std::vector<Workload> gsmWorkloads();
+std::vector<Workload> jpegWorkloads();
+std::vector<Workload> patriciaWorkloads();
+std::vector<Workload> qsortWorkloads();
+std::vector<Workload> shaWorkloads();
+std::vector<Workload> stringsearchWorkloads();
+std::vector<Workload> susanWorkloads();
+
+} // namespace bsyn::workloads
+
+#endif // BSYN_WORKLOADS_WORKLOAD_HH

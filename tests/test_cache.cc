@@ -1,0 +1,152 @@
+/** @file Cache simulator tests, including the Table I stride/miss-rate
+ *  property the synthetic memory streams rely on. */
+
+#include <gtest/gtest.h>
+
+#include "profile/memory_profile.hh"
+#include "sim/cache.hh"
+
+namespace bsyn::sim
+{
+namespace
+{
+
+CacheConfig
+cfg(uint64_t size, uint32_t line = 32, uint32_t ways = 4)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.associativity = ways;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(cfg(1024));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x101F)); // same 32B line
+    EXPECT_FALSE(c.access(0x1020)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // Direct-mapped-like behaviour in one set: 2-way, force eviction.
+    CacheConfig c2 = cfg(64, 32, 2); // one set, two ways
+    Cache c(c2);
+    EXPECT_EQ(c2.numSets(), 1u);
+    c.access(0x0000);   // miss, way 0
+    c.access(0x1000);   // miss, way 1
+    c.access(0x0000);   // hit, refreshes LRU
+    c.access(0x2000);   // miss, evicts 0x1000 (LRU)
+    EXPECT_TRUE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x1000)); // was evicted
+}
+
+TEST(Cache, ProbeDoesNotDisturb)
+{
+    Cache c(cfg(1024));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.stats().accesses, 0u);
+    c.access(0x40);
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(Cache, FlushEmptiesContents)
+{
+    Cache c(cfg(1024));
+    c.access(0x80);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x80));
+}
+
+TEST(Cache, WorkingSetFitsThenThrashes)
+{
+    // 8 KB working set: hits in a 16 KB cache, misses in 1 KB.
+    Cache small(cfg(1024));
+    Cache big(cfg(16 * 1024));
+    for (int rep = 0; rep < 4; ++rep) {
+        for (uint64_t a = 0; a < 8 * 1024; a += 4) {
+            small.access(a);
+            big.access(a);
+        }
+    }
+    // Spatial locality bounds the miss rate at 1/8 for a 4-byte walk
+    // of 32-byte lines, so "thrashing" means ~87.5% hits.
+    EXPECT_GT(big.stats().hitRate(), 0.95);
+    EXPECT_LT(small.stats().hitRate(), 0.90);
+}
+
+TEST(CacheSweep, MonotoneHitRates)
+{
+    CacheSweep sweep(CacheSweep::paperSweep());
+    // A 12 KB working set exercises the knee of the sweep.
+    for (int rep = 0; rep < 6; ++rep)
+        for (uint64_t a = 0; a < 12 * 1024; a += 4)
+            sweep.access(a);
+    for (size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GE(sweep.at(i).stats().hitRate() + 1e-9,
+                  sweep.at(i - 1).stats().hitRate())
+            << "cache size " << sweep.at(i).config().sizeBytes;
+    }
+    // 16 KB and 32 KB hold the working set; 1 KB cannot.
+    EXPECT_GT(sweep.at(4).stats().hitRate(), 0.95);
+    EXPECT_LT(sweep.at(0).stats().hitRate(), 0.92);
+}
+
+/**
+ * Table I property: striding through a large array with stride 4*c
+ * bytes produces a miss rate of about 12.5% * c on a 32-byte-line
+ * cache (class 8 = every access misses).
+ */
+class TableIStride : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TableIStride, StrideReproducesClassMissRate)
+{
+    int miss_class = GetParam();
+    uint32_t stride = profile::strideForClass(miss_class);
+    Cache c(cfg(8 * 1024, 32, 4));
+    // Walk far beyond the cache so every line is cold on arrival.
+    uint64_t addr = 0;
+    const uint64_t region = 1ull << 22; // 4 MB
+    for (int i = 0; i < 200000; ++i) {
+        c.access(addr % region);
+        addr += stride == 0 ? 0 : stride;
+    }
+    double expected = profile::missRateForClass(miss_class);
+    EXPECT_NEAR(c.stats().missRate(), expected, 0.02)
+        << "class " << miss_class << " stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, TableIStride,
+                         ::testing::Range(0, profile::numMissClasses));
+
+TEST(MissClasses, TableIBandsRoundTrip)
+{
+    using profile::missRateClass;
+    EXPECT_EQ(missRateClass(0.0), 0);
+    EXPECT_EQ(missRateClass(0.05), 0);
+    EXPECT_EQ(missRateClass(0.0626), 1);
+    EXPECT_EQ(missRateClass(0.125), 1);
+    EXPECT_EQ(missRateClass(0.25), 2);
+    EXPECT_EQ(missRateClass(0.50), 4);
+    EXPECT_EQ(missRateClass(0.9374), 7);
+    EXPECT_EQ(missRateClass(0.94), 8);
+    EXPECT_EQ(missRateClass(1.0), 8);
+    // Class centers map back into their own class.
+    for (int c = 0; c < profile::numMissClasses; ++c)
+        EXPECT_EQ(missRateClass(profile::missRateForClass(c)), c);
+}
+
+TEST(MissClasses, StrideTable)
+{
+    for (int c = 0; c < profile::numMissClasses; ++c)
+        EXPECT_EQ(profile::strideForClass(c), uint32_t(4 * c));
+}
+
+} // namespace
+} // namespace bsyn::sim

@@ -1,0 +1,103 @@
+/** @file Benchmark-consolidation tests (paper §II-B.e). */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hh"
+#include "lang/frontend.hh"
+#include "synth/consolidate.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+profile::StatisticalProfile
+profileSource(const char *src, const char *name)
+{
+    ir::Module m = lang::compile(src, name);
+    return profile::profileModule(m);
+}
+
+const char *intWorkload = R"(
+uint t[512];
+int main() {
+  int i;
+  for (i = 0; i < 3000; i++) t[i & 511] = t[(i + 3) & 511] * 5 + 1;
+  printf("%u\n", t[0]);
+  return 0;
+})";
+
+const char *fpWorkload = R"(
+double d[512];
+int main() {
+  int i;
+  for (i = 0; i < 3000; i++) d[i & 511] = d[(i + 1) & 511] * 1.25 + 0.5;
+  printf("%d\n", (int)d[0]);
+  return 0;
+})";
+
+TEST(Consolidate, CountsAndMixesAdd)
+{
+    auto a = profileSource(intWorkload, "int");
+    auto b = profileSource(fpWorkload, "fp");
+    auto merged = synth::consolidate({a, b}, "pair");
+    EXPECT_EQ(merged.dynamicInstructions,
+              a.dynamicInstructions + b.dynamicInstructions);
+    EXPECT_EQ(merged.mix.total(), a.mix.total() + b.mix.total());
+    EXPECT_EQ(merged.sfgl.blocks.size(),
+              a.sfgl.blocks.size() + b.sfgl.blocks.size());
+    EXPECT_EQ(merged.sfgl.loops.size(),
+              a.sfgl.loops.size() + b.sfgl.loops.size());
+}
+
+TEST(Consolidate, RebasedIdsStayConsistent)
+{
+    auto a = profileSource(intWorkload, "int");
+    auto b = profileSource(fpWorkload, "fp");
+    auto merged = synth::consolidate({a, b}, "pair");
+    int n = static_cast<int>(merged.sfgl.blocks.size());
+    for (const auto &blk : merged.sfgl.blocks) {
+        for (const auto &e : blk.succs) {
+            EXPECT_GE(e.to, 0);
+            EXPECT_LT(e.to, n);
+        }
+        if (blk.loopId >= 0) {
+            EXPECT_LT(blk.loopId,
+                      static_cast<int>(merged.sfgl.loops.size()));
+        }
+    }
+    for (const auto &l : merged.sfgl.loops) {
+        EXPECT_LT(l.header, n);
+        for (int blk : l.blocks)
+            EXPECT_LT(blk, n);
+    }
+}
+
+TEST(Consolidate, SyntheticFromMergedProfileRuns)
+{
+    auto a = profileSource(intWorkload, "int");
+    auto b = profileSource(fpWorkload, "fp");
+    auto merged = synth::consolidate({a, b}, "pair");
+
+    synth::SynthesisOptions opts;
+    opts.targetInstructions = 8000;
+    auto syn = synth::synthesize(merged, opts,
+                                 &pipeline::measureInstructions);
+    auto stats = pipeline::runSource(syn.cSource, "consolidated",
+                                     opt::OptLevel::O0, isa::targetX86());
+    EXPECT_GT(stats.instructions, 1000u);
+    // The merged clone must exercise both integer and fp streams.
+    EXPECT_NE(syn.cSource.find("mStream"), std::string::npos);
+    EXPECT_NE(syn.cSource.find("dStream"), std::string::npos);
+}
+
+TEST(Consolidate, SingleProfileIsIdentityShaped)
+{
+    auto a = profileSource(intWorkload, "int");
+    auto merged = synth::consolidate({a}, "solo");
+    EXPECT_EQ(merged.dynamicInstructions, a.dynamicInstructions);
+    EXPECT_EQ(merged.sfgl.blocks.size(), a.sfgl.blocks.size());
+}
+
+} // namespace
+} // namespace bsyn

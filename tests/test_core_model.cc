@@ -1,0 +1,221 @@
+/** @file Timing-model tests: the OoO/in-order cores must respond to
+ *  cache size, branch predictability, ILP and width the way the paper's
+ *  experiments require. */
+
+#include <gtest/gtest.h>
+
+#include "isa/lowering.hh"
+#include "lang/frontend.hh"
+#include "opt/pipeline.hh"
+#include "pipeline/pipeline.hh"
+#include "sim/machine.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+sim::TimingStats
+timeSource(const char *src, const sim::CoreConfig &core,
+           opt::OptLevel level = opt::OptLevel::O0)
+{
+    ir::Module m = lang::compile(src, "t");
+    opt::OptOptions oo;
+    oo.scheduleForInOrder = core.inOrder;
+    opt::optimize(m, level, oo);
+    auto prog = isa::lower(m, isa::targetX86());
+    return sim::simulateTiming(prog, core);
+}
+
+sim::CoreConfig
+baseCore()
+{
+    return sim::ptlsimConfig(8).core;
+}
+
+TEST(CoreModel, CpiIsPlausible)
+{
+    const char *src = R"(
+uint t[256];
+int main() {
+  int i;
+  for (i = 0; i < 5000; i++) t[i & 255] += (uint)i;
+  printf("%u\n", t[0]);
+  return 0;
+})";
+    auto stats = timeSource(src, baseCore());
+    EXPECT_GT(stats.instructions, 1000u);
+    double cpi = stats.cpi();
+    EXPECT_GT(cpi, 0.3);
+    EXPECT_LT(cpi, 6.0);
+}
+
+TEST(CoreModel, CacheMissesRaiseCpi)
+{
+    // Dependent pointer chase over 256 KB: every load misses an 8 KB
+    // L1 and the dependence chain exposes the full latency.
+    const char *src = R"(
+uint t[65536];
+int main() {
+  int i;
+  uint idx = 0;
+  for (i = 0; i < 65536; i++) {
+    idx = (t[idx] + (uint)i * 16 + 16) & 65535;
+  }
+  printf("%u\n", idx);
+  return 0;
+})";
+    auto small = baseCore();
+    auto big = baseCore();
+    big.l1d.sizeBytes = 512 * 1024;
+    auto s = timeSource(src, small);
+    auto b = timeSource(src, big);
+    EXPECT_LT(s.l1d.hitRate(), b.l1d.hitRate());
+    EXPECT_GT(s.cpi(), b.cpi() * 1.2);
+}
+
+TEST(CoreModel, MispredictionsRaiseCpi)
+{
+    const char *data_dependent = R"(
+uint rngState;
+uint nextRand() { rngState = rngState * 1664525 + 1013904223; return rngState; }
+int main() {
+  int i; uint s = 0;
+  rngState = 1;
+  for (i = 0; i < 30000; i++) {
+    if ((nextRand() >> 16) & 1) s += 3; else s ^= 7;
+  }
+  printf("%u\n", s);
+  return 0;
+})";
+    const char *predictable = R"(
+uint rngState;
+uint nextRand() { rngState = rngState * 1664525 + 1013904223; return rngState; }
+int main() {
+  int i; uint s = 0;
+  rngState = 1;
+  for (i = 0; i < 30000; i++) {
+    uint r = nextRand();
+    if (i & 1) s += 3; else s ^= 7;
+    s += r & 1;
+  }
+  printf("%u\n", s);
+  return 0;
+})";
+    auto hard = timeSource(data_dependent, baseCore());
+    auto easy = timeSource(predictable, baseCore());
+    EXPECT_LT(hard.branch.accuracy(), 0.8);
+    EXPECT_GT(easy.branch.accuracy(), 0.9);
+    EXPECT_GT(hard.cpi(), easy.cpi());
+}
+
+TEST(CoreModel, InOrderSuffersMoreFromDependentChains)
+{
+    // A long dependent FP chain: the OoO core hides some latency via
+    // independent work; the in-order core cannot.
+    const char *src = R"(
+double acc[8];
+int main() {
+  int i;
+  double a = 1.0, b = 2.0;
+  for (i = 0; i < 20000; i++) {
+    a = a * 1.000001 + 0.5;     /* dependent chain */
+    b = b + 1.5;                 /* independent work */
+    acc[i & 7] = a + b;
+  }
+  printf("%d\n", (int)acc[0]);
+  return 0;
+})";
+    auto ooo = baseCore();
+    auto inorder = baseCore();
+    inorder.inOrder = true;
+    auto o = timeSource(src, ooo);
+    auto i = timeSource(src, inorder);
+    EXPECT_GT(i.cpi(), o.cpi());
+}
+
+TEST(CoreModel, WiderCoreIsFaster)
+{
+    const char *src = R"(
+uint t[512];
+int main() {
+  int i;
+  for (i = 0; i < 512; i++) t[i] = (uint)i * 3 + 1;
+  uint a = 0, b = 0, c = 0, d = 0;
+  for (i = 0; i < 512; i++) {
+    a += t[i]; b ^= t[i]; c += t[i] >> 2; d ^= t[i] << 1;
+  }
+  printf("%u\n", a + b + c + d);
+  return 0;
+})";
+    auto narrow = baseCore();
+    narrow.width = 1;
+    auto wide = baseCore();
+    wide.width = 4;
+    wide.robSize = 128;
+    auto n = timeSource(src, narrow);
+    auto w = timeSource(src, wide);
+    EXPECT_GT(n.cycles, w.cycles);
+}
+
+TEST(CoreModel, SchedulingHelpsInOrderCore)
+{
+    // The paper's Itanium story: list scheduling (O2 on in-order)
+    // improves EPIC performance notably.
+    const char *src = R"(
+double t[64];
+int main() {
+  int i, r;
+  for (r = 0; r < 200; r++) {
+    for (i = 0; i < 62; i++) {
+      t[i] = t[i] * 1.5 + 0.25;
+      t[i + 1] = t[i + 1] * 0.5 + (double)i;
+      t[i + 2] = t[i + 2] + 1.0;
+    }
+  }
+  printf("%d\n", (int)t[5]);
+  return 0;
+})";
+    auto core = baseCore();
+    core.inOrder = true;
+    core.width = 6;
+
+    ir::Module unsched = lang::compile(src, "u");
+    opt::OptOptions no_sched;
+    no_sched.scheduleForInOrder = false;
+    opt::optimize(unsched, opt::OptLevel::O2, no_sched);
+    auto u = sim::simulateTiming(isa::lower(unsched, isa::targetIa64()),
+                                 core);
+
+    ir::Module sched = lang::compile(src, "s");
+    opt::OptOptions with_sched;
+    with_sched.scheduleForInOrder = true;
+    opt::optimize(sched, opt::OptLevel::O2, with_sched);
+    auto s = sim::simulateTiming(isa::lower(sched, isa::targetIa64()),
+                                 core);
+
+    EXPECT_LT(s.cycles, u.cycles);
+}
+
+TEST(Machines, CatalogueMatchesTableIII)
+{
+    auto machines = sim::paperMachines();
+    ASSERT_EQ(machines.size(), 5u);
+    EXPECT_EQ(machines[0].name, "Pentium 4, 3GHz");
+    EXPECT_EQ(machines[3].name, "Itanium 2");
+    EXPECT_TRUE(machines[3].core.inOrder);
+    EXPECT_EQ(machines[3].isa.family, isa::IsaFamily::Risc);
+    EXPECT_DOUBLE_EQ(machines[4].freqGHz, 2.67);
+    // Frequency ordering: P4 3GHz fastest clock, Itanium slowest.
+    EXPECT_GT(machines[0].freqGHz, machines[3].freqGHz);
+}
+
+TEST(Machines, TimeNsUsesFrequency)
+{
+    sim::MachineSpec m;
+    m.freqGHz = 2.0;
+    EXPECT_DOUBLE_EQ(m.timeNs(1000), 500.0);
+}
+
+} // namespace
+} // namespace bsyn

@@ -1,0 +1,274 @@
+/** @file Unit tests for the IR: CFG, dominators, loops, liveness,
+ *  verifier. */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+#include "ir/loops.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+
+namespace bsyn::ir
+{
+namespace
+{
+
+/** A diamond: 0 -> {1,2} -> 3. */
+Function
+diamond()
+{
+    Function fn;
+    fn.name = "diamond";
+    for (int i = 0; i < 4; ++i)
+        fn.newBlock();
+    int c = fn.newReg();
+    fn.block(0).append(Instruction::movImm(c, 1));
+    fn.block(0).term = Terminator::br(c, 1, 2);
+    fn.block(1).term = Terminator::jmp(3);
+    fn.block(2).term = Terminator::jmp(3);
+    fn.block(3).term = Terminator::ret();
+    return fn;
+}
+
+/** A doubly nested loop: 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner
+ *  latch) -> 2; 2 -> 4(outer latch) -> 1; 1 -> 5 exit. */
+Function
+nestedLoops()
+{
+    Function fn;
+    fn.name = "nested";
+    for (int i = 0; i < 6; ++i)
+        fn.newBlock();
+    int c = fn.newReg();
+    fn.block(0).append(Instruction::movImm(c, 1));
+    fn.block(0).term = Terminator::jmp(1);
+    fn.block(1).term = Terminator::br(c, 2, 5);
+    fn.block(2).term = Terminator::br(c, 3, 4);
+    fn.block(3).term = Terminator::jmp(2);
+    fn.block(4).term = Terminator::jmp(1);
+    fn.block(5).term = Terminator::ret();
+    return fn;
+}
+
+TEST(Cfg, PredsAndSuccs)
+{
+    Function fn = diamond();
+    Cfg cfg(fn);
+    EXPECT_EQ(cfg.succs(0).size(), 2u);
+    EXPECT_EQ(cfg.preds(3).size(), 2u);
+    EXPECT_TRUE(cfg.reachable(3));
+    for (int b : {0, 1, 2, 3})
+        EXPECT_TRUE(cfg.reachable(b));
+}
+
+TEST(Cfg, UnreachableBlockDetected)
+{
+    Function fn = diamond();
+    int dead = fn.newBlock();
+    fn.block(dead).term = Terminator::ret();
+    Cfg cfg(fn);
+    EXPECT_FALSE(cfg.reachable(dead));
+}
+
+TEST(Cfg, RpoStartsAtEntry)
+{
+    Function fn = nestedLoops();
+    Cfg cfg(fn);
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo().front(), 0);
+}
+
+TEST(Dominators, DiamondJoinDominatedByEntry)
+{
+    Function fn = diamond();
+    Cfg cfg(fn);
+    Dominators dom(fn, cfg);
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3)); // join reachable around block 1
+    EXPECT_EQ(dom.idom(3), 0);
+    EXPECT_TRUE(dom.dominates(0, 0));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    Function fn = nestedLoops();
+    Cfg cfg(fn);
+    Dominators dom(fn, cfg);
+    EXPECT_TRUE(dom.dominates(1, 4));
+    EXPECT_TRUE(dom.dominates(2, 3));
+    EXPECT_TRUE(dom.dominates(1, 2));
+    EXPECT_FALSE(dom.dominates(2, 5));
+}
+
+TEST(Loops, FindsNestedLoopsWithDepths)
+{
+    Function fn = nestedLoops();
+    Cfg cfg(fn);
+    Dominators dom(fn, cfg);
+    LoopForest loops(fn, cfg, dom);
+    ASSERT_EQ(loops.size(), 2u);
+
+    const Loop *outer = nullptr, *inner = nullptr;
+    for (const auto &l : loops.loops()) {
+        if (l.header == 1)
+            outer = &l;
+        if (l.header == 2)
+            inner = &l;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->parent, outer->id);
+    EXPECT_EQ(outer->parent, -1);
+    EXPECT_EQ(outer->depth, 1);
+    EXPECT_EQ(inner->depth, 2);
+    // Inner membership: blocks 2 and 3 only.
+    EXPECT_EQ(inner->blocks.size(), 2u);
+    // Innermost loop of block 3 is the inner loop.
+    EXPECT_EQ(loops.loopOf(3), inner->id);
+    EXPECT_EQ(loops.loopOf(4), outer->id);
+    EXPECT_EQ(loops.loopOf(5), -1);
+}
+
+TEST(Loops, SelfLoopDoesNotSwallowTheFunction)
+{
+    // Regression: a do-while lowers to a block that is its own latch;
+    // the loop body must be exactly that block, not everything that
+    // reaches it.
+    Function fn;
+    fn.name = "dowhile";
+    for (int i = 0; i < 3; ++i)
+        fn.newBlock();
+    int c = fn.newReg();
+    fn.block(0).append(Instruction::movImm(c, 1));
+    fn.block(0).term = Terminator::jmp(1);
+    fn.block(1).term = Terminator::br(c, 1, 2); // self loop
+    fn.block(2).term = Terminator::ret();
+
+    Cfg cfg(fn);
+    Dominators dom(fn, cfg);
+    LoopForest loops(fn, cfg, dom);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops.loops()[0].header, 1);
+    ASSERT_EQ(loops.loops()[0].blocks.size(), 1u);
+    EXPECT_EQ(loops.loops()[0].blocks[0], 1);
+    EXPECT_EQ(loops.loopOf(0), -1);
+    EXPECT_EQ(loops.loopOf(2), -1);
+}
+
+TEST(Liveness, ValueLiveAcrossBranch)
+{
+    // r0 defined in block 0, used in block 3: live through 1 and 2.
+    Function fn = diamond();
+    int v = fn.newReg();
+    fn.block(0).append(Instruction::movImm(v, 9));
+    fn.block(3).append(
+        Instruction::binary(Opcode::Add, Type::I32, fn.newReg(), v, v));
+    Cfg cfg(fn);
+    Liveness live(fn, cfg);
+    EXPECT_TRUE(live.liveOut(0, v));
+    EXPECT_TRUE(live.liveIn(1, v));
+    EXPECT_TRUE(live.liveIn(2, v));
+    EXPECT_TRUE(live.liveIn(3, v));
+    EXPECT_FALSE(live.liveOut(3, v));
+}
+
+TEST(Verifier, AcceptsValidFunction)
+{
+    Module m;
+    m.functions.push_back(diamond());
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    Module m;
+    Function fn;
+    fn.newBlock(); // no terminator
+    m.functions.push_back(std::move(fn));
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    Module m;
+    Function fn = diamond();
+    fn.block(1).term = Terminator::jmp(99);
+    m.functions.push_back(std::move(fn));
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsBadRegister)
+{
+    Module m;
+    Function fn = diamond();
+    fn.block(1).append(Instruction::mov(1000, 0));
+    m.functions.push_back(std::move(fn));
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsCallArityMismatch)
+{
+    Module m;
+    Function callee;
+    callee.name = "callee";
+    callee.paramTypes = {Type::I32, Type::I32};
+    callee.newBlock();
+    callee.block(0).term = Terminator::ret();
+    m.functions.push_back(std::move(callee));
+
+    Function caller = diamond();
+    caller.name = "caller";
+    caller.block(1).append(Instruction::call(-1, 0, {}, Type::Void));
+    m.functions.push_back(std::move(caller));
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Function, FrameSlotAllocationAligns)
+{
+    Function fn;
+    uint32_t a = fn.allocSlot("a", Type::I32);
+    uint32_t b = fn.allocSlot("b", Type::F64);
+    uint32_t c = fn.allocSlot("c", Type::I32, 10);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GE(c, b + 8);
+    EXPECT_EQ(fn.frameSize % 8, 0u);
+}
+
+TEST(Printer, ProducesReadableText)
+{
+    Module m;
+    m.name = "p";
+    m.functions.push_back(diamond());
+    std::string text = toString(m);
+    EXPECT_NE(text.find("func diamond"), std::string::npos);
+    EXPECT_NE(text.find("br r0, bb1, bb2"), std::string::npos);
+}
+
+TEST(Instruction, ForEachSrcCoversMemoryIndex)
+{
+    MemRef mem;
+    mem.symbol = 0;
+    mem.indexReg = 5;
+    Instruction in = Instruction::load(1, mem, Type::I32);
+    std::vector<int> srcs;
+    in.forEachSrc([&](int r) { srcs.push_back(r); });
+    ASSERT_EQ(srcs.size(), 1u);
+    EXPECT_EQ(srcs[0], 5);
+}
+
+TEST(Instruction, OpcodePredicates)
+{
+    EXPECT_TRUE(isCommutative(Opcode::Add));
+    EXPECT_FALSE(isCommutative(Opcode::Sub));
+    EXPECT_TRUE(isBinaryAlu(Opcode::CmpLt));
+    EXPECT_TRUE(isUnaryAlu(Opcode::CvtIF));
+    EXPECT_FALSE(isPure(Opcode::Store));
+    EXPECT_FALSE(isPure(Opcode::Load)); // ordering-sensitive
+    EXPECT_TRUE(isPure(Opcode::Add));
+}
+
+} // namespace
+} // namespace bsyn::ir

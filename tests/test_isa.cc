@@ -1,0 +1,241 @@
+/** @file Lowering/target tests: CISC fusion, register allocation with
+ *  spilling and rematerialization, branch resolution, cross-ISA
+ *  instruction counts. */
+
+#include <gtest/gtest.h>
+
+#include "isa/lowering.hh"
+#include "isa/regalloc.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+#include "lang/frontend.hh"
+#include "opt/pipeline.hh"
+#include "sim/interpreter.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+const char *kernel = R"(
+uint t[64];
+int main() {
+  int i;
+  for (i = 0; i < 40; i++)
+    t[i & 63] = t[(i + 1) & 63] + (uint)i * 3 + 5;
+  printf("%u\n", t[10]);
+  return 0;
+}
+)";
+
+TEST(Targets, CatalogueByName)
+{
+    EXPECT_EQ(isa::targetByName("x86").numRegs, 8);
+    EXPECT_EQ(isa::targetByName("x86_64").numRegs, 16);
+    EXPECT_EQ(isa::targetByName("ia64").numRegs, 128);
+    EXPECT_EQ(isa::targetByName("ia64").family, isa::IsaFamily::Risc);
+    EXPECT_THROW(isa::targetByName("mips"), FatalError);
+}
+
+TEST(Lowering, CiscExecutesFewerInstructionsThanRisc)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    auto cisc = sim::execute(isa::lower(m, isa::targetX86()));
+    auto risc = sim::execute(isa::lower(m, isa::targetIa64()));
+    EXPECT_EQ(cisc.output, risc.output);
+    EXPECT_LT(cisc.instructions, risc.instructions);
+    // Memory behaviour is identical: fused operands still access memory.
+    EXPECT_EQ(cisc.memReads, risc.memReads);
+    EXPECT_EQ(cisc.memWrites, risc.memWrites);
+}
+
+TEST(Lowering, FusionToggleChangesCountsNotSemantics)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    isa::LoweringOptions no_fuse;
+    no_fuse.applyFusion = false;
+    auto fused = sim::execute(isa::lower(m, isa::targetX86()));
+    auto plain = sim::execute(isa::lower(m, isa::targetX86(), no_fuse));
+    EXPECT_EQ(fused.output, plain.output);
+    EXPECT_LT(fused.instructions, plain.instructions);
+}
+
+TEST(Lowering, FusionTypeCompatibility)
+{
+    // Regression test for the fft miscompare: a CvtIF result stored to
+    // a double must not be store-fused (the compute type field is the
+    // I32 source type and would truncate the store to 4 bytes).
+    const char *src = R"(
+double d[4];
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) d[i] = (double)(i + 100);
+  printf("%f %f\n", d[0], d[3]);
+  return 0;
+})";
+    ir::Module m = lang::compile(src, "cvt");
+    opt::optimize(m, opt::OptLevel::O2);
+    auto stats = sim::execute(isa::lower(m, isa::targetX86()));
+    EXPECT_EQ(stats.output, "100.000000 103.000000\n");
+}
+
+TEST(Lowering, CompareStoreFusionStaysCorrect)
+{
+    const char *src = R"(
+uint flags[8];
+int main() {
+  int i;
+  double x = 1.5;
+  for (i = 0; i < 8; i++)
+    flags[i] = (uint)(x > (double)i);
+  printf("%u %u %u\n", flags[0], flags[1], flags[2]);
+  return 0;
+})";
+    ir::Module m = lang::compile(src, "cmp");
+    opt::optimize(m, opt::OptLevel::O2);
+    auto stats = sim::execute(isa::lower(m, isa::targetX86()));
+    EXPECT_EQ(stats.output, "1 1 0\n");
+}
+
+TEST(RegAlloc, NoSpillsWithAmpleRegisters)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    opt::optimize(m, opt::OptLevel::O1);
+    auto result = isa::allocateRegisters(m, 64);
+    EXPECT_EQ(result.spilledRegs, 0u);
+}
+
+TEST(RegAlloc, SpillsUnderPressureAndStaysCorrect)
+{
+    // Many simultaneously live values force spills at K=4.
+    const char *src = R"(
+int main() {
+  int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+  int i;
+  for (i = 0; i < 10; i++) {
+    a += b; b += c; c += d; d += e; e += f; f += g; g += h; h += a;
+  }
+  printf("%d %d %d %d\n", a, c, e, h);
+  return 0;
+})";
+    ir::Module ref = lang::compile(src, "ref");
+    opt::optimize(ref, opt::OptLevel::O1);
+    auto ref_out =
+        sim::execute(isa::lower(ref, isa::targetIa64())).output;
+
+    ir::Module m = lang::compile(src, "m");
+    opt::optimize(m, opt::OptLevel::O1);
+    auto result = isa::allocateRegisters(m, 4);
+    EXPECT_GT(result.spilledRegs, 0u);
+    EXPECT_GT(result.spillLoads + result.rematerialized, 0u);
+    ir::verifyOrDie(m);
+    isa::LoweringOptions lo;
+    lo.applyRegAlloc = false; // already applied manually
+    auto out = sim::execute(isa::lower(m, isa::targetIa64(), lo)).output;
+    EXPECT_EQ(out, ref_out);
+}
+
+TEST(RegAlloc, RematerializesConstants)
+{
+    // A loop-hoisted constant that spills should be rematerialized, not
+    // reloaded from the stack.
+    const char *src = R"(
+uint t[16];
+int main() {
+  int i;
+  for (i = 0; i < 20; i++) {
+    uint v = (uint)i;
+    t[i & 15] = (v ^ 11) + (v & 22) + (v | 33) + (v * 44) + (v + 55) +
+                (v - 66) + (v >> 2) + 77;
+  }
+  printf("%u\n", t[3]);
+  return 0;
+})";
+    ir::Module ref = lang::compile(src, "ref");
+    opt::optimize(ref, opt::OptLevel::O2);
+    auto ref_out = sim::execute(isa::lower(ref, isa::targetIa64())).output;
+
+    ir::Module m = lang::compile(src, "m");
+    opt::optimize(m, opt::OptLevel::O2);
+    auto result = isa::allocateRegisters(m, 4);
+    EXPECT_GT(result.rematerialized, 0u);
+    ir::verifyOrDie(m);
+    isa::LoweringOptions lo;
+    lo.applyRegAlloc = false;
+    auto out = sim::execute(isa::lower(m, isa::targetIa64(), lo)).output;
+    EXPECT_EQ(out, ref_out);
+}
+
+TEST(RegAlloc, FewerRegistersMeansMoreDynamicInstructions)
+{
+    const char *src = R"(
+uint t[64];
+int main() {
+  int i;
+  uint a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8, x = 9;
+  for (i = 0; i < 200; i++) {
+    a = b * 3 + c; b = c * 5 + d; c = d * 7 + e; d = e * 11 + f;
+    e = f * 13 + g; f = g * 17 + h; g = h * 19 + x; h = x * 23 + a;
+    x = a ^ b;
+    t[i & 63] = x;
+  }
+  printf("%u\n", t[0]);
+  return 0;
+})";
+    uint64_t insts_small, insts_big;
+    {
+        ir::Module m = lang::compile(src, "m");
+        opt::optimize(m, opt::OptLevel::O1);
+        isa::TargetInfo small = isa::targetX86(); // 8 regs
+        insts_small = sim::execute(isa::lower(m, small)).instructions;
+    }
+    {
+        ir::Module m = lang::compile(src, "m");
+        opt::optimize(m, opt::OptLevel::O1);
+        isa::TargetInfo big = isa::targetX8664(); // 16 regs
+        insts_big = sim::execute(isa::lower(m, big)).instructions;
+    }
+    EXPECT_GT(insts_small, insts_big);
+}
+
+TEST(MachineProgram, ClassificationAndMix)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    auto mix = prog.staticMix();
+    EXPECT_GT(mix[static_cast<size_t>(isa::MClass::Load)], 0u);
+    EXPECT_GT(mix[static_cast<size_t>(isa::MClass::Store)], 0u);
+    EXPECT_GT(mix[static_cast<size_t>(isa::MClass::Branch)], 0u);
+    EXPECT_GT(prog.size(), 0u);
+    EXPECT_NE(prog.functionAt(prog.funcs[0].entry), nullptr);
+    EXPECT_GE(prog.entryFunc, 0);
+}
+
+TEST(MachineProgram, ProvenanceCoversEveryInstruction)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    for (const auto &mi : prog.code) {
+        EXPECT_GE(mi.funcId, 0);
+        EXPECT_GE(mi.irBlockId, 0);
+    }
+}
+
+TEST(Lowering, BranchTargetsAreValidPcs)
+{
+    ir::Module m = lang::compile(kernel, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    for (const auto &mi : prog.code) {
+        if (mi.kind == isa::MKind::CondBr || mi.kind == isa::MKind::Jmp) {
+            EXPECT_GE(mi.target, 0);
+            EXPECT_LT(mi.target, static_cast<int>(prog.size()));
+        }
+        if (mi.kind == isa::MKind::Call) {
+            EXPECT_GE(mi.callee, 0);
+            EXPECT_LT(mi.callee, static_cast<int>(prog.funcs.size()));
+        }
+    }
+}
+
+} // namespace
+} // namespace bsyn

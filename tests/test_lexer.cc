@@ -1,0 +1,108 @@
+/** @file MiniC lexer tests. */
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hh"
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+namespace
+{
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const auto &t : lex(src, "test"))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = lex("int x = 42;", "t");
+    ASSERT_EQ(toks.size(), 6u); // int x = 42 ; <eof>
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[3].kind, Tok::IntLit);
+    EXPECT_EQ(toks[3].intValue, 42);
+}
+
+TEST(Lexer, HexAndSuffixes)
+{
+    auto toks = lex("0xFF 10u 3l", "t");
+    EXPECT_EQ(toks[0].intValue, 255);
+    EXPECT_EQ(toks[1].intValue, 10);
+    EXPECT_EQ(toks[2].intValue, 3);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lex("1.5 2. 3e2 1.5e-1", "t");
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[0].floatValue, 1.5);
+    EXPECT_DOUBLE_EQ(toks[1].floatValue, 2.0);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 300.0);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 0.15);
+}
+
+TEST(Lexer, CharLiterals)
+{
+    auto toks = lex("'a' '\\n' '\\0'", "t");
+    EXPECT_EQ(toks[0].intValue, 'a');
+    EXPECT_EQ(toks[1].intValue, '\n');
+    EXPECT_EQ(toks[2].intValue, 0);
+}
+
+TEST(Lexer, UnsignedIntCollapses)
+{
+    // "unsigned int" and "unsigned" both lex to one KwUint token.
+    auto a = kinds("unsigned int x;");
+    auto b = kinds("unsigned x;");
+    EXPECT_EQ(a, b);
+}
+
+TEST(Lexer, CommentsAndPreprocessorSkipped)
+{
+    auto toks = kinds("// line\n#include <stdio.h>\n/* block\n */ int");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0], Tok::KwInt);
+}
+
+TEST(Lexer, CompoundOperators)
+{
+    auto toks = kinds("<<= >>= << >> <= >= == != && || ++ -- += &=");
+    std::vector<Tok> expect{
+        Tok::ShlAssign, Tok::ShrAssign, Tok::Shl, Tok::Shr,
+        Tok::Le, Tok::Ge, Tok::EqEq, Tok::NotEq,
+        Tok::AmpAmp, Tok::PipePipe, Tok::PlusPlus, Tok::MinusMinus,
+        Tok::PlusAssign, Tok::AmpAssign, Tok::End};
+    EXPECT_EQ(toks, expect);
+}
+
+TEST(Lexer, StringLiteralEscapes)
+{
+    auto toks = lex("\"a\\nb\"", "t");
+    EXPECT_EQ(toks[0].kind, Tok::StrLit);
+    EXPECT_EQ(toks[0].text, "a\nb");
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("int\nx", "t");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, ErrorsOnBadInput)
+{
+    EXPECT_THROW(lex("int $", "t"), FatalError);
+    EXPECT_THROW(lex("\"unterminated", "t"), FatalError);
+    EXPECT_THROW(lex("/* unterminated", "t"), FatalError);
+    EXPECT_THROW(lex("'x", "t"), FatalError);
+}
+
+} // namespace
+} // namespace bsyn::lang

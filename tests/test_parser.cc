@@ -1,0 +1,171 @@
+/** @file MiniC parser tests. */
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hh"
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+namespace
+{
+
+TEST(Parser, GlobalsAndArrays)
+{
+    auto tu = parseSource("int x; uint tab[8]; double w[4] = {1.0, 2.0};",
+                          "t");
+    ASSERT_EQ(tu.globals.size(), 3u);
+    EXPECT_EQ(tu.globals[0].name, "x");
+    EXPECT_FALSE(tu.globals[0].isArray);
+    EXPECT_EQ(tu.globals[1].elems, 8u);
+    EXPECT_EQ(tu.globals[1].elemType, Type::U32);
+    EXPECT_EQ(tu.globals[2].init.size(), 2u);
+}
+
+TEST(Parser, MultipleGlobalsPerDeclaration)
+{
+    auto tu = parseSource("int a, b, c;", "t");
+    EXPECT_EQ(tu.globals.size(), 3u);
+}
+
+TEST(Parser, FunctionWithParams)
+{
+    auto tu = parseSource("int f(int a, double b) { return a; }", "t");
+    ASSERT_EQ(tu.functions.size(), 1u);
+    const auto &f = tu.functions[0];
+    EXPECT_EQ(f.name, "f");
+    ASSERT_EQ(f.params.size(), 2u);
+    EXPECT_EQ(f.params[1].type, Type::F64);
+}
+
+TEST(Parser, VoidParameterList)
+{
+    auto tu = parseSource("void f(void) { }", "t");
+    EXPECT_TRUE(tu.functions[0].params.empty());
+}
+
+TEST(Parser, PrecedenceShapesTree)
+{
+    auto tu = parseSource("int f() { return 1 + 2 * 3; }", "t");
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    const auto &add = static_cast<const BinaryExpr &>(*ret.value);
+    EXPECT_EQ(add.op, BinOp::Add);
+    const auto &mul = static_cast<const BinaryExpr &>(*add.rhs);
+    EXPECT_EQ(mul.op, BinOp::Mul);
+}
+
+TEST(Parser, BitwisePrecedenceBelowComparison)
+{
+    // a & b == c parses as a & (b == c), like C.
+    auto tu = parseSource("int f(int a, int b, int c) "
+                          "{ return a & b == c; }", "t");
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    const auto &land = static_cast<const BinaryExpr &>(*ret.value);
+    EXPECT_EQ(land.op, BinOp::And);
+}
+
+TEST(Parser, StatementsParse)
+{
+    const char *src = R"(
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i & 1) acc += i;
+    else acc -= i;
+    while (acc > 100) { acc = acc / 2; continue; }
+    do { acc++; } while (acc < 0);
+    if (acc == 42) break;
+  }
+  ;
+  return acc;
+}
+)";
+    auto tu = parseSource(src, "t");
+    EXPECT_EQ(tu.functions.size(), 1u);
+}
+
+TEST(Parser, MultiVarDeclIsTransparentBlock)
+{
+    auto tu = parseSource("int f() { int a = 0, b = 1; return a + b; }",
+                          "t");
+    const auto &block = static_cast<const BlockStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    EXPECT_TRUE(block.transparent);
+    EXPECT_EQ(block.stmts.size(), 2u);
+}
+
+TEST(Parser, TernaryAndCasts)
+{
+    auto tu = parseSource(
+        "int f(int a) { return a > 0 ? (int)1.5 : (int)(uint)a; }", "t");
+    EXPECT_EQ(tu.functions.size(), 1u);
+}
+
+TEST(Parser, PrintfTakesFormat)
+{
+    auto tu = parseSource(
+        "void f() { printf(\"%d %u\\n\", 1, 2u); }", "t");
+    const auto &es = static_cast<const ExprStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    const auto &call = static_cast<const CallExpr &>(*es.expr);
+    EXPECT_TRUE(call.isPrintf);
+    EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, IncDecPrefixPostfix)
+{
+    auto tu = parseSource("int f(int a) { ++a; a--; return a++; }", "t");
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[2]);
+    const auto &inc = static_cast<const IncDecExpr &>(*ret.value);
+    EXPECT_TRUE(inc.isPostfix);
+    EXPECT_TRUE(inc.isIncrement);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseSource("int f( { }", "t"), FatalError);
+    EXPECT_THROW(parseSource("int f() { return }", "t"), FatalError);
+    EXPECT_THROW(parseSource("int x[0];", "t"), FatalError);
+    EXPECT_THROW(parseSource("int f() { if (1 }", "t"), FatalError);
+    EXPECT_THROW(parseSource("garbage", "t"), FatalError);
+}
+
+TEST(Parser, EmittedSyntheticSubsetParses)
+{
+    // The exact statement shapes the synthesizer emits.
+    const char *src = R"(
+unsigned int mStream0[64];
+unsigned int mStream2[16384];
+void f0(void)
+{
+    int i0;
+    unsigned int t0 = 3;
+    int x2 = 0;
+    for (i0 = 0; i0 < 20; i0++) {
+        x2 = (x2 + 2) & 16383;
+        mStream2[x2] = (mStream2[(x2 + 2) & 16383] + 190);
+        if ((i0 % 3) == 0) {
+            mStream0[12] = (unsigned int)i0;
+        }
+        if (mStream0[0] == 0x99caffee) {
+            printf("%u;", mStream0[3]);
+        }
+    }
+}
+int main(void)
+{
+    f0();
+    printf("bsyn_checksum=%u\n", mStream0[7] + mStream2[7]);
+    return 0;
+}
+)";
+    auto tu = parseSource(src, "t");
+    EXPECT_EQ(tu.functions.size(), 2u);
+    EXPECT_EQ(tu.globals.size(), 2u);
+}
+
+} // namespace
+} // namespace bsyn::lang

@@ -1,0 +1,98 @@
+/** @file Branch predictor tests (bimodal, gshare, tournament). */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace bsyn::sim
+{
+namespace
+{
+
+TEST(Bimodal, LearnsBiasedBranch)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 1000; ++i)
+        p.branch(0x40, true);
+    EXPECT_GT(p.stats().accuracy(), 0.99);
+}
+
+TEST(Bimodal, PoorOnAlternating)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 1000; ++i)
+        p.branch(0x40, i % 2 == 0);
+    EXPECT_LT(p.stats().accuracy(), 0.7);
+}
+
+TEST(Gshare, LearnsPeriodicPattern)
+{
+    GsharePredictor p;
+    for (int i = 0; i < 4000; ++i)
+        p.branch(0x40, i % 4 == 0); // TFFF TFFF ...
+    EXPECT_GT(p.stats().accuracy(), 0.9);
+}
+
+TEST(Tournament, AtLeastAsGoodAsComponentsOnMixedWorkload)
+{
+    // Two branches: one heavily biased (bimodal-friendly), one periodic
+    // (history-friendly). The tournament should do well on both.
+    TournamentPredictor t;
+    BimodalPredictor b;
+    GsharePredictor g;
+    Rng rng(3);
+    for (int i = 0; i < 8000; ++i) {
+        bool biased = rng.nextBool(0.95);
+        bool periodic = i % 3 == 0;
+        for (auto *p :
+             std::initializer_list<BranchPredictor *>{&t, &b, &g}) {
+            p->branch(0x100, biased);
+            p->branch(0x200, periodic);
+        }
+    }
+    EXPECT_GT(t.stats().accuracy(), 0.85);
+    EXPECT_GE(t.stats().accuracy() + 0.02, b.stats().accuracy());
+    EXPECT_GE(t.stats().accuracy() + 0.02, g.stats().accuracy());
+}
+
+TEST(Predictors, DistinctPcsDoNotAliasBadly)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 1000; ++i) {
+        p.branch(0x40, true);
+        p.branch(0x44, false);
+    }
+    EXPECT_GT(p.stats().accuracy(), 0.95);
+}
+
+TEST(Predictors, FactoryByName)
+{
+    for (const char *name : {"static", "bimodal", "gshare", "tournament"}) {
+        auto p = makePredictor(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), name);
+    }
+    EXPECT_THROW(makePredictor("neural"), FatalError);
+}
+
+TEST(Predictors, StatsResetWorks)
+{
+    BimodalPredictor p;
+    p.branch(0, true);
+    EXPECT_EQ(p.stats().branches, 1u);
+    p.resetStats();
+    EXPECT_EQ(p.stats().branches, 0u);
+}
+
+TEST(StaticPredictor, AccuracyEqualsTakenRate)
+{
+    StaticTakenPredictor p;
+    for (int i = 0; i < 100; ++i)
+        p.branch(0, i < 70);
+    EXPECT_NEAR(p.stats().accuracy(), 0.7, 1e-9);
+}
+
+} // namespace
+} // namespace bsyn::sim

@@ -1,0 +1,159 @@
+/** @file SFGL scale-down tests, including the paper's Figure 2 example. */
+
+#include <gtest/gtest.h>
+
+#include "synth/scale_down.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+using profile::Sfgl;
+using profile::SfglBlock;
+using profile::SfglEdge;
+using profile::SfglLoop;
+using profile::SfglTerm;
+
+/**
+ * The paper's Figure 2(a): A(500) branches to B(420)/C(80), both join
+ * D(500); D enters loop E(5000) -> F(1000)/G(4000) -> H(5000) -> E;
+ * loop exits to I(500).
+ */
+Sfgl
+figure2()
+{
+    Sfgl g;
+    auto add = [&](uint64_t exec, SfglTerm term) {
+        SfglBlock b;
+        b.id = static_cast<int>(g.blocks.size());
+        b.funcId = 0;
+        b.irBlockId = b.id;
+        b.execCount = exec;
+        b.term = term;
+        g.blocks.push_back(b);
+        return b.id;
+    };
+    int A = add(500, SfglTerm::Branch);
+    int B = add(420, SfglTerm::Jump);
+    int C = add(80, SfglTerm::Jump);
+    int D = add(500, SfglTerm::Jump);
+    int E = add(5000, SfglTerm::Branch);
+    int F = add(1000, SfglTerm::Jump);
+    int G = add(4000, SfglTerm::Jump);
+    int H = add(5000, SfglTerm::Branch);
+    int I = add(500, SfglTerm::Ret);
+
+    auto edge = [&](int from, int to, uint64_t count) {
+        g.blocks[static_cast<size_t>(from)].succs.push_back(
+            SfglEdge{to, count});
+    };
+    edge(A, B, 420);
+    edge(A, C, 80);
+    edge(B, D, 420);
+    edge(C, D, 80);
+    edge(D, E, 500);
+    edge(E, F, 1000);
+    edge(E, G, 4000);
+    edge(F, H, 1000);
+    edge(G, H, 4000);
+    edge(H, E, 4500); // back edge
+    edge(H, I, 500);
+
+    SfglLoop loop;
+    loop.id = 0;
+    loop.header = E;
+    loop.blocks = {E, F, G, H};
+    loop.entries = 500;
+    loop.avgIterations = 10.0; // 5000 header execs / 500 entries
+    g.loops.push_back(loop);
+    for (int b : loop.blocks)
+        g.blocks[static_cast<size_t>(b)].loopId = 0;
+    g.funcNames.push_back("fig2");
+    return g;
+}
+
+TEST(ScaleDown, PaperFigure2Example)
+{
+    Sfgl scaled = synth::scaleDown(figure2(), 100);
+    // Figure 2(b): A=5, B=4, C removed, D=5, E=50, F=10, G=40, H=50, I=5.
+    EXPECT_EQ(scaled.blocks[0].execCount, 5u);  // A
+    EXPECT_EQ(scaled.blocks[1].execCount, 4u);  // B
+    EXPECT_EQ(scaled.blocks[2].execCount, 0u);  // C: dropped (< R)
+    EXPECT_EQ(scaled.blocks[3].execCount, 5u);  // D
+    EXPECT_EQ(scaled.blocks[4].execCount, 50u); // E
+    EXPECT_EQ(scaled.blocks[5].execCount, 10u); // F
+    EXPECT_EQ(scaled.blocks[6].execCount, 40u); // G
+    EXPECT_EQ(scaled.blocks[7].execCount, 50u); // H
+    EXPECT_EQ(scaled.blocks[8].execCount, 5u);  // I
+    // Loop annotation: 5 entries, still ~10 iterations per entry.
+    ASSERT_EQ(scaled.loops.size(), 1u);
+    EXPECT_EQ(scaled.loops[0].entries, 5u);
+    EXPECT_NEAR(scaled.loops[0].avgIterations, 10.0, 0.01);
+    // Edges into the dropped block C vanish.
+    for (const auto &e : scaled.blocks[0].succs)
+        EXPECT_NE(e.to, 2);
+}
+
+TEST(ScaleDown, OuterEntriesAbsorbFactorFirst)
+{
+    // A loop entered once with 1000 iterations: entries cannot shrink,
+    // so the iteration count takes the whole factor.
+    Sfgl g = figure2();
+    g.blocks[3].succs.clear();
+    g.blocks[3].succs.push_back(SfglEdge{4, 1}); // D enters E once
+    g.blocks[3].execCount = 1;
+    g.blocks[0].execCount = 1;
+    g.blocks[1].execCount = 1;
+    g.blocks[2].execCount = 0;
+    g.blocks[4].execCount = 1000; // E
+    g.blocks[7].execCount = 1000; // H
+    g.loops[0].entries = 1;
+    g.loops[0].avgIterations = 1000.0;
+
+    Sfgl scaled = synth::scaleDown(g, 10);
+    ASSERT_EQ(scaled.loops.size(), 1u);
+    EXPECT_EQ(scaled.loops[0].entries, 1u);
+    EXPECT_NEAR(scaled.loops[0].avgIterations, 100.0, 1.0);
+}
+
+TEST(ScaleDown, FactorOneIsIdentityOnCounts)
+{
+    Sfgl g = figure2();
+    Sfgl scaled = synth::scaleDown(g, 1);
+    for (size_t i = 0; i < g.blocks.size(); ++i)
+        EXPECT_EQ(scaled.blocks[i].execCount, g.blocks[i].execCount);
+}
+
+TEST(ScaleDown, WholeLoopDisappearsUnderHugeFactor)
+{
+    Sfgl scaled = synth::scaleDown(figure2(), 100000);
+    EXPECT_TRUE(scaled.loops.empty());
+    for (const auto &b : scaled.blocks)
+        EXPECT_EQ(b.execCount, 0u);
+}
+
+TEST(ScaleDown, LoopMembershipRebuilt)
+{
+    Sfgl scaled = synth::scaleDown(figure2(), 100);
+    ASSERT_EQ(scaled.loops.size(), 1u);
+    for (int b : scaled.loops[0].blocks) {
+        EXPECT_EQ(scaled.blocks[static_cast<size_t>(b)].loopId,
+                  scaled.loops[0].id);
+    }
+}
+
+TEST(ReductionFactor, TargetsInstructionBudget)
+{
+    using synth::chooseReductionFactor;
+    EXPECT_EQ(chooseReductionFactor(1000, 1000), 1u);
+    EXPECT_EQ(chooseReductionFactor(500, 1000), 1u);
+    EXPECT_EQ(chooseReductionFactor(10000, 1000), 10u);
+    EXPECT_EQ(chooseReductionFactor(10001, 1000), 11u); // ceil
+    // The paper's clamp: R in [1, 250].
+    EXPECT_EQ(chooseReductionFactor(1u << 30, 100), 250u);
+    EXPECT_EQ(chooseReductionFactor(123, 0), 1u);
+}
+
+} // namespace
+} // namespace bsyn

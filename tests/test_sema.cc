@@ -1,0 +1,147 @@
+/** @file MiniC semantic-analysis tests. */
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hh"
+#include "lang/sema.hh"
+#include "support/error.hh"
+
+namespace bsyn::lang
+{
+namespace
+{
+
+SemaInfo
+check(const std::string &src, TranslationUnit &tu)
+{
+    tu = parseSource(src, "t");
+    return analyze(tu);
+}
+
+void
+expectError(const std::string &src)
+{
+    TranslationUnit tu;
+    EXPECT_THROW(check(src, tu), bsyn::FatalError) << src;
+}
+
+TEST(Sema, ResolvesLocalsParamsGlobals)
+{
+    TranslationUnit tu;
+    auto info = check("int g; int f(int p) { int l = p + g; return l; }",
+                      tu);
+    ASSERT_EQ(info.functions.size(), 1u);
+    const auto &locals = info.functions[0].locals;
+    ASSERT_EQ(locals.size(), 2u);
+    EXPECT_TRUE(locals[0].isParam);
+    EXPECT_EQ(locals[0].name, "p");
+    EXPECT_EQ(locals[1].name, "l");
+}
+
+TEST(Sema, TypePropagation)
+{
+    TranslationUnit tu;
+    check("double f(int a, uint b, double d) "
+          "{ return a + b + d; }", tu);
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    EXPECT_EQ(ret.value->type, Type::F64);
+}
+
+TEST(Sema, UnsignedWinsOverSigned)
+{
+    TranslationUnit tu;
+    check("uint f(int a, uint b) { return a + b; }", tu);
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    EXPECT_EQ(ret.value->type, Type::U32);
+}
+
+TEST(Sema, ComparisonYieldsInt)
+{
+    TranslationUnit tu;
+    check("int f(double a, double b) { return a < b; }", tu);
+    const auto &ret = static_cast<const ReturnStmt &>(
+        *tu.functions[0].body->stmts[0]);
+    EXPECT_EQ(ret.value->type, Type::I32);
+}
+
+TEST(Sema, ScopingShadowsAndExpires)
+{
+    TranslationUnit tu;
+    // Inner x shadows outer; after the block the outer is visible again.
+    check("int f() { int x = 1; { int x = 2; x = 3; } return x; }", tu);
+    // for-init variable is scoped to the loop.
+    expectError("int f() { for (int i = 0; i < 3; i++) {} return i; }");
+}
+
+TEST(Sema, ErrorsOnUndeclared)
+{
+    expectError("int f() { return nope; }");
+    expectError("int f() { nope(); return 0; }");
+}
+
+TEST(Sema, ErrorsOnRedefinition)
+{
+    expectError("int x; int x;");
+    expectError("int f() { return 0; } int f() { return 1; }");
+    expectError("int f() { int a = 0; int a = 1; return a; }");
+}
+
+TEST(Sema, ErrorsOnBadAssignments)
+{
+    expectError("int a[4]; int f() { a = 3; return 0; }");
+    expectError("int f() { 3 = 4; return 0; }");
+    expectError("int f() { f = 1; return 0; }");
+}
+
+TEST(Sema, ErrorsOnBadOperandTypes)
+{
+    expectError("int f(double d) { return d % 2.0; }");
+    expectError("int f(double d) { return d & 1; }");
+    expectError("int f(double d) { return d << 1; }");
+    expectError("int f(double d) { d++; return 0; }");
+}
+
+TEST(Sema, ErrorsOnCallArity)
+{
+    expectError("int g(int a) { return a; } int f() { return g(); }");
+    expectError("int g(int a) { return a; } int f() { return g(1, 2); }");
+}
+
+TEST(Sema, ErrorsOnReturnMismatch)
+{
+    expectError("void f() { return 3; }");
+    expectError("int f() { return; }");
+}
+
+TEST(Sema, ErrorsOnBreakOutsideLoop)
+{
+    expectError("int f() { break; return 0; }");
+    expectError("int f() { continue; return 0; }");
+}
+
+TEST(Sema, ErrorsOnNonArraySubscript)
+{
+    expectError("int x; int f() { return x[0]; }");
+}
+
+TEST(Sema, ErrorsOnArrayUsedAsScalar)
+{
+    expectError("int a[4]; int f() { return a + 1; }");
+}
+
+TEST(Sema, GlobalInitializersMustBeLiterals)
+{
+    TranslationUnit tu;
+    check("int x = -5; double d = 1.5; uint u = 0xff;", tu);
+    expectError("int y = 1 + 2;");
+}
+
+TEST(Sema, StringOnlyInPrintf)
+{
+    expectError("int f() { return \"no\"; }");
+}
+
+} // namespace
+} // namespace bsyn::lang

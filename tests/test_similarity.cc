@@ -1,0 +1,154 @@
+/** @file Plagiarism-detector tests (winnowing/Moss, tiling/JPlag). */
+
+#include <gtest/gtest.h>
+
+#include "similarity/ctokenizer.hh"
+#include "similarity/report.hh"
+#include "similarity/tiling.hh"
+#include "similarity/winnowing.hh"
+
+namespace bsyn::similarity
+{
+namespace
+{
+
+const char *fibSource = R"(
+int fib(int n) {
+  int a = 0, b = 1, i, sum = 0;
+  for (i = 0; i < n; i++) {
+    sum = a + b;
+    if (sum < 0) { printf("overflow"); break; }
+    a = b;
+    b = sum;
+  }
+  return sum;
+}
+)";
+
+/** fib with every identifier/constant renamed — structure unchanged. */
+const char *fibRenamed = R"(
+int zeta(int count) {
+  int p = 7, q = 9, k, total = 3;
+  for (k = 7; k < count; k++) {
+    total = p + q;
+    if (total < 9) { printf("boom"); break; }
+    p = q;
+    q = total;
+  }
+  return total;
+}
+)";
+
+const char *unrelatedSource = R"(
+unsigned int mStream0[64];
+void f0(void) {
+  int i0;
+  unsigned int t2 = 5;
+  for (i0 = 0; i0 < 20; i0++) {
+    mStream0[4] = mStream0[7] + mStream0[2];
+    t2 = t2 ^ 129;
+    mStream0[6] = (unsigned int)i0;
+  }
+}
+)";
+
+TEST(Tokenizer, NormalizesIdentifiersAndNumbers)
+{
+    auto a = tokenizeC("int foo = 42;");
+    auto b = tokenizeC("int bar = 99;");
+    EXPECT_EQ(a, b);
+}
+
+TEST(Tokenizer, KeywordsKeepIdentity)
+{
+    auto a = tokenizeC("while (x) {}");
+    auto b = tokenizeC("if (x) {}");
+    EXPECT_NE(a, b);
+}
+
+TEST(Tokenizer, StripsCommentsAndWhitespace)
+{
+    auto a = tokenizeC("int x; // comment\n/* more */");
+    auto b = tokenizeC("int   y;");
+    EXPECT_EQ(a, b);
+}
+
+TEST(Winnowing, IdenticalSourcesScoreOne)
+{
+    EXPECT_DOUBLE_EQ(winnowSimilarity(fibSource, fibSource), 1.0);
+}
+
+TEST(Winnowing, RenamingDoesNotHideCopying)
+{
+    // The whole point of token normalization: a renamed copy is caught.
+    EXPECT_GT(winnowSimilarity(fibSource, fibRenamed), 0.8);
+}
+
+TEST(Winnowing, UnrelatedCodeScoresLow)
+{
+    EXPECT_LT(winnowSimilarity(fibSource, unrelatedSource), 0.45);
+}
+
+TEST(Winnowing, FingerprintsAreCompact)
+{
+    auto toks = tokenizeC(fibSource);
+    auto prints = winnowFingerprints(toks);
+    EXPECT_GT(prints.size(), 0u);
+    EXPECT_LT(prints.size(), toks.size());
+}
+
+TEST(Tiling, IdenticalSourcesScoreOne)
+{
+    EXPECT_DOUBLE_EQ(tilingSimilarity(fibSource, fibSource), 1.0);
+}
+
+TEST(Tiling, RenamingDoesNotHideCopying)
+{
+    EXPECT_GT(tilingSimilarity(fibSource, fibRenamed), 0.8);
+}
+
+TEST(Tiling, UnrelatedCodeScoresLow)
+{
+    EXPECT_LT(tilingSimilarity(fibSource, unrelatedSource), 0.5);
+}
+
+TEST(Tiling, PartialCopyDetected)
+{
+    std::string half_copy = std::string(fibSource) + R"(
+void extra(void) {
+  int i;
+  for (i = 0; i < 100; i++) printf("%d", i * 3);
+}
+)";
+    double sim = tilingSimilarity(fibSource, half_copy);
+    EXPECT_GT(sim, 0.5);
+    EXPECT_LT(sim, 1.0);
+}
+
+TEST(Tiling, MinimumMatchLengthFiltersNoise)
+{
+    TilingOptions strict;
+    strict.minimumMatchLength = 500; // longer than the whole stream
+    EXPECT_DOUBLE_EQ(tilingSimilarity(fibSource, fibRenamed, strict), 0.0);
+    EXPECT_GT(tilingSimilarity(fibSource, fibRenamed), 0.0);
+}
+
+TEST(Report, CombinesBothDetectors)
+{
+    auto same = compareSources(fibSource, fibSource);
+    EXPECT_FALSE(same.hidesProprietaryInformation());
+    auto diff = compareSources(fibSource, unrelatedSource);
+    EXPECT_LT(diff.winnow, same.winnow);
+    EXPECT_LT(diff.tiling, same.tiling);
+}
+
+TEST(Report, EmptyInputsHandled)
+{
+    auto r = compareSources("", "");
+    EXPECT_DOUBLE_EQ(r.winnow, 1.0);
+    auto r2 = compareSources("int x;", "");
+    EXPECT_DOUBLE_EQ(r2.winnow, 0.0);
+}
+
+} // namespace
+} // namespace bsyn::similarity

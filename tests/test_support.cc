@@ -1,0 +1,201 @@
+/** @file Unit tests for the support layer (rng, stats, json, strings). */
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/rng.hh"
+#include "support/statistics.hh"
+#include "support/string_util.hh"
+#include "support/table.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(11);
+    std::vector<double> w{1.0, 0.0, 9.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 10000; ++i)
+        ++counts[r.nextWeighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.nextBool(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+    EXPECT_FALSE(r.nextBool(0.0));
+    EXPECT_TRUE(r.nextBool(1.0));
+}
+
+TEST(Statistics, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Statistics, Pearson)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> z{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Statistics, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110, 100), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeError(5, 0), 1.0);
+}
+
+TEST(Statistics, RunningStat)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Json, RoundTrip)
+{
+    Json obj = Json::object();
+    obj.set("name", Json("bsyn"));
+    obj.set("count", Json(int64_t(42)));
+    obj.set("ratio", Json(0.5));
+    obj.set("flag", Json(true));
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    arr.push(Json());
+    obj.set("items", std::move(arr));
+
+    Json parsed = Json::parse(obj.dump(2));
+    EXPECT_EQ(parsed.get("name").asString(), "bsyn");
+    EXPECT_EQ(parsed.get("count").asInt(), 42);
+    EXPECT_DOUBLE_EQ(parsed.get("ratio").asNumber(), 0.5);
+    EXPECT_TRUE(parsed.get("flag").asBool());
+    EXPECT_EQ(parsed.get("items").size(), 3u);
+    EXPECT_TRUE(parsed.get("items").at(2).isNull());
+}
+
+TEST(Json, EscapesStrings)
+{
+    Json j(std::string("a\"b\\c\nd"));
+    Json parsed = Json::parse(j.dump(-1));
+    EXPECT_EQ(parsed.asString(), "a\"b\\c\nd");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(Json::parse("{"), FatalError);
+    EXPECT_THROW(Json::parse("[1,]2"), FatalError);
+    EXPECT_THROW(Json::parse(""), FatalError);
+}
+
+TEST(Json, MissingKeyIsFatal)
+{
+    Json obj = Json::object();
+    EXPECT_THROW(obj.get("nope"), FatalError);
+    EXPECT_FALSE(obj.has("nope"));
+}
+
+TEST(StringUtil, SplitTrimJoin)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  x y \n"), "x y");
+    EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+TEST(StringUtil, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(ErrorHandling, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("bad user input %d", 1), FatalError);
+    EXPECT_THROW(panic("bug %d", 2), PanicError);
+}
+
+TEST(TextTable, FormatsAligned)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("demo"), std::string::npos);
+    EXPECT_NE(os.str().find("bbbb"), std::string::npos);
+    EXPECT_EQ(TextTable::pct(0.125), "12.5%");
+    EXPECT_EQ(TextTable::num(1.5, 1), "1.5");
+}
+
+} // namespace
+} // namespace bsyn

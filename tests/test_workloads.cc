@@ -1,0 +1,113 @@
+/** @file Workload-suite tests: every MiBench-analogue instance compiles,
+ *  runs, produces its expected output, and is invariant across
+ *  optimization levels and ISAs. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hh"
+#include "support/error.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+TEST(Suite, HasThirtyTwoInstancesLikeFigure4)
+{
+    EXPECT_EQ(workloads::mibenchSuite().size(), 32u);
+    EXPECT_EQ(workloads::benchmarkNames().size(), 13u);
+}
+
+TEST(Suite, LookupByName)
+{
+    const auto &w = workloads::findWorkload("crc32/large");
+    EXPECT_EQ(w.benchmark, "crc32");
+    EXPECT_THROW(workloads::findWorkload("nope/large"), FatalError);
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(WorkloadRuns, CorrectAndInvariantAcrossLevelsAndIsas)
+{
+    const auto &w = workloads::mibenchSuite()[GetParam()];
+
+    auto o0 = pipeline::runSource(w.source, w.name(), opt::OptLevel::O0,
+                                  isa::targetX86());
+    EXPECT_NE(o0.output.find(w.expectedOutput), std::string::npos)
+        << w.name() << " printed: " << o0.output;
+    EXPECT_GT(o0.instructions, 100000u) << w.name();
+
+    // Optimized and cross-ISA runs must print the same thing.
+    auto o2 = pipeline::runSource(w.source, w.name(), opt::OptLevel::O2,
+                                  isa::targetX86());
+    EXPECT_EQ(o2.output, o0.output) << w.name();
+    EXPECT_LT(o2.instructions, o0.instructions) << w.name();
+
+    auto ia = pipeline::runSource(w.source, w.name(), opt::OptLevel::O1,
+                                  isa::targetIa64());
+    EXPECT_EQ(ia.output, o0.output) << w.name();
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<size_t> &info)
+{
+    std::string n = workloads::mibenchSuite()[info.param].name();
+    for (auto &c : n)
+        if (c == '/')
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRuns,
+    ::testing::Range<size_t>(0, 32),
+    workloadName);
+
+TEST(Suite, LargeInputsRunLongerThanSmall)
+{
+    struct Pair
+    {
+        const char *large, *small;
+    };
+    for (const auto &p :
+         {Pair{"adpcm/large1", "adpcm/small1"},
+          Pair{"crc32/large", "crc32/small"},
+          Pair{"sha/large", "sha/small"},
+          Pair{"dijkstra/large", "dijkstra/small"}}) {
+        auto l = pipeline::runSource(
+            workloads::findWorkload(p.large).source, p.large,
+            opt::OptLevel::O0, isa::targetX86());
+        auto s = pipeline::runSource(
+            workloads::findWorkload(p.small).source, p.small,
+            opt::OptLevel::O0, isa::targetX86());
+        EXPECT_GT(l.instructions, s.instructions * 2) << p.large;
+    }
+}
+
+TEST(Suite, FftIsTheFpHeavyBenchmark)
+{
+    ir::Module fft = workloads::compileWorkload(
+        workloads::findWorkload("fft/small1"));
+    auto fft_prof = profile::profileModule(fft);
+    ir::Module sha = workloads::compileWorkload(
+        workloads::findWorkload("sha/small"));
+    auto sha_prof = profile::profileModule(sha);
+    EXPECT_GT(fft_prof.mix.fpFraction(), 0.05);
+    EXPECT_GT(fft_prof.mix.fpFraction(),
+              sha_prof.mix.fpFraction() + 0.04);
+}
+
+TEST(Suite, WorkloadsAreDeterministic)
+{
+    const auto &w = workloads::findWorkload("qsort/large");
+    auto a = pipeline::runSource(w.source, w.name(), opt::OptLevel::O0,
+                                 isa::targetX86());
+    auto b = pipeline::runSource(w.source, w.name(), opt::OptLevel::O0,
+                                 isa::targetX86());
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+} // namespace
+} // namespace bsyn
