@@ -21,6 +21,7 @@
 #include "pipeline/pipeline.hh"
 #include "support/statistics.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 namespace bsyn::bench
 {
@@ -34,20 +35,35 @@ benchSynthesisOptions()
     return opts;
 }
 
+/** Shared worker pool for the harnesses (one thread per core). */
+inline ThreadPool &
+benchPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+/** Batch options used by the harnesses: bench synthesis config plus a
+ *  progress line per finished workload. */
+inline pipeline::SuiteOptions
+benchSuiteOptions()
+{
+    pipeline::SuiteOptions so;
+    so.synthesis = benchSynthesisOptions();
+    so.pool = &benchPool(); // share one set of workers per process
+    so.progress = [](const pipeline::WorkloadRun &r) {
+        std::fprintf(stderr, "[bench] processed %-22s\n",
+                     r.workload.name().c_str());
+    };
+    return so;
+}
+
 /** Profile + synthesize every suite instance (cached per process). */
 inline const std::vector<pipeline::WorkloadRun> &
 processedSuite()
 {
-    static const std::vector<pipeline::WorkloadRun> runs = [] {
-        std::vector<pipeline::WorkloadRun> out;
-        for (const auto &w : workloads::mibenchSuite()) {
-            std::fprintf(stderr, "[bench] processing %-22s\n",
-                         w.name().c_str());
-            out.push_back(
-                pipeline::processWorkload(w, benchSynthesisOptions()));
-        }
-        return out;
-    }();
+    static const std::vector<pipeline::WorkloadRun> runs =
+        pipeline::processSuite(benchSuiteOptions());
     return runs;
 }
 
@@ -60,7 +76,7 @@ inline const std::vector<pipeline::WorkloadRun> &
 representativeRuns()
 {
     static const std::vector<pipeline::WorkloadRun> runs = [] {
-        std::vector<pipeline::WorkloadRun> out;
+        std::vector<workloads::Workload> picks;
         std::string last;
         for (const auto &w : workloads::mibenchSuite()) {
             if (w.benchmark == last)
@@ -73,13 +89,10 @@ representativeRuns()
                     pick = &cand;
                     break;
                 }
-            std::fprintf(stderr, "[bench] processing %-22s\n",
-                         pick->name().c_str());
-            out.push_back(
-                pipeline::processWorkload(*pick, benchSynthesisOptions()));
+            picks.push_back(*pick);
             last = w.benchmark;
         }
-        return out;
+        return pipeline::processSuite(picks, benchSuiteOptions());
     }();
     return runs;
 }

@@ -1,5 +1,8 @@
 #include "pipeline/pipeline.hh"
 
+#include <algorithm>
+#include <memory>
+
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 
@@ -56,6 +59,66 @@ processWorkload(const workloads::Workload &w,
     run.synthetic =
         synth::synthesize(run.profile, opts, &measureInstructions);
     return run;
+}
+
+uint64_t
+deriveWorkloadSeed(uint64_t baseSeed, const std::string &name)
+{
+    // FNV-1a over the name, folded into the base seed and finished with
+    // a splitmix64 round. Pure arithmetic on fixed-width integers, so
+    // the derivation is identical across platforms and runs.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    uint64_t z = baseSeed ^ h;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+SuiteOptions::SuiteOptions() : synthesis(defaultSynthesisOptions()) {}
+
+unsigned
+resolveSuiteThreads(unsigned requested, size_t suiteSize)
+{
+    unsigned threads =
+        requested ? requested : ThreadPool::hardwareThreads();
+    return static_cast<unsigned>(
+        std::min<size_t>(threads, std::max<size_t>(suiteSize, 1)));
+}
+
+std::vector<WorkloadRun>
+processSuite(const std::vector<workloads::Workload> &suite,
+             const SuiteOptions &opts)
+{
+    std::vector<WorkloadRun> runs(suite.size());
+    if (suite.empty())
+        return runs;
+
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool *pool = opts.pool;
+    if (!pool) {
+        owned = std::make_unique<ThreadPool>(
+            resolveSuiteThreads(opts.threads, suite.size()));
+        pool = owned.get();
+    }
+    pool->parallelFor(suite.size(), [&](size_t i) {
+        synth::SynthesisOptions so = opts.synthesis;
+        so.seed = deriveWorkloadSeed(so.seed, suite[i].name());
+        runs[i] = processWorkload(suite[i], so);
+        if (opts.progress)
+            opts.progress(runs[i]);
+    });
+    return runs;
+}
+
+std::vector<WorkloadRun>
+processSuite(const SuiteOptions &opts)
+{
+    return processSuite(workloads::mibenchSuite(), opts);
 }
 
 sim::TimingStats

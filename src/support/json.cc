@@ -306,9 +306,25 @@ class JsonParser
                   case 'u': {
                     if (pos + 4 > src.size())
                         fatal("json: bad \\u escape");
-                    unsigned code = std::stoul(src.substr(pos, 4), nullptr, 16);
+                    unsigned code = 0;
+                    for (size_t k = 0; k < 4; ++k) {
+                        char h = src[pos + k];
+                        if (!std::isxdigit(uc(h)))
+                            fatal("json: non-hex digit in \\u escape "
+                                  "at offset %zu",
+                                  pos + k);
+                        code = code * 16 +
+                               static_cast<unsigned>(
+                                   h <= '9'  ? h - '0'
+                                   : h <= 'F' ? h - 'A' + 10
+                                              : h - 'a' + 10);
+                    }
                     pos += 4;
-                    out += static_cast<char>(code & 0xff);
+                    if (code > 0xff)
+                        fatal("json: \\u%04x is outside the supported "
+                              "Latin-1 range",
+                              code);
+                    out += static_cast<char>(code);
                     break;
                   }
                   default:

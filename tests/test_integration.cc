@@ -8,6 +8,7 @@
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 #include "similarity/report.hh"
+#include "support/error.hh"
 
 namespace bsyn
 {
@@ -22,10 +23,71 @@ testOptions()
     return opts;
 }
 
+/**
+ * All workloads these tests touch, processed once through the batch API
+ * (pipeline::processSuite) so the suite both exercises the parallel
+ * path and amortizes the synthesis cost across test cases.
+ */
+const pipeline::WorkloadRun &
+batchRun(const std::string &name)
+{
+    static const std::vector<pipeline::WorkloadRun> runs = [] {
+        std::vector<workloads::Workload> ws{
+            workloads::findWorkload("crc32/small"),
+            workloads::findWorkload("stringsearch/small"),
+            workloads::findWorkload("dijkstra/small"),
+            workloads::findWorkload("gsm/small1"),
+        };
+        pipeline::SuiteOptions so;
+        so.synthesis = testOptions();
+        return pipeline::processSuite(ws, so);
+    }();
+    for (const auto &r : runs)
+        if (r.workload.name() == name)
+            return r;
+    fatal("batchRun: %s not in the batch", name.c_str());
+}
+
+TEST(EndToEnd, SuiteBatchIsByteIdenticalToSequential)
+{
+    // The scheduling contract of processSuite(): thread count changes
+    // wall-clock, never results. Clones and profiles from a parallel
+    // batch must match a sequential (threads = 1) batch byte for byte,
+    // and each one must match a direct processWorkload() call with the
+    // per-workload derived seed.
+    std::vector<workloads::Workload> ws{
+        workloads::findWorkload("crc32/small"),
+        workloads::findWorkload("bitcount/small"),
+        workloads::findWorkload("basicmath/small"),
+    };
+    pipeline::SuiteOptions par;
+    par.synthesis = testOptions();
+    par.threads = 4;
+    pipeline::SuiteOptions seq = par;
+    seq.threads = 1;
+
+    auto a = pipeline::processSuite(ws, par);
+    auto b = pipeline::processSuite(ws, seq);
+    ASSERT_EQ(a.size(), ws.size());
+    ASSERT_EQ(b.size(), ws.size());
+    for (size_t i = 0; i < ws.size(); ++i) {
+        EXPECT_EQ(a[i].workload.name(), ws[i].name());
+        EXPECT_EQ(a[i].synthetic.cSource, b[i].synthetic.cSource)
+            << ws[i].name();
+        EXPECT_EQ(a[i].profile.serialize(), b[i].profile.serialize())
+            << ws[i].name();
+    }
+
+    auto direct = testOptions();
+    direct.seed = pipeline::deriveWorkloadSeed(direct.seed, ws[0].name());
+    auto one = pipeline::processWorkload(ws[0], direct);
+    EXPECT_EQ(one.synthetic.cSource, a[0].synthetic.cSource);
+}
+
 TEST(EndToEnd, Crc32CloneBehavesLikeTheOriginal)
 {
     const auto &w = workloads::findWorkload("crc32/small");
-    auto run = pipeline::processWorkload(w, testOptions());
+    const auto &run = batchRun("crc32/small");
 
     // Reduction: the clone is much shorter running.
     uint64_t clone_insts =
@@ -68,7 +130,7 @@ TEST(EndToEnd, CloneTracksOptimizationSensitivity)
     // Fig 5's property: both original and clone lose a sizable share of
     // dynamic instructions from O0 to O2.
     const auto &w = workloads::findWorkload("stringsearch/small");
-    auto run = pipeline::processWorkload(w, testOptions());
+    const auto &run = batchRun("stringsearch/small");
 
     auto count = [&](const std::string &src, opt::OptLevel lvl) {
         return pipeline::runSource(src, "x", lvl, isa::targetX86())
@@ -90,7 +152,7 @@ TEST(EndToEnd, CloneTracksCachePressureDirection)
     // dijkstra is the cache-sensitive benchmark (Fig 7): its clone must
     // also show a hit-rate gap between small and large caches.
     const auto &w = workloads::findWorkload("dijkstra/small");
-    auto run = pipeline::processWorkload(w, testOptions());
+    const auto &run = batchRun("dijkstra/small");
 
     auto hit_rates = [&](const std::string &src) {
         ir::Module m = lang::compile(src, "hr");
@@ -122,8 +184,7 @@ TEST(EndToEnd, CloneTracksCachePressureDirection)
 
 TEST(EndToEnd, TimingModelRunsCloneOnAllMachines)
 {
-    const auto &w = workloads::findWorkload("gsm/small1");
-    auto run = pipeline::processWorkload(w, testOptions());
+    const auto &run = batchRun("gsm/small1");
     for (const auto &machine : sim::paperMachines()) {
         auto t = pipeline::timeOnMachine(run.synthetic.cSource, "clone",
                                          opt::OptLevel::O2, machine);

@@ -148,6 +148,48 @@ TEST(Json, EscapesStrings)
     EXPECT_EQ(parsed.asString(), "a\"b\\c\nd");
 }
 
+TEST(Json, RoundTripsControlCharacters)
+{
+    // Every byte below 0x20 must survive dump -> parse, whether it uses
+    // a short escape (\n, \t, \r) or the generic \u00XX form.
+    std::string all;
+    for (int c = 1; c < 0x20; ++c)
+        all += static_cast<char>(c);
+    all += '\0'; // embedded NUL too
+    Json parsed = Json::parse(Json(all).dump(-1));
+    EXPECT_EQ(parsed.asString(), all);
+
+    // Spot-check the serialized form itself.
+    EXPECT_EQ(Json(std::string("\x01")).dump(-1), "\"\\u0001\"");
+    EXPECT_EQ(Json(std::string("\x1f")).dump(-1), "\"\\u001f\"");
+    EXPECT_EQ(Json(std::string("\n")).dump(-1), "\"\\n\"");
+}
+
+TEST(Json, ParsesUnicodeEscapes)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(Json::parse("\"\\u000a\"").asString(), "\n");
+    EXPECT_EQ(Json::parse("\"\\u00Ff\"").asString(), "\xff"); // mixed case
+    EXPECT_EQ(Json::parse("\"a\\u0042c\"").asString(), "aBc");
+}
+
+TEST(Json, MalformedEscapesAreFatal)
+{
+    // Unknown escape letter.
+    EXPECT_THROW(Json::parse("\"\\x41\""), FatalError);
+    // Truncated \u escapes (end of string / end of input).
+    EXPECT_THROW(Json::parse("\"\\u12\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\u"), FatalError);
+    // Non-hex digits must not crash with an uncaught std::stoul error.
+    EXPECT_THROW(Json::parse("\"\\uzzzz\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\u00g0\""), FatalError);
+    // Code points beyond the supported Latin-1 range are rejected, not
+    // silently truncated.
+    EXPECT_THROW(Json::parse("\"\\u0100\""), FatalError);
+    // Backslash at end of input.
+    EXPECT_THROW(Json::parse("\"\\"), FatalError);
+}
+
 TEST(Json, ParseErrors)
 {
     EXPECT_THROW(Json::parse("{"), FatalError);

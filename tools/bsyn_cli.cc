@@ -14,10 +14,18 @@
  *       run both plagiarism detectors on a source pair
  *   bsyn time <prog.c> [-O0..-O3]
  *       run the program on all five Table III machine models
+ *   bsyn suite [-o <dir>] [--threads N] [--seed S] [--target-instr N]
+ *       profile + synthesize the whole MiBench-analogue suite in one
+ *       batch, fanned across a thread pool
  */
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "similarity/report.hh"
 #include "support/error.hh"
 #include "support/string_util.hh"
+#include "support/table.hh"
 
 using namespace bsyn;
 
@@ -41,7 +50,31 @@ struct Args
     opt::OptLevel level = opt::OptLevel::O0;
     uint64_t targetInstr = 120000;
     uint64_t seed = 0xb5e9c0de;
+    unsigned threads = 0; ///< 0 = one per hardware thread
 };
+
+/** Parse a full unsigned decimal/hex number; fatal() on junk. */
+uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    // stoull would silently wrap "-1" to 2^64-1; reject any sign or
+    // leading whitespace so only plain unsigned literals get through.
+    if (s.empty() || !std::isalnum(static_cast<unsigned char>(s[0])))
+        fatal("invalid number '%s' for %s", s.c_str(), what);
+    // Base 0 would read a leading zero as octal; only 0x means hex.
+    bool hex = s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+    try {
+        size_t pos = 0;
+        uint64_t v = std::stoull(s, &pos, hex ? 16 : 10);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", s.c_str(), what);
+    }
+}
 
 Args
 parseArgs(int argc, char **argv, int first)
@@ -58,10 +91,18 @@ parseArgs(int argc, char **argv, int first)
             args.output = next("-o");
         } else if (a == "--target") {
             args.target = next("--target");
+            isa::targetByName(args.target); // reject bad names up front
         } else if (a == "--target-instr") {
-            args.targetInstr = std::stoull(next("--target-instr"));
+            args.targetInstr =
+                parseU64(next("--target-instr"), "--target-instr");
         } else if (a == "--seed") {
-            args.seed = std::stoull(next("--seed"));
+            args.seed = parseU64(next("--seed"), "--seed");
+        } else if (a == "--threads" || a == "-j") {
+            uint64_t n = parseU64(next(a.c_str()), a.c_str());
+            if (n > 4096)
+                fatal("%s %llu is out of range (max 4096)", a.c_str(),
+                      static_cast<unsigned long long>(n));
+            args.threads = static_cast<unsigned>(n);
         } else if (a.size() == 3 && a[0] == '-' && a[1] == 'O') {
             args.level = opt::optLevelByName(a);
         } else if (!a.empty() && a[0] == '-') {
@@ -172,6 +213,75 @@ cmdTime(const Args &args)
     return 0;
 }
 
+int
+cmdSuite(const Args &args)
+{
+    if (!args.positional.empty())
+        fatal("usage: bsyn suite [-o <dir>] [--threads N] [--seed S] "
+              "[--target-instr N] — unexpected argument '%s'",
+              args.positional[0].c_str());
+
+    // Create the output directory before spending minutes synthesizing.
+    if (!args.output.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(args.output, ec);
+        if (ec)
+            fatal("cannot create output directory '%s': %s",
+                  args.output.c_str(), ec.message().c_str());
+    }
+
+    const auto &suite = workloads::mibenchSuite();
+
+    pipeline::SuiteOptions so;
+    so.synthesis.targetInstructions = args.targetInstr;
+    so.synthesis.seed = args.seed;
+    so.threads = args.threads;
+    std::mutex logMtx;
+    so.progress = [&](const pipeline::WorkloadRun &r) {
+        std::lock_guard<std::mutex> lock(logMtx);
+        std::fprintf(stderr, "[bsyn] %-22s R=%llu, coverage %.1f%%\n",
+                     r.workload.name().c_str(),
+                     static_cast<unsigned long long>(
+                         r.synthetic.reductionFactor),
+                     100.0 * r.synthetic.patternStats.coverage());
+    };
+
+    unsigned threads =
+        pipeline::resolveSuiteThreads(args.threads, suite.size());
+    auto t0 = std::chrono::steady_clock::now();
+    auto runs = pipeline::processSuite(suite, so);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    if (!args.output.empty()) {
+        for (const auto &r : runs) {
+            std::string base = args.output + "/" + r.workload.benchmark +
+                               "_" + r.workload.input;
+            writeFile(base + ".c", r.synthetic.cSource);
+            r.profile.saveTo(base + ".profile.json");
+        }
+    }
+
+    TextTable table("suite synthesis summary");
+    table.setHeader({"workload", "dyn instr", "R", "coverage"});
+    for (const auto &r : runs) {
+        table.addRow({r.workload.name(),
+                      std::to_string(r.profile.dynamicInstructions),
+                      std::to_string(r.synthetic.reductionFactor),
+                      TextTable::pct(r.synthetic.patternStats.coverage())});
+    }
+    table.print(std::cout);
+
+    std::fprintf(stderr,
+                 "[bsyn] %zu workloads synthesized on %u threads "
+                 "in %.2fs%s%s\n",
+                 runs.size(), threads, secs,
+                 args.output.empty() ? "" : ", clones written to ",
+                 args.output.c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -184,7 +294,9 @@ usage()
         "  bsyn synth <profile.json> -o <clone.c> [--target-instr N] "
         "[--seed S]\n"
         "  bsyn compare <a.c> <b.c>\n"
-        "  bsyn time <prog.c> [-O0..-O3]\n");
+        "  bsyn time <prog.c> [-O0..-O3]\n"
+        "  bsyn suite [-o <dir>] [--threads N] [--seed S] "
+        "[--target-instr N]\n");
 }
 
 } // namespace
@@ -197,8 +309,20 @@ main(int argc, char **argv)
         return 2;
     }
     std::string cmd = argv[1];
+
+    // Argument errors (unknown flag, bad --target, malformed number)
+    // print the usage text and exit 2; failures while carrying out a
+    // valid request exit 1.
+    Args args;
     try {
-        Args args = parseArgs(argc, argv, 2);
+        args = parseArgs(argc, argv, 2);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "bsyn: %s\n", e.what());
+        usage();
+        return 2;
+    }
+
+    try {
         if (cmd == "run")
             return cmdRun(args);
         if (cmd == "profile")
@@ -209,6 +333,9 @@ main(int argc, char **argv)
             return cmdCompare(args);
         if (cmd == "time")
             return cmdTime(args);
+        if (cmd == "suite")
+            return cmdSuite(args);
+        std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
         usage();
         return 2;
     } catch (const FatalError &e) {
