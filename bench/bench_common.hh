@@ -1,17 +1,22 @@
 /**
  * @file
- * Shared machinery for the experiment harnesses: process the whole
- * MiBench-analogue suite (profile at -O0, synthesize clones) once per
- * binary, plus helpers to run programs under instrumentation.
+ * Shared machinery for the experiment harnesses: one pipeline::Session
+ * per binary (thread pool + artifact cache) that processes the whole
+ * MiBench-analogue suite, plus helpers to run programs under
+ * instrumentation and to fan per-figure measurement loops across the
+ * session's workers.
  *
  * Each bench_* binary regenerates one table or figure of the paper
  * (see DESIGN.md's experiment index) and prints it as a text table.
+ * Setting BSYN_CACHE_DIR shares profiles and clones across all 15
+ * harness binaries — only the first to run pays the synthesis cost.
  */
 
 #ifndef BSYN_BENCH_COMMON_HH
 #define BSYN_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,9 +24,11 @@
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 #include "pipeline/pipeline.hh"
+#include "pipeline/run_sink.hh"
+#include "pipeline/session.hh"
+#include "support/error.hh"
 #include "support/statistics.hh"
 #include "support/table.hh"
-#include "support/thread_pool.hh"
 
 namespace bsyn::bench
 {
@@ -35,27 +42,44 @@ benchSynthesisOptions()
     return opts;
 }
 
-/** Shared worker pool for the harnesses (one thread per core). */
-inline ThreadPool &
-benchPool()
+/** The one pipeline session shared by a harness binary: one worker per
+ *  core, bench synthesis config, and — when BSYN_CACHE_DIR is set — an
+ *  artifact cache shared with the other harnesses and the CLI. */
+inline pipeline::Session &
+benchSession()
 {
-    static ThreadPool pool;
-    return pool;
+    static pipeline::Session session([] {
+        pipeline::SessionOptions so;
+        so.synthesis = benchSynthesisOptions();
+        if (const char *env = std::getenv("BSYN_CACHE_DIR"))
+            so.cacheDir = env;
+        return so;
+    }());
+    return session;
 }
 
-/** Batch options used by the harnesses: bench synthesis config plus a
- *  progress line per finished workload. */
-inline pipeline::SuiteOptions
-benchSuiteOptions()
+/** Batch-process @p ws on the bench session with a progress line per
+ *  finished workload; fatal() on any per-workload failure. */
+inline std::vector<pipeline::WorkloadRun>
+processBatch(const std::vector<workloads::Workload> &ws)
 {
-    pipeline::SuiteOptions so;
-    so.synthesis = benchSynthesisOptions();
-    so.pool = &benchPool(); // share one set of workers per process
-    so.progress = [](const pipeline::WorkloadRun &r) {
-        std::fprintf(stderr, "[bench] processed %-22s\n",
-                     r.workload.name().c_str());
-    };
-    return so;
+    pipeline::CollectSink collect;
+    pipeline::CallbackSink progress(
+        [](const pipeline::RunStatus &st, const pipeline::WorkloadRun &) {
+            std::fprintf(stderr, "[bench] processed %-22s%s\n",
+                         st.workload.c_str(),
+                         st.profileCached && st.synthCached
+                             ? " (cached)"
+                             : "");
+        });
+    std::vector<pipeline::RunSink *> sinks{&progress, &collect};
+    pipeline::TeeSink tee(sinks);
+    auto statuses = benchSession().processSuite(ws, tee);
+    for (const auto &st : statuses)
+        if (!st.ok)
+            fatal("bench: workload %s failed: %s", st.workload.c_str(),
+                  st.error.c_str());
+    return collect.takeRuns();
 }
 
 /** Profile + synthesize every suite instance (cached per process). */
@@ -63,8 +87,23 @@ inline const std::vector<pipeline::WorkloadRun> &
 processedSuite()
 {
     static const std::vector<pipeline::WorkloadRun> runs =
-        pipeline::processSuite(benchSuiteOptions());
+        processBatch(workloads::mibenchSuite());
     return runs;
+}
+
+/**
+ * Evaluate fn(0)..fn(n-1) on the bench session's workers and return
+ * the results in index order — the batch API for the per-figure
+ * measurement loops (CPI sweeps, per-level recompiles) that previously
+ * ran one workload at a time.
+ */
+template <class T, class Fn>
+inline std::vector<T>
+parallelMap(size_t n, Fn fn)
+{
+    std::vector<T> out(n);
+    benchSession().parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
 }
 
 /**
@@ -92,7 +131,7 @@ representativeRuns()
             picks.push_back(*pick);
             last = w.benchmark;
         }
-        return pipeline::processSuite(picks, benchSuiteOptions());
+        return processBatch(picks);
     }();
     return runs;
 }

@@ -18,18 +18,17 @@ namespace
 {
 
 /** Wall-clock time (ns) of the whole set on one machine at one level.
- *  Each program is timed on its own pool worker; the per-program times
- *  land in index order and are summed sequentially, so the total is
- *  bit-identical to a serial loop. */
+ *  Each program is timed on its own session worker; the per-program
+ *  times land in index order and are summed sequentially, so the total
+ *  is bit-identical to a serial loop. */
 double
 suiteTime(const std::vector<std::string> &sources,
           const sim::MachineSpec &machine, opt::OptLevel level)
 {
-    std::vector<double> times(sources.size());
-    bench::benchPool().parallelFor(sources.size(), [&](size_t i) {
+    auto times = bench::parallelMap<double>(sources.size(), [&](size_t i) {
         auto t = pipeline::timeOnMachine(sources[i], "fig11", level,
                                          machine);
-        times[i] = machine.timeNs(t.cycles);
+        return machine.timeNs(t.cycles);
     });
     double total = 0;
     for (double t : times)

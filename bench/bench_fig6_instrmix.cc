@@ -28,13 +28,25 @@ printMixTable(const char *title, opt::OptLevel level)
     TextTable table(title);
     table.setHeader({"benchmark", "who", "loads", "stores", "branches",
                      "others"});
+
+    // Recompiling + profiling each original/clone pair fans out across
+    // the session's workers (batch API); totals merge in suite order.
+    const auto &runs = bench::representativeRuns();
+    auto mixes =
+        bench::parallelMap<std::pair<profile::InstrMix, profile::InstrMix>>(
+            runs.size(), [&](size_t i) {
+                return std::make_pair(
+                    mixAt(runs[i].workload.source, level),
+                    mixAt(runs[i].synthetic.cSource, level));
+            });
+
     profile::InstrMix org_total, syn_total;
-    for (const auto &run : bench::representativeRuns()) {
-        auto org = mixAt(run.workload.source, level);
-        auto syn = mixAt(run.synthetic.cSource, level);
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const auto &org = mixes[i].first;
+        const auto &syn = mixes[i].second;
         org_total.merge(org);
         syn_total.merge(syn);
-        table.addRow({run.workload.benchmark, "ORG",
+        table.addRow({runs[i].workload.benchmark, "ORG",
                       TextTable::pct(org.loadFraction()),
                       TextTable::pct(org.storeFraction()),
                       TextTable::pct(org.branchFraction()),

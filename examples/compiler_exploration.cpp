@@ -14,7 +14,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "support/table.hh"
 
 using namespace bsyn;
@@ -48,8 +48,8 @@ int
 main()
 {
     const auto &w = workloads::findWorkload("bitcount/large");
-    auto run = pipeline::processWorkload(
-        w, pipeline::defaultSynthesisOptions());
+    pipeline::Session session;
+    auto run = session.process(w);
 
     const CompilerConfig configs[] = {
         {"O0", opt::OptLevel::O0, false, false},

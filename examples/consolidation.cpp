@@ -13,7 +13,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "support/table.hh"
 #include "synth/consolidate.hh"
 
@@ -25,12 +25,12 @@ main()
     const char *names[] = {"crc32/small", "sha/small", "fft/small1",
                            "dijkstra/small"};
 
+    pipeline::Session session;
     std::vector<profile::StatisticalProfile> profiles;
     uint64_t total_instructions = 0;
     for (const char *n : names) {
         const auto &w = workloads::findWorkload(n);
-        ir::Module m = workloads::compileWorkload(w);
-        profiles.push_back(profile::profileModule(m));
+        profiles.push_back(session.profile(w));
         total_instructions += profiles.back().dynamicInstructions;
         std::printf("profiled %-16s %12llu instructions\n", n,
                     static_cast<unsigned long long>(
@@ -46,8 +46,7 @@ main()
 
     auto opts = pipeline::defaultSynthesisOptions();
     opts.targetInstructions = 250000;
-    auto clone = synth::synthesize(merged, opts,
-                                   &pipeline::measureInstructions);
+    auto clone = session.synthesize(merged, opts);
     uint64_t clone_n = pipeline::measureInstructions(clone.cSource);
     std::printf("single consolidated clone: %llu instructions "
                 "(%.0fx shorter than the four originals together)\n\n",

@@ -14,7 +14,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "support/table.hh"
 
 using namespace bsyn;
@@ -40,8 +40,8 @@ main()
 {
     // dijkstra: the paper's cache-sensitive benchmark.
     const auto &w = workloads::findWorkload("dijkstra/large");
-    auto run = pipeline::processWorkload(
-        w, pipeline::defaultSynthesisOptions());
+    pipeline::Session session;
+    auto run = session.process(w);
     std::printf(
         "exploring with clone: %llu vs %llu original instructions "
         "(%.0fx faster per design point)\n\n",

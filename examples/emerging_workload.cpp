@@ -14,7 +14,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "support/table.hh"
 #include "synth/profile_builder.hh"
 
@@ -72,11 +72,13 @@ main()
                 100 * prof.mix.fpFraction());
 
     // ------------------------------------------------------------------
-    // Synthesize — R=1 keeps the full specified size.
+    // Synthesize — R=1 keeps the full specified size (a fixed R skips
+    // the calibration loop).
     // ------------------------------------------------------------------
+    pipeline::Session session;
     synth::SynthesisOptions opts;
     opts.reductionFactor = 1;
-    auto bench = synth::synthesize(prof, opts);
+    auto bench = session.synthesize(prof, opts);
     auto stats = pipeline::runSource(bench.cSource, "emerging",
                                      opt::OptLevel::O2, isa::targetX86());
     std::printf("generated benchmark runs %llu instructions at -O2\n\n",

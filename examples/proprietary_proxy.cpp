@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <string>
 
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "support/string_util.hh"
 
 using namespace bsyn;
@@ -32,8 +32,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     pipeline::measureInstructions(secret.source)));
 
-    auto run = pipeline::processWorkload(
-        secret, pipeline::defaultSynthesisOptions());
+    pipeline::Session session;
+    auto run = session.process(secret);
 
     std::string profile_path = dir + "/proxy_profile.json";
     std::string clone_path = dir + "/proxy_clone.c";

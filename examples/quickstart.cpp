@@ -16,7 +16,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
-#include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "similarity/report.hh"
 
 using namespace bsyn;
@@ -67,9 +67,13 @@ main()
 {
     std::printf("=== bsyn quickstart ===\n\n");
 
+    // The session owns the pipeline state (worker pool, artifact
+    // cache); every stage below is one call on it.
+    pipeline::Session session;
+
     // 1+2. Compile at -O0 and profile (the paper's Pin step).
-    ir::Module module = lang::compile(proprietarySource, "filter");
-    profile::StatisticalProfile prof = profile::profileModule(module);
+    profile::StatisticalProfile prof =
+        session.profile(proprietarySource, "filter");
     std::printf("profiled:   %llu dynamic instructions, %zu basic "
                 "blocks, %zu loops\n",
                 static_cast<unsigned long long>(prof.dynamicInstructions),
@@ -84,8 +88,7 @@ main()
     // 3. Synthesize the clone (auto-chosen reduction factor).
     synth::SynthesisOptions opts;
     opts.targetInstructions = 50000;
-    synth::SyntheticBenchmark clone =
-        synth::synthesize(prof, opts, &pipeline::measureInstructions);
+    synth::SyntheticBenchmark clone = session.synthesize(prof, opts);
     std::printf("synthetic:  reduction factor R = %llu, pattern "
                 "coverage %.1f%%\n",
                 static_cast<unsigned long long>(clone.reductionFactor),

@@ -1,0 +1,108 @@
+#include "pipeline/artifact_cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "support/error.hh"
+#include "support/hash.hh"
+
+namespace fs = std::filesystem;
+
+namespace bsyn::pipeline
+{
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create cache directory '%s': %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ArtifactCache::key(const std::string &stage,
+                   const std::vector<std::string> &parts)
+{
+    Sha256 ctx;
+    auto feed = [&](const std::string &s) {
+        // Length-prefix each part so ("ab","c") != ("a","bc"). The
+        // length is serialized big-endian so keys are identical across
+        // host endianness (the cache is a cross-machine artifact).
+        uint64_t n = s.size();
+        uint8_t lenb[8];
+        for (int i = 0; i < 8; ++i)
+            lenb[i] = static_cast<uint8_t>(n >> (8 * (7 - i)));
+        ctx.update(lenb, sizeof(lenb));
+        ctx.update(s);
+    };
+    feed(stage);
+    for (const auto &p : parts)
+        feed(p);
+    return ctx.hexDigest();
+}
+
+std::string
+ArtifactCache::path(const std::string &key) const
+{
+    // Two-level fan-out keeps directory listings small for big suites.
+    return dir_ + "/" + key.substr(0, 2) + "/" + key + ".json";
+}
+
+bool
+ArtifactCache::load(const std::string &key, std::string &text) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(path(key), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return false;
+    text = ss.str();
+    return true;
+}
+
+void
+ArtifactCache::store(const std::string &key, const std::string &text) const
+{
+    if (!enabled())
+        return;
+    std::string final_path = path(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(final_path).parent_path(), ec);
+    if (ec)
+        fatal("cannot create cache subdirectory for '%s': %s",
+              final_path.c_str(), ec.message().c_str());
+
+    // Unique temp name per writer, then an atomic rename: readers (and
+    // concurrent writers of the same key) see either nothing or a
+    // complete entry.
+    static std::atomic<uint64_t> counter{0};
+    std::ostringstream tmp;
+    tmp << final_path << ".tmp." << ::getpid() << "."
+        << counter.fetch_add(1);
+    {
+        std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write cache entry '%s'", tmp.str().c_str());
+        out << text;
+        if (!out.good())
+            fatal("short write to cache entry '%s'", tmp.str().c_str());
+    }
+    fs::rename(tmp.str(), final_path, ec);
+    if (ec) {
+        fs::remove(tmp.str(), ec);
+        fatal("cannot finalize cache entry '%s'", final_path.c_str());
+    }
+}
+
+} // namespace bsyn::pipeline

@@ -5,6 +5,9 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
+#include "pipeline/run_sink.hh"
+#include "pipeline/session.hh"
+#include "support/error.hh"
 
 namespace bsyn::pipeline
 {
@@ -94,25 +97,28 @@ std::vector<WorkloadRun>
 processSuite(const std::vector<workloads::Workload> &suite,
              const SuiteOptions &opts)
 {
-    std::vector<WorkloadRun> runs(suite.size());
-    if (suite.empty())
-        return runs;
+    // Compatibility shim over the Session API: cache-less session,
+    // collect sink, strict failure semantics (first error rethrown).
+    SessionOptions so;
+    so.pool = opts.pool;
+    if (!opts.pool)
+        so.threads = resolveSuiteThreads(opts.threads, suite.size());
+    so.synthesis = opts.synthesis;
+    Session session(so);
 
-    std::unique_ptr<ThreadPool> owned;
-    ThreadPool *pool = opts.pool;
-    if (!pool) {
-        owned = std::make_unique<ThreadPool>(
-            resolveSuiteThreads(opts.threads, suite.size()));
-        pool = owned.get();
-    }
-    pool->parallelFor(suite.size(), [&](size_t i) {
-        synth::SynthesisOptions so = opts.synthesis;
-        so.seed = deriveWorkloadSeed(so.seed, suite[i].name());
-        runs[i] = processWorkload(suite[i], so);
-        if (opts.progress)
-            opts.progress(runs[i]);
+    CollectSink collect;
+    CallbackSink progress([&](const RunStatus &st, const WorkloadRun &r) {
+        if (st.ok && opts.progress)
+            opts.progress(r);
     });
-    return runs;
+    std::vector<RunSink *> sinks{&progress, &collect};
+    TeeSink tee(sinks);
+    auto statuses = session.processSuite(suite, tee, opts.synthesis);
+    for (const auto &st : statuses)
+        if (!st.ok)
+            fatal("workload %s failed: %s", st.workload.c_str(),
+                  st.error.c_str());
+    return collect.takeRuns();
 }
 
 std::vector<WorkloadRun>

@@ -3,8 +3,12 @@
  * End-to-end convenience layer tying the whole framework together:
  * compile a workload at an optimization level, lower it for a target,
  * execute/profile it, synthesize its clone, and recompile the clone —
- * the exact flow of the paper's Figure 1, used by every experiment
- * harness, example and integration test.
+ * the exact flow of the paper's Figure 1.
+ *
+ * The stage-oriented entry point is pipeline::Session (session.hh),
+ * which adds a content-addressed artifact cache and streaming RunSink
+ * delivery; the free functions here are single-shot conveniences and
+ * compatibility shims over it.
  */
 
 #ifndef BSYN_PIPELINE_PIPELINE_HH
@@ -94,7 +98,9 @@ unsigned resolveSuiteThreads(unsigned requested, size_t suiteSize);
  * Profile + synthesize every workload in @p suite, fanning
  * processWorkload() across a work-stealing thread pool. Results come
  * back in suite order and are byte-identical to a sequential
- * (threads = 1) run of the same batch.
+ * (threads = 1) run of the same batch. Convenience shim over
+ * Session::processSuite() — use a Session directly for caching,
+ * streaming sinks, or per-workload failure isolation.
  */
 std::vector<WorkloadRun>
 processSuite(const std::vector<workloads::Workload> &suite,

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Streaming result delivery for batch pipeline runs. Instead of every
+ * batch materializing a std::vector<WorkloadRun> (each run holds a full
+ * profile and clone source — prohibitive for very large suites), a
+ * Session pushes each finished run into a RunSink as it completes:
+ * collect into memory, stream straight to disk, or tee to several
+ * consumers. Per-workload failures arrive as structured RunStatus
+ * records instead of aborting the whole batch.
+ */
+
+#ifndef BSYN_PIPELINE_RUN_SINK_HH
+#define BSYN_PIPELINE_RUN_SINK_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hh"
+
+namespace bsyn::pipeline
+{
+
+/** Outcome of one workload of a batch (always produced, ok or not). */
+struct RunStatus
+{
+    size_t index = 0;       ///< position in the submitted batch
+    std::string workload;   ///< "crc32/small"
+    bool ok = true;
+    std::string error;      ///< failure description when !ok
+
+    /** Stage provenance: true when the artifact came out of the
+     *  session's cache instead of being recomputed. */
+    bool profileCached = false;
+    bool synthCached = false;
+};
+
+/**
+ * Consumer of batch results. consume() is called exactly once per
+ * workload, from pool worker threads, concurrently and in no particular
+ * order; implementations synchronize internally. On failure (!st.ok)
+ * @p run carries only the workload descriptor. The run is borrowed —
+ * it dies when consume() returns — so observers (logging, streaming to
+ * disk) cost nothing and only owning sinks copy what they keep.
+ */
+class RunSink
+{
+  public:
+    virtual ~RunSink() = default;
+    virtual void consume(const RunStatus &st, const WorkloadRun &run) = 0;
+};
+
+/** Collects runs (and statuses) in memory, restoring batch order. */
+class CollectSink : public RunSink
+{
+  public:
+    void consume(const RunStatus &st, const WorkloadRun &run) override;
+
+    /** Successful runs sorted by batch index (failures omitted). */
+    std::vector<WorkloadRun> takeRuns();
+
+    /** Every status, sorted by batch index. */
+    std::vector<RunStatus> statuses() const;
+
+  private:
+    mutable std::mutex mtx_;
+    std::vector<std::pair<size_t, WorkloadRun>> runs_;
+    std::vector<RunStatus> statuses_;
+};
+
+/**
+ * Streams each successful run to disk as it finishes — `<dir>/
+ * <benchmark>_<input>.c` and `.profile.json` — holding nothing in
+ * memory. File names depend only on the workload, so output is
+ * byte-identical for any completion order or thread count.
+ */
+class DirectorySink : public RunSink
+{
+  public:
+    /** Writes under @p dir (created immediately; fatal() on failure). */
+    explicit DirectorySink(std::string dir);
+
+    void consume(const RunStatus &st, const WorkloadRun &run) override;
+
+    /** Number of runs written so far. */
+    size_t written() const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mtx_;
+    size_t written_ = 0;
+};
+
+/** Invokes a callback per run (progress reporting, custom handling).
+ *  The callback is serialized under an internal mutex. */
+class CallbackSink : public RunSink
+{
+  public:
+    using Fn = std::function<void(const RunStatus &, const WorkloadRun &)>;
+    explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+    void consume(const RunStatus &st, const WorkloadRun &run) override;
+
+  private:
+    Fn fn_;
+    std::mutex mtx_;
+};
+
+/** Fans each run out to several child sinks (not owned). */
+class TeeSink : public RunSink
+{
+  public:
+    explicit TeeSink(std::vector<RunSink *> children);
+
+    void consume(const RunStatus &st, const WorkloadRun &run) override;
+
+  private:
+    std::vector<RunSink *> children_;
+};
+
+} // namespace bsyn::pipeline
+
+#endif // BSYN_PIPELINE_RUN_SINK_HH

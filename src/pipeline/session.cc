@@ -1,0 +1,257 @@
+#include "pipeline/session.hh"
+
+#include "lang/frontend.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::pipeline
+{
+
+namespace
+{
+
+/** Every synthesis knob that influences the generated clone, rendered
+ *  as a stable string for the cache key. Adding an option field without
+ *  extending this fingerprint would serve stale clones — keep in sync
+ *  with synth::SynthesisOptions. */
+std::string
+synthesisFingerprint(const synth::SynthesisOptions &o)
+{
+    return strprintf(
+        "seed=%llu;R=%llu;target=%llu;cal=%d;"
+        "maxFuncs=%d;loopInfo=%d;cold=%.17g;hot=%.17g;"
+        "stream=%llu;minPeriod=%d;maxPeriod=%d;"
+        "maxOps=%d;intTemps=%d;fpTemps=%d;patterns=%d",
+        static_cast<unsigned long long>(o.seed),
+        static_cast<unsigned long long>(o.reductionFactor),
+        static_cast<unsigned long long>(o.targetInstructions),
+        o.calibrationRounds, o.skeleton.maxFunctions,
+        int(o.skeleton.useLoopInfo), o.skeleton.coldThreshold,
+        o.skeleton.hotThreshold,
+        static_cast<unsigned long long>(o.emitter.streamElems),
+        o.emitter.minPeriod, o.emitter.maxPeriod,
+        o.emitter.pattern.maxOperandsPerStatement,
+        o.emitter.pattern.numIntTemps, o.emitter.pattern.numFpTemps,
+        int(o.emitter.pattern.usePatterns));
+}
+
+Json
+benchmarkToJson(const synth::SyntheticBenchmark &b)
+{
+    Json root = Json::object();
+    root.set("name", Json(b.name));
+    root.set("cSource", Json(b.cSource));
+    root.set("reductionFactor", Json(b.reductionFactor));
+    Json ps = Json::object();
+    ps.set("coveredInstrs", Json(b.patternStats.coveredInstrs));
+    ps.set("uncoveredInstrs", Json(b.patternStats.uncoveredInstrs));
+    ps.set("statements", Json(b.patternStats.statements));
+    ps.set("compensationStmts", Json(b.patternStats.compensationStmts));
+    root.set("patternStats", ps);
+    return root;
+}
+
+synth::SyntheticBenchmark
+benchmarkFromJson(const Json &j)
+{
+    synth::SyntheticBenchmark b;
+    b.name = j.get("name").asString();
+    b.cSource = j.get("cSource").asString();
+    b.reductionFactor =
+        static_cast<uint64_t>(j.get("reductionFactor").asNumber());
+    const Json &ps = j.get("patternStats");
+    b.patternStats.coveredInstrs =
+        static_cast<uint64_t>(ps.get("coveredInstrs").asNumber());
+    b.patternStats.uncoveredInstrs =
+        static_cast<uint64_t>(ps.get("uncoveredInstrs").asNumber());
+    b.patternStats.statements =
+        static_cast<uint64_t>(ps.get("statements").asNumber());
+    b.patternStats.compensationStmts =
+        static_cast<uint64_t>(ps.get("compensationStmts").asNumber());
+    return b;
+}
+
+} // namespace
+
+SessionOptions::SessionOptions() : synthesis(defaultSynthesisOptions()) {}
+
+Session::Session(SessionOptions opts)
+    : options_(std::move(opts)), cache_(options_.cacheDir)
+{
+}
+
+Session::~Session() = default;
+
+ThreadPool &
+Session::pool()
+{
+    if (options_.pool)
+        return *options_.pool;
+    std::lock_guard<std::mutex> lock(poolMtx_);
+    if (!ownedPool_)
+        ownedPool_ = std::make_unique<ThreadPool>(options_.threads);
+    return *ownedPool_;
+}
+
+CacheStats
+Session::cacheStats() const
+{
+    CacheStats s;
+    s.profileHits = profileHits_.load();
+    s.profileMisses = profileMisses_.load();
+    s.synthHits = synthHits_.load();
+    s.synthMisses = synthMisses_.load();
+    return s;
+}
+
+// --------------------------------------------------------------- stages
+
+ir::Module
+Session::compile(const std::string &source, const std::string &name,
+                 opt::OptLevel level, bool schedule_for_in_order) const
+{
+    return compileSource(source, name, level, schedule_for_in_order);
+}
+
+bsyn::profile::StatisticalProfile
+Session::profile(const std::string &source, const std::string &name,
+                 bool *cached)
+{
+    std::string key = ArtifactCache::key("profile.v1", {name, source});
+    std::string text;
+    if (cache_.load(key, text)) {
+        ++profileHits_;
+        if (cached)
+            *cached = true;
+        return bsyn::profile::StatisticalProfile::deserialize(text);
+    }
+    ++profileMisses_;
+    if (cached)
+        *cached = false;
+    ir::Module mod = lang::compile(source, name); // -O0 shape
+    auto prof = bsyn::profile::profileModule(mod);
+    cache_.store(key, prof.serialize());
+    return prof;
+}
+
+bsyn::profile::StatisticalProfile
+Session::profile(const workloads::Workload &w, bool *cached)
+{
+    return profile(w.source, w.name(), cached);
+}
+
+synth::SyntheticBenchmark
+Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
+                    const synth::SynthesisOptions &opts, bool *cached)
+{
+    std::string key = ArtifactCache::key(
+        "synth.v1", {synthesisFingerprint(opts), prof.serialize()});
+    std::string text;
+    if (cache_.load(key, text)) {
+        ++synthHits_;
+        if (cached)
+            *cached = true;
+        return benchmarkFromJson(Json::parse(text));
+    }
+    ++synthMisses_;
+    if (cached)
+        *cached = false;
+    auto syn = synth::synthesize(prof, opts, &measureInstructions);
+    cache_.store(key, benchmarkToJson(syn).dump(-1));
+    return syn;
+}
+
+synth::SyntheticBenchmark
+Session::synthesize(const bsyn::profile::StatisticalProfile &prof)
+{
+    return synthesize(prof, options_.synthesis);
+}
+
+WorkloadRun
+Session::process(const workloads::Workload &w,
+                 const synth::SynthesisOptions &opts, RunStatus *st)
+{
+    WorkloadRun run;
+    run.workload = w;
+    bool profCached = false, synCached = false;
+    run.profile = profile(w, &profCached);
+    run.synthetic = synthesize(run.profile, opts, &synCached);
+    if (st) {
+        st->workload = w.name();
+        st->ok = true;
+        st->profileCached = profCached;
+        st->synthCached = synCached;
+    }
+    return run;
+}
+
+WorkloadRun
+Session::process(const workloads::Workload &w)
+{
+    return process(w, options_.synthesis);
+}
+
+// -------------------------------------------------------------- batches
+
+std::vector<RunStatus>
+Session::processSuite(const std::vector<workloads::Workload> &suite,
+                      RunSink &sink, const synth::SynthesisOptions &base)
+{
+    std::vector<RunStatus> statuses(suite.size());
+    if (suite.empty())
+        return statuses;
+
+    pool().parallelFor(suite.size(), [&](size_t i) {
+        RunStatus st;
+        st.index = i;
+        st.workload = suite[i].name();
+        WorkloadRun run;
+        run.workload = suite[i];
+        try {
+            synth::SynthesisOptions so = base;
+            so.seed = deriveWorkloadSeed(so.seed, suite[i].name());
+            run = process(suite[i], so, &st);
+            st.index = i; // process() fills the other fields
+        } catch (const std::exception &e) {
+            st.ok = false;
+            st.error = e.what();
+        }
+        statuses[i] = st;
+        sink.consume(st, run);
+    });
+    return statuses;
+}
+
+std::vector<RunStatus>
+Session::processSuite(const std::vector<workloads::Workload> &suite,
+                      RunSink &sink)
+{
+    return processSuite(suite, sink, options_.synthesis);
+}
+
+std::vector<WorkloadRun>
+Session::processSuite(const std::vector<workloads::Workload> &suite)
+{
+    CollectSink collect;
+    auto statuses = processSuite(suite, collect);
+    for (const auto &st : statuses)
+        if (!st.ok)
+            fatal("workload %s failed: %s", st.workload.c_str(),
+                  st.error.c_str());
+    return collect.takeRuns();
+}
+
+std::vector<WorkloadRun>
+Session::processSuite()
+{
+    return processSuite(workloads::mibenchSuite());
+}
+
+void
+Session::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    pool().parallelFor(n, fn);
+}
+
+} // namespace bsyn::pipeline

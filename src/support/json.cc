@@ -285,6 +285,48 @@ class JsonParser
         pos += len;
     }
 
+    /** Read the four hex digits after a consumed "\u". */
+    unsigned
+    parseHex4()
+    {
+        if (pos + 4 > src.size())
+            fatal("json: bad \\u escape");
+        unsigned code = 0;
+        for (size_t k = 0; k < 4; ++k) {
+            char h = src[pos + k];
+            if (!std::isxdigit(uc(h)))
+                fatal("json: non-hex digit in \\u escape at offset %zu",
+                      pos + k);
+            code = code * 16 +
+                   static_cast<unsigned>(h <= '9'  ? h - '0'
+                                         : h <= 'F' ? h - 'A' + 10
+                                                    : h - 'a' + 10);
+        }
+        pos += 4;
+        return code;
+    }
+
+    /** Append @p code (a Unicode scalar value) as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
     std::string
     parseString()
     {
@@ -304,27 +346,28 @@ class JsonParser
                   case '\\': out += '\\'; break;
                   case '/': out += '/'; break;
                   case 'u': {
-                    if (pos + 4 > src.size())
-                        fatal("json: bad \\u escape");
-                    unsigned code = 0;
-                    for (size_t k = 0; k < 4; ++k) {
-                        char h = src[pos + k];
-                        if (!std::isxdigit(uc(h)))
-                            fatal("json: non-hex digit in \\u escape "
-                                  "at offset %zu",
-                                  pos + k);
-                        code = code * 16 +
-                               static_cast<unsigned>(
-                                   h <= '9'  ? h - '0'
-                                   : h <= 'F' ? h - 'A' + 10
-                                              : h - 'a' + 10);
-                    }
-                    pos += 4;
-                    if (code > 0xff)
-                        fatal("json: \\u%04x is outside the supported "
-                              "Latin-1 range",
+                    unsigned code = parseHex4();
+                    if (code >= 0xdc00 && code <= 0xdfff)
+                        fatal("json: unpaired low surrogate \\u%04x",
                               code);
-                    out += static_cast<char>(code);
+                    if (code >= 0xd800 && code <= 0xdbff) {
+                        // High surrogate: a \uXXXX low surrogate must
+                        // follow to form one supplementary code point.
+                        if (pos + 2 > src.size() || src[pos] != '\\' ||
+                            src[pos + 1] != 'u')
+                            fatal("json: high surrogate \\u%04x not "
+                                  "followed by \\u low surrogate",
+                                  code);
+                        pos += 2;
+                        unsigned low = parseHex4();
+                        if (low < 0xdc00 || low > 0xdfff)
+                            fatal("json: expected low surrogate after "
+                                  "\\u%04x, got \\u%04x",
+                                  code, low);
+                        code = 0x10000 + ((code - 0xd800) << 10) +
+                               (low - 0xdc00);
+                    }
+                    appendUtf8(out, code);
                     break;
                   }
                   default:

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "pipeline/pipeline.hh"
+#include "pipeline/session.hh"
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 #include "similarity/report.hh"
@@ -23,25 +24,33 @@ testOptions()
     return opts;
 }
 
+/** Shared cache-less session for these tests. */
+pipeline::Session &
+testSession()
+{
+    static pipeline::Session session([] {
+        pipeline::SessionOptions so;
+        so.synthesis = testOptions();
+        return so;
+    }());
+    return session;
+}
+
 /**
- * All workloads these tests touch, processed once through the batch API
- * (pipeline::processSuite) so the suite both exercises the parallel
- * path and amortizes the synthesis cost across test cases.
+ * All workloads these tests touch, processed once through the Session
+ * batch API so the suite both exercises the parallel path and
+ * amortizes the synthesis cost across test cases.
  */
 const pipeline::WorkloadRun &
 batchRun(const std::string &name)
 {
-    static const std::vector<pipeline::WorkloadRun> runs = [] {
-        std::vector<workloads::Workload> ws{
+    static const std::vector<pipeline::WorkloadRun> runs =
+        testSession().processSuite({
             workloads::findWorkload("crc32/small"),
             workloads::findWorkload("stringsearch/small"),
             workloads::findWorkload("dijkstra/small"),
             workloads::findWorkload("gsm/small1"),
-        };
-        pipeline::SuiteOptions so;
-        so.synthesis = testOptions();
-        return pipeline::processSuite(ws, so);
-    }();
+        });
     for (const auto &r : runs)
         if (r.workload.name() == name)
             return r;
@@ -50,24 +59,26 @@ batchRun(const std::string &name)
 
 TEST(EndToEnd, SuiteBatchIsByteIdenticalToSequential)
 {
-    // The scheduling contract of processSuite(): thread count changes
+    // The scheduling contract of the batch API: thread count changes
     // wall-clock, never results. Clones and profiles from a parallel
-    // batch must match a sequential (threads = 1) batch byte for byte,
-    // and each one must match a direct processWorkload() call with the
-    // per-workload derived seed.
+    // session batch must match a sequential (threads = 1) session batch
+    // byte for byte, each must match a direct Session::process() call
+    // with the per-workload derived seed, and the legacy processSuite()
+    // free function must agree with both.
     std::vector<workloads::Workload> ws{
         workloads::findWorkload("crc32/small"),
         workloads::findWorkload("bitcount/small"),
         workloads::findWorkload("basicmath/small"),
     };
-    pipeline::SuiteOptions par;
+    pipeline::SessionOptions par;
     par.synthesis = testOptions();
     par.threads = 4;
-    pipeline::SuiteOptions seq = par;
+    pipeline::SessionOptions seq = par;
     seq.threads = 1;
+    pipeline::Session parSession(par), seqSession(seq);
 
-    auto a = pipeline::processSuite(ws, par);
-    auto b = pipeline::processSuite(ws, seq);
+    auto a = parSession.processSuite(ws);
+    auto b = seqSession.processSuite(ws);
     ASSERT_EQ(a.size(), ws.size());
     ASSERT_EQ(b.size(), ws.size());
     for (size_t i = 0; i < ws.size(); ++i) {
@@ -80,8 +91,17 @@ TEST(EndToEnd, SuiteBatchIsByteIdenticalToSequential)
 
     auto direct = testOptions();
     direct.seed = pipeline::deriveWorkloadSeed(direct.seed, ws[0].name());
-    auto one = pipeline::processWorkload(ws[0], direct);
+    auto one = parSession.process(ws[0], direct);
     EXPECT_EQ(one.synthetic.cSource, a[0].synthetic.cSource);
+
+    // Legacy free-function shim produces the same bytes.
+    pipeline::SuiteOptions legacy;
+    legacy.synthesis = testOptions();
+    legacy.threads = 2;
+    auto c = pipeline::processSuite(ws, legacy);
+    ASSERT_EQ(c.size(), ws.size());
+    for (size_t i = 0; i < ws.size(); ++i)
+        EXPECT_EQ(c[i].synthetic.cSource, a[i].synthetic.cSource);
 }
 
 TEST(EndToEnd, Crc32CloneBehavesLikeTheOriginal)

@@ -1,0 +1,338 @@
+/** @file Tests for the stage-oriented pipeline::Session API: the
+ *  content-addressed artifact cache (hit/miss semantics, warm-run
+ *  byte-identity, zero recomputation), streaming RunSinks, per-workload
+ *  failure isolation, and seed-derivation stability. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <unistd.h>
+
+#include "pipeline/artifact_cache.hh"
+#include "pipeline/run_sink.hh"
+#include "pipeline/session.hh"
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace fs = std::filesystem;
+
+namespace bsyn
+{
+namespace
+{
+
+synth::SynthesisOptions
+fastOptions()
+{
+    auto opts = pipeline::defaultSynthesisOptions();
+    opts.targetInstructions = 30000;
+    return opts;
+}
+
+/** Fresh scratch directory under the gtest temp root, wiped on exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(std::string(::testing::TempDir()) + "bsyn_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<workloads::Workload>
+smallBatch()
+{
+    return {workloads::findWorkload("crc32/small"),
+            workloads::findWorkload("bitcount/small"),
+            workloads::findWorkload("stringsearch/small")};
+}
+
+TEST(ArtifactCache, KeysSeparatePartsAndStages)
+{
+    // Length-prefixed parts: ("ab","c") and ("a","bc") must not
+    // collide, nor the same parts under different stage tags.
+    auto k1 = pipeline::ArtifactCache::key("s", {"ab", "c"});
+    auto k2 = pipeline::ArtifactCache::key("s", {"a", "bc"});
+    auto k3 = pipeline::ArtifactCache::key("t", {"ab", "c"});
+    EXPECT_EQ(k1.size(), 64u);
+    EXPECT_NE(k1, k2);
+    EXPECT_NE(k1, k3);
+    EXPECT_EQ(k1, pipeline::ArtifactCache::key("s", {"ab", "c"}));
+}
+
+TEST(ArtifactCache, RoundTripsAndDisabledCacheMisses)
+{
+    ScratchDir dir("cache_rt");
+    pipeline::ArtifactCache cache(dir.str());
+    ASSERT_TRUE(cache.enabled());
+
+    std::string key = pipeline::ArtifactCache::key("test", {"payload"});
+    std::string text;
+    EXPECT_FALSE(cache.load(key, text));
+    cache.store(key, "hello \xf0\x9f\x98\x80 artifact");
+    ASSERT_TRUE(cache.load(key, text));
+    EXPECT_EQ(text, "hello \xf0\x9f\x98\x80 artifact");
+
+    pipeline::ArtifactCache disabled;
+    EXPECT_FALSE(disabled.enabled());
+    disabled.store(key, "dropped");
+    EXPECT_FALSE(disabled.load(key, text));
+}
+
+TEST(Session, CacheHitMissSemantics)
+{
+    ScratchDir dir("hitmiss");
+    const auto &w = workloads::findWorkload("crc32/small");
+
+    pipeline::SessionOptions so;
+    so.cacheDir = dir.str();
+    so.threads = 1;
+    so.synthesis = fastOptions();
+    pipeline::Session session(std::move(so));
+
+    // Cold: both stages computed.
+    pipeline::RunStatus st;
+    auto cold = session.process(w, fastOptions(), &st);
+    EXPECT_FALSE(st.profileCached);
+    EXPECT_FALSE(st.synthCached);
+    auto stats = session.cacheStats();
+    EXPECT_EQ(stats.profileMisses, 1u);
+    EXPECT_EQ(stats.synthMisses, 1u);
+    EXPECT_EQ(stats.hits(), 0u);
+
+    // Same inputs, same session: both stages served from cache.
+    auto warm = session.process(w, fastOptions(), &st);
+    EXPECT_TRUE(st.profileCached);
+    EXPECT_TRUE(st.synthCached);
+    stats = session.cacheStats();
+    EXPECT_EQ(stats.profileHits, 1u);
+    EXPECT_EQ(stats.synthHits, 1u);
+    EXPECT_EQ(warm.synthetic.cSource, cold.synthetic.cSource);
+    EXPECT_EQ(warm.profile.serialize(), cold.profile.serialize());
+    EXPECT_EQ(warm.synthetic.reductionFactor,
+              cold.synthetic.reductionFactor);
+    EXPECT_EQ(warm.synthetic.patternStats.coveredInstrs,
+              cold.synthetic.patternStats.coveredInstrs);
+
+    // Different synthesis options: profile hits, synthesis misses.
+    auto opts2 = fastOptions();
+    opts2.seed ^= 0x1234;
+    session.process(w, opts2, &st);
+    EXPECT_TRUE(st.profileCached);
+    EXPECT_FALSE(st.synthCached);
+
+    // A fresh session sharing the directory starts warm (disk is the
+    // source of truth, not per-session memory).
+    pipeline::SessionOptions so2;
+    so2.cacheDir = dir.str();
+    so2.threads = 1;
+    pipeline::Session fresh(std::move(so2));
+    fresh.process(w, fastOptions(), &st);
+    EXPECT_TRUE(st.profileCached);
+    EXPECT_TRUE(st.synthCached);
+}
+
+TEST(Session, WarmSuiteRecomputesNothingAndIsByteIdentical)
+{
+    // The acceptance criterion: a warm-cache suite re-run performs zero
+    // profile/synthesis recomputation (cache-hit counters) and writes
+    // byte-identical output files, at a different thread count.
+    ScratchDir cacheDir("warm_cache");
+    ScratchDir outCold("warm_out_cold");
+    ScratchDir outWarm("warm_out_warm");
+    auto ws = smallBatch();
+
+    pipeline::SessionOptions coldOpts;
+    coldOpts.cacheDir = cacheDir.str();
+    coldOpts.threads = 1;
+    coldOpts.synthesis = fastOptions();
+    pipeline::Session cold(std::move(coldOpts));
+    pipeline::DirectorySink coldSink(outCold.str());
+    auto coldStatuses = cold.processSuite(ws, coldSink);
+    ASSERT_EQ(coldStatuses.size(), ws.size());
+    auto coldStats = cold.cacheStats();
+    EXPECT_EQ(coldStats.profileMisses, ws.size());
+    EXPECT_EQ(coldStats.synthMisses, ws.size());
+    EXPECT_EQ(coldSink.written(), ws.size());
+
+    pipeline::SessionOptions warmOpts;
+    warmOpts.cacheDir = cacheDir.str();
+    warmOpts.threads = 4; // different parallelism, same bytes
+    warmOpts.synthesis = fastOptions();
+    pipeline::Session warm(std::move(warmOpts));
+    pipeline::DirectorySink warmSink(outWarm.str());
+    auto warmStatuses = warm.processSuite(ws, warmSink);
+
+    auto warmStats = warm.cacheStats();
+    EXPECT_EQ(warmStats.profileMisses, 0u) << "re-profiled a cached run";
+    EXPECT_EQ(warmStats.synthMisses, 0u) << "re-synthesized a cached run";
+    EXPECT_EQ(warmStats.profileHits, ws.size());
+    EXPECT_EQ(warmStats.synthHits, ws.size());
+    for (const auto &st : warmStatuses) {
+        EXPECT_TRUE(st.ok) << st.workload;
+        EXPECT_TRUE(st.profileCached) << st.workload;
+        EXPECT_TRUE(st.synthCached) << st.workload;
+    }
+
+    // Every output file byte-identical across cold and warm.
+    size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(outCold.str())) {
+        std::string name = entry.path().filename().string();
+        EXPECT_EQ(readFile(outCold.str() + "/" + name),
+                  readFile(outWarm.str() + "/" + name))
+            << name;
+        ++files;
+    }
+    EXPECT_EQ(files, 2 * ws.size()); // one .c + one .profile.json each
+}
+
+TEST(Session, StreamToDiskMatchesCollect)
+{
+    // A DirectorySink must write exactly the bytes a CollectSink holds
+    // in memory — streaming changes residency, never content.
+    ScratchDir out("stream_vs_collect");
+    auto ws = smallBatch();
+
+    pipeline::SessionOptions so;
+    so.threads = 2;
+    so.synthesis = fastOptions();
+    pipeline::Session session(std::move(so));
+
+    pipeline::CollectSink collect;
+    pipeline::DirectorySink disk(out.str());
+    std::vector<pipeline::RunSink *> children{&collect, &disk};
+    pipeline::TeeSink tee(children);
+    auto statuses = session.processSuite(ws, tee);
+    for (const auto &st : statuses)
+        EXPECT_TRUE(st.ok) << st.workload;
+
+    auto runs = collect.takeRuns();
+    ASSERT_EQ(runs.size(), ws.size());
+    EXPECT_EQ(disk.written(), ws.size());
+    for (const auto &r : runs) {
+        std::string base = out.str() + "/" + r.workload.benchmark + "_" +
+                           r.workload.input;
+        EXPECT_EQ(readFile(base + ".c"), r.synthetic.cSource);
+        EXPECT_EQ(readFile(base + ".profile.json"),
+                  r.profile.serialize());
+    }
+    // Collect restored batch order.
+    for (size_t i = 0; i < ws.size(); ++i)
+        EXPECT_EQ(runs[i].workload.name(), ws[i].name());
+}
+
+TEST(Session, PerWorkloadFailureIsolation)
+{
+    // One broken workload must not abort the batch: it surfaces as a
+    // structured !ok status while every other workload completes.
+    workloads::Workload bad;
+    bad.benchmark = "broken";
+    bad.input = "syntax";
+    bad.source = "int main( { this is not MiniC ";
+    std::vector<workloads::Workload> ws{
+        workloads::findWorkload("crc32/small"),
+        bad,
+        workloads::findWorkload("bitcount/small"),
+    };
+
+    pipeline::SessionOptions so;
+    so.threads = 2;
+    so.synthesis = fastOptions();
+    pipeline::Session session(std::move(so));
+
+    pipeline::CollectSink collect;
+    auto statuses = session.processSuite(ws, collect);
+    ASSERT_EQ(statuses.size(), 3u);
+    EXPECT_TRUE(statuses[0].ok);
+    EXPECT_FALSE(statuses[1].ok);
+    EXPECT_TRUE(statuses[2].ok);
+    EXPECT_EQ(statuses[1].workload, "broken/syntax");
+    EXPECT_FALSE(statuses[1].error.empty());
+
+    // The sink saw all three statuses but only two successful runs.
+    EXPECT_EQ(collect.statuses().size(), 3u);
+    auto runs = collect.takeRuns();
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].workload.name(), "crc32/small");
+    EXPECT_EQ(runs[1].workload.name(), "bitcount/small");
+    EXPECT_FALSE(runs[0].synthetic.cSource.empty());
+
+    // The strict convenience API keeps abort-on-failure semantics.
+    EXPECT_THROW(session.processSuite(ws), FatalError);
+}
+
+TEST(Session, SeedDerivationStableUnderCachingAndBatching)
+{
+    // The per-workload seed depends only on base seed + name, so a
+    // workload synthesized alone, in a batch, or out of the cache
+    // yields the same bytes.
+    const auto &w = workloads::findWorkload("crc32/small");
+    ScratchDir dir("seed_stab");
+
+    pipeline::SessionOptions so;
+    so.cacheDir = dir.str();
+    so.threads = 2;
+    so.synthesis = fastOptions();
+    pipeline::Session session(std::move(so));
+
+    pipeline::CollectSink collect;
+    session.processSuite({w}, collect);
+    auto batch = collect.takeRuns();
+    ASSERT_EQ(batch.size(), 1u);
+
+    auto direct = fastOptions();
+    direct.seed = pipeline::deriveWorkloadSeed(direct.seed, w.name());
+    pipeline::SessionOptions noCache;
+    noCache.threads = 1;
+    pipeline::Session uncached(std::move(noCache));
+    auto alone = uncached.process(w, direct);
+    EXPECT_EQ(alone.synthetic.cSource, batch[0].synthetic.cSource);
+
+    // And reloading the batch result from the warm cache matches too.
+    pipeline::CollectSink collect2;
+    session.processSuite({w}, collect2);
+    auto warm = collect2.takeRuns();
+    ASSERT_EQ(warm.size(), 1u);
+    EXPECT_EQ(warm[0].synthetic.cSource, batch[0].synthetic.cSource);
+    EXPECT_EQ(warm[0].profile.serialize(), batch[0].profile.serialize());
+}
+
+TEST(Session, CallbackSinkObservesEveryRun)
+{
+    auto ws = smallBatch();
+    pipeline::SessionOptions so;
+    so.threads = 2;
+    so.synthesis = fastOptions();
+    pipeline::Session session(std::move(so));
+
+    std::vector<std::string> seen;
+    pipeline::CallbackSink sink(
+        [&](const pipeline::RunStatus &st, const pipeline::WorkloadRun &r) {
+            EXPECT_TRUE(st.ok);
+            EXPECT_EQ(r.workload.name(), st.workload);
+            seen.push_back(st.workload);
+        });
+    session.processSuite(ws, sink);
+    ASSERT_EQ(seen.size(), ws.size());
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    for (const auto &w : ws)
+        EXPECT_NE(std::find(seen.begin(), seen.end(), w.name()),
+                  seen.end());
+}
+
+} // namespace
+} // namespace bsyn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/error.hh"
+#include "support/hash.hh"
 #include "support/json.hh"
 #include "support/rng.hh"
 #include "support/statistics.hh"
@@ -169,8 +170,40 @@ TEST(Json, ParsesUnicodeEscapes)
 {
     EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
     EXPECT_EQ(Json::parse("\"\\u000a\"").asString(), "\n");
-    EXPECT_EQ(Json::parse("\"\\u00Ff\"").asString(), "\xff"); // mixed case
     EXPECT_EQ(Json::parse("\"a\\u0042c\"").asString(), "aBc");
+    // Beyond ASCII, escapes decode to UTF-8 byte sequences.
+    EXPECT_EQ(Json::parse("\"\\u00Ff\"").asString(), "\xc3\xbf"); // ÿ
+    EXPECT_EQ(Json::parse("\"\\u0100\"").asString(), "\xc4\x80"); // Ā
+    EXPECT_EQ(Json::parse("\"\\u20ac\"").asString(), "\xe2\x82\xac"); // €
+    EXPECT_EQ(Json::parse("\"\\uFFFD\"").asString(), "\xef\xbf\xbd");
+}
+
+TEST(Json, ParsesSurrogatePairs)
+{
+    // U+1F600 as the \ud83d\ude00 pair -> 4-byte UTF-8.
+    EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    // First and last supplementary-plane code points.
+    EXPECT_EQ(Json::parse("\"\\uD800\\uDC00\"").asString(),
+              "\xf0\x90\x80\x80"); // U+10000
+    EXPECT_EQ(Json::parse("\"\\udbff\\udfff\"").asString(),
+              "\xf4\x8f\xbf\xbf"); // U+10FFFF
+    // Surrounding text survives.
+    EXPECT_EQ(Json::parse("\"a\\ud83d\\ude00b\"").asString(),
+              "a\xf0\x9f\x98\x80"
+              "b");
+}
+
+TEST(Json, NonAsciiStringsRoundTrip)
+{
+    // Raw UTF-8 workload names survive dump -> parse untouched, and a
+    // name arriving escaped compares equal to the same name raw.
+    std::string name = "espresso-\xc3\xa9\xe2\x82\xac-\xf0\x9f\x98\x80";
+    EXPECT_EQ(Json::parse(Json(name).dump(-1)).asString(), name);
+    EXPECT_EQ(
+        Json::parse("\"espresso-\\u00e9\\u20ac-\\ud83d\\ude00\"")
+            .asString(),
+        name);
 }
 
 TEST(Json, MalformedEscapesAreFatal)
@@ -183,9 +216,14 @@ TEST(Json, MalformedEscapesAreFatal)
     // Non-hex digits must not crash with an uncaught std::stoul error.
     EXPECT_THROW(Json::parse("\"\\uzzzz\""), FatalError);
     EXPECT_THROW(Json::parse("\"\\u00g0\""), FatalError);
-    // Code points beyond the supported Latin-1 range are rejected, not
-    // silently truncated.
-    EXPECT_THROW(Json::parse("\"\\u0100\""), FatalError);
+    // Broken surrogate pairs: lone high, lone low, high followed by
+    // something that is not a low surrogate, truncated second escape.
+    EXPECT_THROW(Json::parse("\"\\ud83d\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\ude00\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\ud83dx\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\ud83d\\u0041\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\ud83d\\ud83d\""), FatalError);
+    EXPECT_THROW(Json::parse("\"\\ud83d\\u12\""), FatalError);
     // Backslash at end of input.
     EXPECT_THROW(Json::parse("\"\\"), FatalError);
 }
@@ -195,6 +233,34 @@ TEST(Json, ParseErrors)
     EXPECT_THROW(Json::parse("{"), FatalError);
     EXPECT_THROW(Json::parse("[1,]2"), FatalError);
     EXPECT_THROW(Json::parse(""), FatalError);
+}
+
+TEST(Sha256, MatchesKnownVectors)
+{
+    // FIPS 180-4 / RFC 6234 test vectors.
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934c"
+              "a495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9c"
+              "b410ff61f20015ad");
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmn"
+                        "lmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167"
+              "f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot)
+{
+    // Chunked absorption across block boundaries equals one update.
+    std::string text;
+    for (int i = 0; i < 500; ++i)
+        text += static_cast<char>('a' + (i % 26));
+    Sha256 ctx;
+    for (size_t off = 0; off < text.size(); off += 7)
+        ctx.update(text.substr(off, 7));
+    EXPECT_EQ(ctx.hexDigest(), sha256Hex(text));
+    EXPECT_NE(sha256Hex(text), sha256Hex(text + "x"));
 }
 
 TEST(Json, MissingKeyIsFatal)

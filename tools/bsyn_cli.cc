@@ -17,21 +17,28 @@
  *   bsyn suite [-o <dir>] [--threads N] [--seed S] [--target-instr N]
  *       profile + synthesize the whole MiBench-analogue suite in one
  *       batch, fanned across a thread pool
+ *
+ * profile, synth and suite run through a pipeline::Session and accept
+ * --cache-dir <dir> (or the BSYN_CACHE_DIR environment variable):
+ * profiles and clones are stored content-addressed, so re-running with
+ * unchanged inputs recomputes nothing and produces byte-identical
+ * output. --no-cache disables the cache even when the variable is set.
  */
 
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <iostream>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "isa/lowering.hh"
-#include "lang/frontend.hh"
 #include "pipeline/pipeline.hh"
+#include "pipeline/run_sink.hh"
+#include "pipeline/session.hh"
 #include "similarity/report.hh"
 #include "support/error.hh"
 #include "support/string_util.hh"
@@ -51,6 +58,15 @@ struct Args
     uint64_t targetInstr = 120000;
     uint64_t seed = 0xb5e9c0de;
     unsigned threads = 0; ///< 0 = one per hardware thread
+    std::string cacheDir; ///< empty = no artifact cache
+    bool noCache = false; ///< overrides --cache-dir / BSYN_CACHE_DIR
+
+    /** Cache directory after --no-cache is applied. */
+    std::string
+    effectiveCacheDir() const
+    {
+        return noCache ? std::string() : cacheDir;
+    }
 };
 
 /** Parse a full unsigned decimal/hex number; fatal() on junk. */
@@ -80,6 +96,8 @@ Args
 parseArgs(int argc, char **argv, int first)
 {
     Args args;
+    if (const char *env = std::getenv("BSYN_CACHE_DIR"))
+        args.cacheDir = env;
     for (int i = first; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&](const char *what) {
@@ -97,6 +115,10 @@ parseArgs(int argc, char **argv, int first)
                 parseU64(next("--target-instr"), "--target-instr");
         } else if (a == "--seed") {
             args.seed = parseU64(next("--seed"), "--seed");
+        } else if (a == "--cache-dir") {
+            args.cacheDir = next("--cache-dir");
+        } else if (a == "--no-cache") {
+            args.noCache = true;
         } else if (a == "--threads" || a == "-j") {
             uint64_t n = parseU64(next(a.c_str()), a.c_str());
             if (n > 4096)
@@ -138,15 +160,20 @@ int
 cmdProfile(const Args &args)
 {
     if (args.positional.empty() || args.output.empty())
-        fatal("usage: bsyn profile <prog.c> -o <profile.json>");
-    ir::Module m = lang::compile(readFile(args.positional[0]),
-                                 args.positional[0]);
-    auto prof = profile::profileModule(m);
+        fatal("usage: bsyn profile <prog.c> -o <profile.json> "
+              "[--cache-dir D] [--no-cache]");
+    pipeline::SessionOptions so;
+    so.cacheDir = args.effectiveCacheDir();
+    pipeline::Session session(so);
+
+    bool cached = false;
+    auto prof = session.profile(readFile(args.positional[0]),
+                                args.positional[0], &cached);
     prof.saveTo(args.output);
     std::fprintf(stderr,
-                 "[bsyn] wrote %s: %llu dynamic instructions, %zu "
+                 "[bsyn] wrote %s%s: %llu dynamic instructions, %zu "
                  "blocks, %zu loops\n",
-                 args.output.c_str(),
+                 args.output.c_str(), cached ? " (from cache)" : "",
                  static_cast<unsigned long long>(
                      prof.dynamicInstructions),
                  prof.sfgl.blocks.size(), prof.sfgl.loops.size());
@@ -157,18 +184,33 @@ int
 cmdSynth(const Args &args)
 {
     if (args.positional.empty() || args.output.empty())
-        fatal("usage: bsyn synth <profile.json> -o <clone.c>");
+        fatal("usage: bsyn synth <profile.json> -o <clone.c> "
+              "[--cache-dir D] [--no-cache]");
+    pipeline::SessionOptions so;
+    so.cacheDir = args.effectiveCacheDir();
+    pipeline::Session session(so);
+
     auto prof =
         profile::StatisticalProfile::loadFrom(args.positional[0]);
     synth::SynthesisOptions opts;
     opts.targetInstructions = args.targetInstr;
     opts.seed = args.seed;
-    auto syn = synth::synthesize(prof, opts,
-                                 &pipeline::measureInstructions);
+    bool cached = false;
+    auto syn = session.synthesize(prof, opts, &cached);
     writeFile(args.output, syn.cSource);
+    if (cached) {
+        // Skip the measurement run: a warm synth must compute nothing.
+        std::fprintf(stderr,
+                     "[bsyn] wrote %s (from cache): R=%llu, coverage "
+                     "%.1f%%\n",
+                     args.output.c_str(),
+                     static_cast<unsigned long long>(syn.reductionFactor),
+                     100.0 * syn.patternStats.coverage());
+        return 0;
+    }
     std::fprintf(stderr,
-                 "[bsyn] wrote %s: R=%llu, coverage %.1f%%, clone runs "
-                 "%llu instructions\n",
+                 "[bsyn] wrote %s: R=%llu, coverage %.1f%%, clone "
+                 "runs %llu instructions\n",
                  args.output.c_str(),
                  static_cast<unsigned long long>(syn.reductionFactor),
                  100.0 * syn.patternStats.coverage(),
@@ -218,51 +260,65 @@ cmdSuite(const Args &args)
 {
     if (!args.positional.empty())
         fatal("usage: bsyn suite [-o <dir>] [--threads N] [--seed S] "
-              "[--target-instr N] — unexpected argument '%s'",
+              "[--target-instr N] [--cache-dir D] [--no-cache] — "
+              "unexpected argument '%s'",
               args.positional[0].c_str());
-
-    // Create the output directory before spending minutes synthesizing.
-    if (!args.output.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(args.output, ec);
-        if (ec)
-            fatal("cannot create output directory '%s': %s",
-                  args.output.c_str(), ec.message().c_str());
-    }
 
     const auto &suite = workloads::mibenchSuite();
 
-    pipeline::SuiteOptions so;
+    pipeline::SessionOptions so;
+    // Cap the pool at the batch width so a wide --threads (or a wide
+    // machine) never spawns workers that could only idle.
+    so.threads = pipeline::resolveSuiteThreads(args.threads, suite.size());
+    so.cacheDir = args.effectiveCacheDir();
     so.synthesis.targetInstructions = args.targetInstr;
     so.synthesis.seed = args.seed;
-    so.threads = args.threads;
-    std::mutex logMtx;
-    so.progress = [&](const pipeline::WorkloadRun &r) {
-        std::lock_guard<std::mutex> lock(logMtx);
-        std::fprintf(stderr, "[bsyn] %-22s R=%llu, coverage %.1f%%\n",
-                     r.workload.name().c_str(),
-                     static_cast<unsigned long long>(
-                         r.synthetic.reductionFactor),
-                     100.0 * r.synthetic.patternStats.coverage());
-    };
+    pipeline::Session session(std::move(so));
+
+    // Sinks: stream clones/profiles to disk as they finish (when -o is
+    // given), log progress, and collect for the summary table.
+    pipeline::CallbackSink progress(
+        [](const pipeline::RunStatus &st, const pipeline::WorkloadRun &r) {
+            if (!st.ok)
+                return;
+            std::fprintf(stderr,
+                         "[bsyn] %-22s R=%llu, coverage %.1f%%%s\n",
+                         st.workload.c_str(),
+                         static_cast<unsigned long long>(
+                             r.synthetic.reductionFactor),
+                         100.0 * r.synthetic.patternStats.coverage(),
+                         st.profileCached && st.synthCached
+                             ? " (cached)"
+                             : "");
+        });
+    pipeline::CollectSink collect;
+    std::unique_ptr<pipeline::DirectorySink> disk;
+    std::vector<pipeline::RunSink *> sinks{&progress, &collect};
+    if (!args.output.empty()) {
+        // Created before spending minutes synthesizing.
+        disk = std::make_unique<pipeline::DirectorySink>(args.output);
+        sinks.push_back(disk.get());
+    }
+    pipeline::TeeSink tee(sinks);
 
     unsigned threads =
         pipeline::resolveSuiteThreads(args.threads, suite.size());
     auto t0 = std::chrono::steady_clock::now();
-    auto runs = pipeline::processSuite(suite, so);
+    auto statuses = session.processSuite(suite, tee);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
 
-    if (!args.output.empty()) {
-        for (const auto &r : runs) {
-            std::string base = args.output + "/" + r.workload.benchmark +
-                               "_" + r.workload.input;
-            writeFile(base + ".c", r.synthetic.cSource);
-            r.profile.saveTo(base + ".profile.json");
+    size_t failed = 0;
+    for (const auto &st : statuses) {
+        if (!st.ok) {
+            ++failed;
+            std::fprintf(stderr, "[bsyn] FAILED %-22s %s\n",
+                         st.workload.c_str(), st.error.c_str());
         }
     }
 
+    auto runs = collect.takeRuns();
     TextTable table("suite synthesis summary");
     table.setHeader({"workload", "dyn instr", "R", "coverage"});
     for (const auto &r : runs) {
@@ -274,12 +330,25 @@ cmdSuite(const Args &args)
     table.print(std::cout);
 
     std::fprintf(stderr,
-                 "[bsyn] %zu workloads synthesized on %u threads "
+                 "[bsyn] %zu/%zu workloads synthesized on %u threads "
                  "in %.2fs%s%s\n",
-                 runs.size(), threads, secs,
+                 runs.size(), statuses.size(), threads, secs,
                  args.output.empty() ? "" : ", clones written to ",
                  args.output.c_str());
-    return 0;
+    if (session.cache().enabled()) {
+        auto cs = session.cacheStats();
+        std::fprintf(
+            stderr,
+            "[bsyn] cache: profiles %llu/%llu from cache, clones "
+            "%llu/%llu from cache\n",
+            static_cast<unsigned long long>(cs.profileHits),
+            static_cast<unsigned long long>(cs.profileHits +
+                                            cs.profileMisses),
+            static_cast<unsigned long long>(cs.synthHits),
+            static_cast<unsigned long long>(cs.synthHits +
+                                            cs.synthMisses));
+    }
+    return failed ? 1 : 0;
 }
 
 void
@@ -296,7 +365,11 @@ usage()
         "  bsyn compare <a.c> <b.c>\n"
         "  bsyn time <prog.c> [-O0..-O3]\n"
         "  bsyn suite [-o <dir>] [--threads N] [--seed S] "
-        "[--target-instr N]\n");
+        "[--target-instr N]\n"
+        "\n"
+        "profile/synth/suite also accept --cache-dir <dir> and "
+        "--no-cache;\nBSYN_CACHE_DIR sets the default cache "
+        "directory.\n");
 }
 
 } // namespace
