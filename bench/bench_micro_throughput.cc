@@ -10,6 +10,7 @@
 
 #include "bench_common.hh"
 
+#include "sim/decoded_program.hh"
 #include "similarity/report.hh"
 
 using namespace bsyn;
@@ -30,6 +31,7 @@ int main() {
 void
 BM_InterpreterThroughput(benchmark::State &state)
 {
+    // The default execute() path: one decode + the predecoded run.
     ir::Module m = lang::compile(kernelSrc, "k");
     auto prog = isa::lower(m, isa::targetX86());
     uint64_t insts = 0;
@@ -42,6 +44,60 @@ BM_InterpreterThroughput(benchmark::State &state)
         double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_ReferenceInterpreterThroughput(benchmark::State &state)
+{
+    // The golden decode-per-step interpreter the differential tests
+    // compare against — the baseline every predecoded number beats.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto stats = sim::executeReference(prog);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceInterpreterThroughput);
+
+void
+BM_PredecodedThroughput(benchmark::State &state)
+{
+    // Steady state for callers that decode once and re-run (timing
+    // sweeps, calibration rounds via the Session decode cache).
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto stats = sim::execute(decoded);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PredecodedThroughput);
+
+void
+BM_DecodeProgram(benchmark::State &state)
+{
+    // One-time predecode cost per MachineProgram (amortized over every
+    // subsequent run).
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    for (auto _ : state) {
+        sim::DecodedProgram decoded(prog);
+        benchmark::DoNotOptimize(decoded.size());
+    }
+    state.counters["minst/s"] = benchmark::Counter(
+        double(prog.size()) * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeProgram);
 
 void
 BM_InterpreterWithTimingModel(benchmark::State &state)

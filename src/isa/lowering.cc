@@ -16,53 +16,74 @@ using ir::Instruction;
 using ir::Opcode;
 using ir::Terminator;
 
-/** Per-block helper: is register @p r used after instruction @p idx? */
+/**
+ * Per-block fusion liveness. Every fusion pattern asks one question:
+ * is insts[i].dst dead once the fused pair (i, i+1) has executed —
+ * i.e. no use at positions > i+1, not used by the terminator, and not
+ * live out of the block (a redefinition before any use does not keep
+ * it alive)? One backward walk precomputes the answer for every
+ * position, replacing the per-pair forward rescan that made lowering
+ * quadratic in block length (synthesized clones have blocks tens of
+ * thousands of instructions long).
+ */
 class BlockUses
 {
   public:
     BlockUses(const ir::Function &fn, const ir::BasicBlock &bb,
               const ir::Liveness &live)
-        : block(bb)
     {
-        liveOut.assign(fn.numRegs, false);
-        for (size_t r = 0; r < fn.numRegs; ++r)
-            liveOut[r] = live.liveOut(bb.id, static_cast<int>(r));
+        size_t n = bb.insts.size();
+        pairDead.assign(n, true);
+        if (n == 0)
+            return;
+
+        // What the next event for a register is, scanning forward from
+        // the position under consideration. Unseen falls back to the
+        // terminator and the block's live-out set.
+        enum : uint8_t { Unseen = 0, NextIsUse = 1, NextIsDef = 2 };
+        std::vector<uint8_t> state(fn.numRegs, Unseen);
+        auto resolve = [&](int reg) -> bool {
+            if (reg < 0)
+                return true;
+            uint8_t s = state[static_cast<size_t>(reg)];
+            if (s != Unseen)
+                return s == NextIsDef;
+            if (bb.term.kind == Terminator::Kind::Br &&
+                bb.term.cond == reg)
+                return false;
+            if (bb.term.kind == Terminator::Kind::Ret &&
+                bb.term.retReg == reg)
+                return false;
+            return !live.liveOut(bb.id, reg);
+        };
+
+        pairDead[n - 1] = resolve(bb.insts[n - 1].dst);
+        for (size_t j = n; j-- > 0;) {
+            // state covers positions >= j+1 here — exactly what the
+            // pair rooted at j-1 (spanning j-1, j) must look past.
+            if (j >= 1)
+                pairDead[j - 1] = resolve(bb.insts[j - 1].dst);
+            const Instruction &in = bb.insts[j];
+            // A use in the same instruction wins over its def, matching
+            // the forward scan's used-before-redefined order.
+            if (in.dst >= 0)
+                state[static_cast<size_t>(in.dst)] = NextIsDef;
+            in.forEachSrc([&](int r) {
+                if (r >= 0)
+                    state[static_cast<size_t>(r)] = NextIsUse;
+            });
+        }
     }
 
-    /**
-     * @return true if @p reg is dead after the instruction at @p idx:
-     * no later use in this block, not used by the terminator, and not
-     * live out of the block. A later redefinition does not keep it
-     * alive.
-     */
+    /** @return true if insts[i].dst is dead after the pair (i, i+1). */
     bool
-    deadAfter(int reg, size_t idx) const
+    pairDstDead(size_t i) const
     {
-        if (reg < 0)
-            return true;
-        for (size_t i = idx + 1; i < block.insts.size(); ++i) {
-            bool used = false;
-            block.insts[i].forEachSrc([&](int r) {
-                if (r == reg)
-                    used = true;
-            });
-            if (used)
-                return false;
-            if (block.insts[i].dst == reg)
-                return true; // redefined before any use
-        }
-        if (block.term.kind == Terminator::Kind::Br &&
-            block.term.cond == reg)
-            return false;
-        if (block.term.kind == Terminator::Kind::Ret &&
-            block.term.retReg == reg)
-            return false;
-        return !liveOut[static_cast<size_t>(reg)];
+        return pairDead[i];
     }
 
   private:
-    const ir::BasicBlock &block;
-    std::vector<bool> liveOut;
+    std::vector<bool> pairDead;
 };
 
 /** Count how many of @p in's register sources equal @p reg. */
@@ -247,7 +268,7 @@ class Lowerer
             a.op == Opcode::Load && b.dst != a.dst &&
             (ir::isBinaryAlu(b.op) || b.op == Opcode::Mov) &&
             ir::typeSize(a.type) == ir::typeSize(b.type) &&
-            useCount(b, a.dst) == 1 && uses.deadAfter(a.dst, i + 1)) {
+            useCount(b, a.dst) == 1 && uses.pairDstDead(i)) {
             // A mov from a freshly loaded value is just the load itself;
             // don't fuse that (it would change register semantics).
             if (b.op != Opcode::Mov) {
@@ -268,7 +289,7 @@ class Lowerer
         if (a.op == Opcode::MovImm && target.fuseImmediates &&
             ir::isBinaryAlu(b.op) && b.dst != a.dst &&
             (a.type == ir::Type::F64) == (b.type == ir::Type::F64) &&
-            useCount(b, a.dst) == 1 && uses.deadAfter(a.dst, i + 1)) {
+            useCount(b, a.dst) == 1 && uses.pairDstDead(i)) {
             MInst mi = base(b, func_id, bb.id);
             mi.kind = MKind::Compute;
             mi.srcIsImm = true;
@@ -286,7 +307,7 @@ class Lowerer
             a.op == Opcode::MovImm && target.fuseImmediates &&
             b.op == Opcode::Store && b.src0 == a.dst &&
             (a.type == ir::Type::F64) == (b.type == ir::Type::F64) &&
-            b.mem.indexReg != a.dst && uses.deadAfter(a.dst, i + 1)) {
+            b.mem.indexReg != a.dst && uses.pairDstDead(i)) {
             MInst mi = base(b, func_id, bb.id);
             mi.kind = MKind::Store;
             mi.mem = b.mem;
@@ -309,7 +330,7 @@ class Lowerer
             (ir::isBinaryAlu(a.op) || ir::isUnaryAlu(a.op)) &&
             a.dst >= 0 && b.op == Opcode::Store && b.src0 == a.dst &&
             typesCompatible(producedType(a), b.type, a.type) &&
-            b.mem.indexReg != a.dst && uses.deadAfter(a.dst, i + 1)) {
+            b.mem.indexReg != a.dst && uses.pairDstDead(i)) {
             MInst mi = base(a, func_id, bb.id);
             mi.kind = MKind::Compute;
             mi.mem = b.mem;

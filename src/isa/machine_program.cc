@@ -84,6 +84,28 @@ MachineProgram::functionAt(int pc) const
     return nullptr;
 }
 
+std::vector<int>
+MachineProgram::blockLeaders() const
+{
+    std::vector<bool> leader(code.size(), false);
+    for (const auto &f : funcs)
+        if (f.entry >= 0 && static_cast<size_t>(f.entry) < code.size())
+            leader[static_cast<size_t>(f.entry)] = true;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const MInst &mi = code[pc];
+        if ((mi.kind == MKind::CondBr || mi.kind == MKind::Jmp) &&
+            mi.target >= 0 && static_cast<size_t>(mi.target) < code.size())
+            leader[static_cast<size_t>(mi.target)] = true;
+        if (mi.isBlockEnd() && pc + 1 < code.size())
+            leader[pc + 1] = true;
+    }
+    std::vector<int> out;
+    for (size_t pc = 0; pc < code.size(); ++pc)
+        if (leader[pc])
+            out.push_back(static_cast<int>(pc));
+    return out;
+}
+
 std::vector<size_t>
 MachineProgram::staticMix() const
 {

@@ -95,6 +95,17 @@ struct MInst
     {
         return kind == MKind::Store || storeFused;
     }
+
+    /**
+     * @return true if this instruction ends a basic block: control may
+     * leave the straight-line sequence here (branches, jumps, calls and
+     * returns). The next PC, if any, starts a new block.
+     */
+    bool isBlockEnd() const
+    {
+        return kind == MKind::CondBr || kind == MKind::Jmp ||
+               kind == MKind::Call || kind == MKind::Ret;
+    }
 };
 
 /** Per-function metadata in the lowered program. */
@@ -126,6 +137,15 @@ struct MachineProgram
 
     /** Static instruction counts per class. */
     std::vector<size_t> staticMix() const;
+
+    /**
+     * Basic-block leader PCs, sorted ascending: every function entry,
+     * every branch/jump target, and every fall-through successor of a
+     * block-ending instruction (see MInst::isBlockEnd). This is the
+     * block structure the predecoded execution engine groups its
+     * instructions by.
+     */
+    std::vector<int> blockLeaders() const;
 };
 
 } // namespace bsyn::isa

@@ -1,7 +1,10 @@
 #include "pipeline/session.hh"
 
+#include "isa/lowering.hh"
 #include "lang/frontend.hh"
+#include "sim/decoded_program.hh"
 #include "support/error.hh"
+#include "support/hash.hh"
 #include "support/json.hh"
 #include "support/string_util.hh"
 
@@ -76,6 +79,56 @@ benchmarkFromJson(const Json &j)
 
 SessionOptions::SessionOptions() : synthesis(defaultSynthesisOptions()) {}
 
+/** See the declaration: pinned on the heap so the DecodedProgram's
+ *  back-reference into prog stays valid for the entry's lifetime. */
+struct Session::DecodedMeasure
+{
+    isa::MachineProgram prog;
+    std::unique_ptr<sim::DecodedProgram> decoded;
+};
+
+std::shared_ptr<const Session::DecodedMeasure>
+Session::decodeForMeasure(const std::string &source)
+{
+    Sha256 h;
+    h.update(source);
+    std::string key = h.hexDigest();
+
+    {
+        std::lock_guard<std::mutex> lock(decodeMtx_);
+        auto it = decodeCache_.find(key);
+        if (it != decodeCache_.end()) {
+            ++decodeHits_;
+            return it->second;
+        }
+    }
+    ++decodeMisses_;
+
+    // Build outside the lock — calibration measurements run from pool
+    // workers concurrently, and a duplicate build on a race is merely
+    // redundant work (both builds are deterministic and identical).
+    auto entry = std::make_shared<DecodedMeasure>();
+    ir::Module mod = lang::compile(source, "measure");
+    entry->prog = isa::lower(mod, isa::targetX86());
+    entry->decoded = std::make_unique<sim::DecodedProgram>(entry->prog);
+
+    std::lock_guard<std::mutex> lock(decodeMtx_);
+    // Calibration touches a handful of candidate sources per workload;
+    // the clamp only exists so a pathological caller measuring endless
+    // distinct sources cannot grow the session without bound.
+    if (decodeCache_.size() >= 512)
+        decodeCache_.clear();
+    auto [it, inserted] = decodeCache_.emplace(key, std::move(entry));
+    (void)inserted;
+    return it->second;
+}
+
+uint64_t
+Session::measureInstructions(const std::string &source)
+{
+    return sim::execute(*decodeForMeasure(source)->decoded).instructions;
+}
+
 Session::Session(SessionOptions opts)
     : options_(std::move(opts)), cache_(options_.cacheDir)
 {
@@ -102,6 +155,8 @@ Session::cacheStats() const
     s.profileMisses = profileMisses_.load();
     s.synthHits = synthHits_.load();
     s.synthMisses = synthMisses_.load();
+    s.decodeHits = decodeHits_.load();
+    s.decodeMisses = decodeMisses_.load();
     return s;
 }
 
@@ -157,7 +212,9 @@ Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
     ++synthMisses_;
     if (cached)
         *cached = false;
-    auto syn = synth::synthesize(prof, opts, &measureInstructions);
+    auto syn = synth::synthesize(
+        prof, opts,
+        [this](const std::string &src) { return measureInstructions(src); });
     cache_.store(key, benchmarkToJson(syn).dump(-1));
     return syn;
 }

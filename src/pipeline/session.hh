@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pipeline/artifact_cache.hh"
@@ -56,6 +57,12 @@ struct CacheStats
     uint64_t profileMisses = 0;
     uint64_t synthHits = 0;
     uint64_t synthMisses = 0;
+
+    /** In-memory decoded-program cache for calibration measurements;
+     *  tracked separately from the on-disk artifact counters (hits()
+     *  and misses() describe artifact-cache traffic only). */
+    uint64_t decodeHits = 0;
+    uint64_t decodeMisses = 0;
 
     uint64_t hits() const { return profileHits + synthHits; }
     uint64_t misses() const { return profileMisses + synthMisses; }
@@ -115,6 +122,16 @@ class Session
     /** Profile + synthesize with the session's default options. */
     WorkloadRun process(const workloads::Workload &w);
 
+    /**
+     * Dynamic instruction count of @p source at O0/x86 — the
+     * calibration measurement. The compiled, lowered and predecoded
+     * program is memoized by source content, so re-measuring an
+     * unchanged candidate (across calibration rounds, workloads or
+     * repeated synthesize() calls in one session) costs one predecoded
+     * execution and nothing else.
+     */
+    uint64_t measureInstructions(const std::string &source);
+
     // ----------------------------------------------------------- batches
 
     /**
@@ -160,16 +177,30 @@ class Session
     CacheStats cacheStats() const;
 
   private:
+    /** A measurement program: the lowered MachineProgram plus its
+     *  predecoded form (which points back into the program, so entries
+     *  are heap-pinned behind shared_ptr and never moved). */
+    struct DecodedMeasure;
+
+    std::shared_ptr<const DecodedMeasure>
+    decodeForMeasure(const std::string &source);
+
     SessionOptions options_;
     ArtifactCache cache_;
 
     std::mutex poolMtx_; ///< guards lazy pool creation
     std::unique_ptr<ThreadPool> ownedPool_;
 
+    std::mutex decodeMtx_; ///< guards the decoded-measurement cache
+    std::unordered_map<std::string, std::shared_ptr<const DecodedMeasure>>
+        decodeCache_; ///< keyed by SHA-256 of the source
+
     std::atomic<uint64_t> profileHits_{0};
     std::atomic<uint64_t> profileMisses_{0};
     std::atomic<uint64_t> synthHits_{0};
     std::atomic<uint64_t> synthMisses_{0};
+    std::atomic<uint64_t> decodeHits_{0};
+    std::atomic<uint64_t> decodeMisses_{0};
 };
 
 } // namespace bsyn::pipeline

@@ -33,12 +33,18 @@ class ProfileObserver : public sim::ExecObserver
         blockExec.assign(1 + *std::max_element(pcToBlock.begin(),
                                                pcToBlock.end()),
                          0);
+        // The class of a static instruction never changes; resolving it
+        // once here keeps MInst::cls()'s switch off the per-retired-
+        // instruction path.
+        clsByPc.reserve(prog.code.size());
+        for (const MInst &mi : prog.code)
+            clsByPc.push_back(mi.cls());
     }
 
     void
     onInstruction(int pc, const MInst &mi) override
     {
-        mix.add(mi.cls());
+        mix.add(clsByPc[static_cast<size_t>(pc)]);
 
         // A block "starts" at a PC whose predecessor PC belongs to a
         // different (func, irBlock) run. Returns land mid-block (just
@@ -82,6 +88,7 @@ class ProfileObserver : public sim::ExecObserver
     sim::Cache cache;
 
     InstrMix mix;
+    std::vector<isa::MClass> clsByPc;         // per PC
     std::vector<MemAccessStats> memStats;     // per PC
     std::vector<BranchStats> branchStats;     // per PC
     std::vector<uint64_t> blockExec;          // per SFGL block

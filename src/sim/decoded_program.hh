@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Predecoded execution engine. A DecodedProgram is built once per
+ * MachineProgram: every MInst is resolved into a dense DecodedInst —
+ * operand forms split apart (register / immediate / fused-load),
+ * signedness and access width folded into a precomputed handler id,
+ * branch targets and callees validated — and grouped into basic blocks.
+ * The dispatch loop threads through a computed-goto table (a plain
+ * switch on non-GNU compilers) with a separate fast path when no
+ * ExecObserver is attached, so the per-step field-chasing and nested
+ * switches of the reference interpreter disappear from the hot path.
+ *
+ * The decoded form is a pure accelerator: executing it produces
+ * ExecStats byte-identical to the reference engine (asserted by the
+ * differential test suite).
+ */
+
+#ifndef BSYN_SIM_DECODED_PROGRAM_HH
+#define BSYN_SIM_DECODED_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/machine_program.hh"
+#include "sim/interpreter.hh"
+
+namespace bsyn::sim
+{
+
+/**
+ * Precomputed handler id: the MKind/opcode/type/signedness decision
+ * tree of the reference interpreter, resolved at decode time.
+ */
+enum class Handler : uint8_t
+{
+    // Memory (access width pre-resolved).
+    Load32, Load64,
+    StoreReg32, StoreReg64, StoreImm32, StoreImm64,
+
+    // Control (branch sense pre-resolved; Ret covers both value forms).
+    CondBrNZ, CondBrZ, Jmp, Call, Ret, Print,
+
+    // Moves and unary/conversion computes.
+    Mov, MovImm, NegInt, NotInt, FNeg,
+    CvtIFSigned, CvtIFUnsigned, CvtFISigned, CvtFIUnsigned,
+
+    // Integer binary computes (signedness pre-resolved where it matters).
+    Add, Sub, Mul, DivS, DivU, RemS, RemU,
+    And, Or, Xor, Shl, ShrS, ShrU,
+    CmpEqInt, CmpNeInt,
+    CmpLtS, CmpLeS, CmpGtS, CmpGeS,
+    CmpLtU, CmpLeU, CmpGtU, CmpGeU,
+
+    // Floating-point computes.
+    FAdd, FSub, FMul, FDiv,
+    CmpEqF, CmpNeF, CmpLtF, CmpLeF, CmpGtF, CmpGeF,
+
+    /** Malformed compute: panics if it is ever executed (the reference
+     *  interpreter panics lazily too, so decode must not reject it). */
+    Trap,
+
+    Count
+};
+
+/** @return a printable handler mnemonic. */
+const char *handlerName(Handler h);
+
+/** Where a compute operand slot comes from, resolved at decode time. */
+enum OperandMode : uint8_t
+{
+    OperandNone = 0,  ///< slot unused
+    OperandReg = 1,   ///< register in the slot's reg field
+    OperandImm = 2,   ///< the instruction's raw immediate bits
+    OperandFused = 3, ///< the value produced by the fused load
+};
+
+/** One predecoded instruction (dense, trivially copyable). */
+struct DecodedInst
+{
+    Handler h = Handler::Trap;
+    uint8_t aMode = OperandNone; ///< source slot 0 origin
+    uint8_t bMode = OperandNone; ///< source slot 1 origin
+    uint8_t flags = 0;           ///< kFusedLoad | kFusedStore | ...
+
+    int32_t dst = -1; ///< destination register (or -1)
+    int32_t a = -1;   ///< slot-0 register / store value / branch cond / ret value
+    int32_t b = -1;   ///< slot-1 register
+
+    int32_t memIndex = -1; ///< memory index register (or -1)
+    int32_t memScale = 1;
+    int32_t memOffset = 0;
+    int32_t memSym = 0;    ///< global symbol id (kMemFrame clear)
+
+    int32_t target = -1; ///< branch target PC / call callee index
+    uint64_t imm = 0;    ///< raw immediate bits (f64 image or zext u32)
+
+    static constexpr uint8_t kFusedLoad = 1u << 0;  ///< pre-op memory read
+    static constexpr uint8_t kFusedStore = 1u << 1; ///< post-op memory write
+    static constexpr uint8_t kMemFrame = 1u << 2;   ///< mem base is the frame
+    static constexpr uint8_t kMem64 = 1u << 3;      ///< fused access is 8 bytes
+};
+
+/** One basic block of the decoded program: PCs [first, end). */
+struct DecodedBlock
+{
+    int32_t first = 0;
+    int32_t end = 0;
+};
+
+/**
+ * A MachineProgram resolved for fast dispatch. Holds a reference to the
+ * source program (for observer callbacks, call/print argument lists and
+ * diagnostics) — the MachineProgram must outlive the DecodedProgram.
+ */
+class DecodedProgram
+{
+  public:
+    explicit DecodedProgram(const isa::MachineProgram &prog);
+
+    const isa::MachineProgram &program() const { return *prog_; }
+    const std::vector<DecodedInst> &code() const { return code_; }
+    size_t size() const { return code_.size(); }
+
+    /** Basic blocks in PC order. */
+    const std::vector<DecodedBlock> &blocks() const { return blocks_; }
+
+    /** Index into blocks() of the block containing @p pc. */
+    int blockOf(int pc) const
+    {
+        return blockOf_[static_cast<size_t>(pc)];
+    }
+
+  private:
+    const isa::MachineProgram *prog_;
+    std::vector<DecodedInst> code_;
+    std::vector<DecodedBlock> blocks_;
+    std::vector<int32_t> blockOf_;
+};
+
+/**
+ * Execute a predecoded program to completion. Semantics and resulting
+ * ExecStats are identical to executing the underlying MachineProgram on
+ * the reference engine; this entry point simply skips re-decoding, so
+ * callers that run one program many times (timing sweeps, calibration)
+ * should decode once and call this.
+ */
+ExecStats execute(const DecodedProgram &prog,
+                  ExecObserver *observer = nullptr,
+                  const ExecLimits &limits = {});
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_DECODED_PROGRAM_HH

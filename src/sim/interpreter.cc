@@ -1,11 +1,12 @@
 #include "sim/interpreter.hh"
 
-#include <cctype>
 #include <cmath>
 #include <cstring>
 
+#include "sim/decoded_program.hh"
+#include "sim/printf_format.hh"
+#include "sim/value_bits.hh"
 #include "support/error.hh"
-#include "support/string_util.hh"
 
 namespace bsyn::sim
 {
@@ -17,25 +18,6 @@ using isa::MInst;
 using isa::MKind;
 using ir::Opcode;
 using ir::Type;
-
-int32_t asI32(uint64_t v) { return static_cast<int32_t>(v); }
-uint32_t asU32(uint64_t v) { return static_cast<uint32_t>(v); }
-
-double
-asF64(uint64_t v)
-{
-    double d;
-    std::memcpy(&d, &v, sizeof(d));
-    return d;
-}
-
-uint64_t
-f64Bits(double d)
-{
-    uint64_t v;
-    std::memcpy(&v, &d, sizeof(v));
-    return v;
-}
 
 /** A call frame: registers live in a shared stack for speed. */
 struct Frame
@@ -169,9 +151,15 @@ class Machine
     step()
     {
         const MInst &mi = prog.code[static_cast<size_t>(pc)];
-        if (++stats.instructions > limits.maxInstructions)
-            fatal("instruction limit of %llu exceeded",
-                  static_cast<unsigned long long>(limits.maxInstructions));
+        // The guard runs before the instruction is counted, observed or
+        // executed, so a limit-hit run reports exactly the number of
+        // instructions that actually retired.
+        if (stats.instructions >= limits.maxInstructions)
+            fatal("instruction limit of %llu exceeded after retiring "
+                  "%llu instructions",
+                  static_cast<unsigned long long>(limits.maxInstructions),
+                  static_cast<unsigned long long>(stats.instructions));
+        ++stats.instructions;
         if (observer)
             observer->onInstruction(pc, mi);
 
@@ -418,61 +406,11 @@ class Machine
     void
     doPrint(const MInst &mi)
     {
-        const std::string &f = mi.text;
-        size_t arg = 0;
-        std::string out;
-        for (size_t i = 0; i < f.size(); ++i) {
-            if (f[i] != '%' || i + 1 >= f.size()) {
-                out += f[i];
-                continue;
-            }
-            size_t j = i + 1;
-            std::string spec = "%";
-            while (j < f.size() &&
-                   (std::isdigit(static_cast<unsigned char>(f[j])) ||
-                    f[j] == '.' || f[j] == '-' || f[j] == 'l' ||
-                    f[j] == '0'))
-                spec += f[j++];
-            if (j >= f.size()) {
-                out += spec;
-                break;
-            }
-            char conv = f[j];
-            if (conv == '%') {
-                out += '%';
-                i = j;
-                continue;
-            }
-            uint64_t v = arg < mi.args.size() ? reg(mi.args[arg]) : 0;
-            ++arg;
-            switch (conv) {
-              case 'd':
-              case 'i':
-                out += strprintf("%d", asI32(v));
-                break;
-              case 'u':
-                out += strprintf("%u", asU32(v));
-                break;
-              case 'x':
-                out += strprintf("%x", asU32(v));
-                break;
-              case 'c':
-                out += static_cast<char>(asU32(v) & 0xff);
-                break;
-              case 'f':
-                out += strprintf("%.6f", asF64(v));
-                break;
-              case 'g':
-              case 'e':
-                out += strprintf("%g", asF64(v));
-                break;
-              default:
-                out += spec + conv;
-                break;
-            }
-            i = j;
-        }
-        stats.output += out;
+        argBuffer.clear();
+        for (int a : mi.args)
+            argBuffer.push_back(reg(a));
+        stats.output +=
+            formatPrintf(mi.text, argBuffer.data(), argBuffer.size());
     }
 
     const isa::MachineProgram &prog;
@@ -493,6 +431,15 @@ class Machine
 ExecStats
 execute(const isa::MachineProgram &prog, ExecObserver *observer,
         const ExecLimits &limits)
+{
+    if (limits.engine == ExecEngine::Reference)
+        return Machine(prog, observer, limits).run();
+    return execute(DecodedProgram(prog), observer, limits);
+}
+
+ExecStats
+executeReference(const isa::MachineProgram &prog, ExecObserver *observer,
+                 const ExecLimits &limits)
 {
     return Machine(prog, observer, limits).run();
 }

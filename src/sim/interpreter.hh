@@ -51,6 +51,28 @@ struct ExecStats
     uint64_t calls = 0;
     int exitCode = 0;
     std::string output;        ///< everything printf'd
+
+    bool
+    operator==(const ExecStats &o) const
+    {
+        return instructions == o.instructions && memReads == o.memReads &&
+               memWrites == o.memWrites && branches == o.branches &&
+               takenBranches == o.takenBranches && calls == o.calls &&
+               exitCode == o.exitCode && output == o.output;
+    }
+    bool operator!=(const ExecStats &o) const { return !(*this == o); }
+};
+
+/** Which execution engine runs the program. */
+enum class ExecEngine : uint8_t
+{
+    /** Predecoded threaded-dispatch engine (decoded_program.hh) — the
+     *  default. Decodes once per execute() call; callers re-running one
+     *  program should predecode and use the DecodedProgram overload. */
+    Predecoded,
+    /** The original decode-per-step interpreter, kept as the golden
+     *  model the differential tests compare against. */
+    Reference,
 };
 
 /** Interpreter configuration. */
@@ -58,10 +80,12 @@ struct ExecLimits
 {
     uint64_t maxInstructions = 4ull << 30; ///< runaway guard
     uint64_t stackBytes = 1u << 20;
+    ExecEngine engine = ExecEngine::Predecoded;
 };
 
 /**
- * Execute @p prog from its entry function to completion.
+ * Execute @p prog from its entry function to completion on the engine
+ * selected by @p limits (predecoded by default).
  *
  * @param prog the lowered program (must have an entry function).
  * @param observer optional observation hooks (nullptr = fast path).
@@ -71,6 +95,15 @@ struct ExecLimits
 ExecStats execute(const isa::MachineProgram &prog,
                   ExecObserver *observer = nullptr,
                   const ExecLimits &limits = {});
+
+/**
+ * Execute @p prog on the reference decode-per-step interpreter,
+ * regardless of limits.engine. The differential suite runs every
+ * workload through both engines and asserts identical ExecStats.
+ */
+ExecStats executeReference(const isa::MachineProgram &prog,
+                           ExecObserver *observer = nullptr,
+                           const ExecLimits &limits = {});
 
 } // namespace bsyn::sim
 

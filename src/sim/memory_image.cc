@@ -63,50 +63,11 @@ MemoryImage::reset(const std::vector<ir::Global> &globals)
     initGlobals(globals);
 }
 
-const uint8_t *
-MemoryImage::ptr(uint64_t addr, uint32_t size) const
-{
-    if (addr < dataBase || addr + size > dataBase + bytes.size())
-        fatal("memory access out of range: address 0x%llx size %u",
-              static_cast<unsigned long long>(addr), size);
-    return bytes.data() + (addr - dataBase);
-}
-
-uint8_t *
-MemoryImage::ptr(uint64_t addr, uint32_t size)
-{
-    if (addr < dataBase || addr + size > dataBase + bytes.size())
-        fatal("memory access out of range: address 0x%llx size %u",
-              static_cast<unsigned long long>(addr), size);
-    return bytes.data() + (addr - dataBase);
-}
-
-uint32_t
-MemoryImage::load32(uint64_t addr) const
-{
-    uint32_t v;
-    std::memcpy(&v, ptr(addr, 4), 4);
-    return v;
-}
-
 void
-MemoryImage::store32(uint64_t addr, uint32_t value)
+MemoryImage::outOfRange(uint64_t addr, uint32_t size) const
 {
-    std::memcpy(ptr(addr, 4), &value, 4);
-}
-
-uint64_t
-MemoryImage::load64(uint64_t addr) const
-{
-    uint64_t v;
-    std::memcpy(&v, ptr(addr, 8), 8);
-    return v;
-}
-
-void
-MemoryImage::store64(uint64_t addr, uint64_t value)
-{
-    std::memcpy(ptr(addr, 8), &value, 8);
+    fatal("memory access out of range: address 0x%llx size %u",
+          static_cast<unsigned long long>(addr), size);
 }
 
 } // namespace bsyn::sim

@@ -11,6 +11,7 @@
 #define BSYN_SIM_MEMORY_IMAGE_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "ir/module.hh"
@@ -43,11 +44,35 @@ class MemoryImage
 
     uint64_t size() const { return bytes.size() + dataBase; }
 
-    /** Typed accessors; fatal() on out-of-range addresses. */
-    uint32_t load32(uint64_t addr) const;
-    void store32(uint64_t addr, uint32_t value);
-    uint64_t load64(uint64_t addr) const;
-    void store64(uint64_t addr, uint64_t value);
+    /** Typed accessors; fatal() on out-of-range addresses. Inline —
+     *  they sit on the interpreter's per-memory-access hot path. */
+    uint32_t
+    load32(uint64_t addr) const
+    {
+        uint32_t v;
+        std::memcpy(&v, ptr(addr, 4), 4);
+        return v;
+    }
+
+    void
+    store32(uint64_t addr, uint32_t value)
+    {
+        std::memcpy(ptr(addr, 4), &value, 4);
+    }
+
+    uint64_t
+    load64(uint64_t addr) const
+    {
+        uint64_t v;
+        std::memcpy(&v, ptr(addr, 8), 8);
+        return v;
+    }
+
+    void
+    store64(uint64_t addr, uint64_t value)
+    {
+        std::memcpy(ptr(addr, 8), &value, 8);
+    }
 
     /** Reset globals to their initial images and zero everything else. */
     void reset(const std::vector<ir::Global> &globals);
@@ -59,8 +84,27 @@ class MemoryImage
     void layout(const std::vector<ir::Global> &globals);
     void initGlobals(const std::vector<ir::Global> &globals);
 
-    const uint8_t *ptr(uint64_t addr, uint32_t size) const;
-    uint8_t *ptr(uint64_t addr, uint32_t size);
+    /** Cold failure path, outlined so the bounds check stays cheap. */
+    [[noreturn]] void outOfRange(uint64_t addr, uint32_t size) const;
+
+    // The bounds check subtracts rather than adds so a computed address
+    // near 2^64 (a wild negative index wrapped through ea()) cannot
+    // overflow `addr + size` past the check and yield a wild pointer.
+    const uint8_t *
+    ptr(uint64_t addr, uint32_t size) const
+    {
+        if (addr < dataBase || addr - dataBase > bytes.size() - size)
+            outOfRange(addr, size);
+        return bytes.data() + (addr - dataBase);
+    }
+
+    uint8_t *
+    ptr(uint64_t addr, uint32_t size)
+    {
+        if (addr < dataBase || addr - dataBase > bytes.size() - size)
+            outOfRange(addr, size);
+        return bytes.data() + (addr - dataBase);
+    }
 
     std::vector<uint8_t> bytes; ///< backing store (starts at dataBase)
     std::vector<uint64_t> globalAddr;

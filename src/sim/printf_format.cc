@@ -1,0 +1,133 @@
+#include "sim/printf_format.hh"
+
+#include <cctype>
+#include <cstring>
+
+#include "sim/value_bits.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::sim
+{
+
+namespace
+{
+
+bool
+isFlag(char c)
+{
+    return c == '-' || c == '+' || c == ' ' || c == '0' || c == '#';
+}
+
+/** Parse a run of digits, clamped so width/precision stay sane. */
+int
+parseNumber(const std::string &f, size_t &j)
+{
+    long n = 0;
+    while (j < f.size() && std::isdigit(static_cast<unsigned char>(f[j]))) {
+        if (n < 100000)
+            n = n * 10 + (f[j] - '0');
+        ++j;
+    }
+    return static_cast<int>(n > 4096 ? 4096 : n);
+}
+
+} // namespace
+
+std::string
+formatPrintf(const std::string &fmt, const uint64_t *args, size_t nargs)
+{
+    std::string out;
+    out.reserve(fmt.size());
+    size_t arg = 0;
+
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] != '%') {
+            out += fmt[i];
+            continue;
+        }
+
+        // Parse %[flags][width][.precision][length]conversion.
+        size_t j = i + 1;
+        std::string flags;
+        while (j < fmt.size() && isFlag(fmt[j]))
+            flags += fmt[j++];
+        int width = parseNumber(fmt, j);
+        int precision = -1;
+        if (j < fmt.size() && fmt[j] == '.') {
+            ++j;
+            precision = parseNumber(fmt, j); // "%.d" means precision 0
+        }
+        // Length modifiers are parsed and dropped: the machine model is
+        // 32-bit ints, so %ld and %d describe the same value.
+        while (j < fmt.size() && (fmt[j] == 'l' || fmt[j] == 'h'))
+            ++j;
+
+        if (j >= fmt.size()) {
+            out.append(fmt, i, fmt.size() - i); // trailing partial spec
+            break;
+        }
+
+        char conv = fmt[j];
+        if (conv == '%') {
+            out += '%';
+            i = j;
+            continue;
+        }
+
+        // Rebuild a sanitized host spec from the validated pieces.
+        std::string spec = "%";
+        spec += flags;
+        if (width > 0)
+            spec += strprintf("%d", width);
+        if (precision >= 0)
+            spec += strprintf(".%d", precision);
+        spec += conv;
+
+        switch (conv) {
+          case 'd':
+          case 'i': {
+            uint64_t v = arg < nargs ? args[arg] : 0;
+            ++arg;
+            out += strprintf(spec.c_str(), static_cast<int32_t>(v));
+            break;
+          }
+          case 'u':
+          case 'x':
+          case 'X':
+          case 'o': {
+            uint64_t v = arg < nargs ? args[arg] : 0;
+            ++arg;
+            out += strprintf(spec.c_str(), static_cast<uint32_t>(v));
+            break;
+          }
+          case 'c': {
+            uint64_t v = arg < nargs ? args[arg] : 0;
+            ++arg;
+            out += strprintf(spec.c_str(),
+                             static_cast<int>(v & 0xff));
+            break;
+          }
+          case 'f':
+          case 'F':
+          case 'e':
+          case 'E':
+          case 'g':
+          case 'G': {
+            uint64_t v = arg < nargs ? args[arg] : 0;
+            ++arg;
+            out += strprintf(spec.c_str(), asF64(v));
+            break;
+          }
+          default:
+            // Unrecognized conversion: emit the raw spec text verbatim
+            // and consume no argument, so later conversions still see
+            // the values they were written against.
+            out.append(fmt, i, j - i + 1);
+            break;
+        }
+        i = j;
+    }
+    return out;
+}
+
+} // namespace bsyn::sim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * printf formatting for the interpreter's Print instruction, shared by
+ * the reference and predecoded engines so their captured output can
+ * never diverge. Honors flags, field width and precision the way C
+ * printf does (the MiniC model is 32-bit ints and IEEE doubles).
+ */
+
+#ifndef BSYN_SIM_PRINTF_FORMAT_HH
+#define BSYN_SIM_PRINTF_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bsyn::sim
+{
+
+/**
+ * Format @p fmt with @p nargs raw 64-bit register values, following C
+ * printf semantics: flags (`-+ 0#`), field width, precision and length
+ * modifiers (parsed, then dropped — every integer is 32-bit) are
+ * honored for the supported conversions d i u x X o c f F e E g G.
+ *
+ * One value is consumed per *handled* conversion only; an unrecognized
+ * conversion is copied to the output literally and consumes nothing,
+ * so later arguments keep their positions. Missing values format as 0.
+ * Integer conversions read the low 32 bits of the value; floating
+ * conversions reinterpret all 64 bits as a double. Field widths and
+ * precisions are clamped to 4096 so a hostile format string cannot
+ * balloon the captured-output buffer.
+ */
+std::string formatPrintf(const std::string &fmt, const uint64_t *args,
+                         size_t nargs);
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_PRINTF_FORMAT_HH

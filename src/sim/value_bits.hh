@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The value-representation rules of the simulated machine: registers
+ * hold raw 64-bit images, integer operations read the low 32 bits, and
+ * floating-point operations reinterpret all 64 bits as an IEEE double.
+ * Shared by the reference interpreter, the predecoded engine and the
+ * printf formatter so the representation can never fork between them.
+ */
+
+#ifndef BSYN_SIM_VALUE_BITS_HH
+#define BSYN_SIM_VALUE_BITS_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace bsyn::sim
+{
+
+inline int32_t
+asI32(uint64_t v)
+{
+    return static_cast<int32_t>(v);
+}
+
+inline uint32_t
+asU32(uint64_t v)
+{
+    return static_cast<uint32_t>(v);
+}
+
+inline double
+asF64(uint64_t v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+inline uint64_t
+f64Bits(double d)
+{
+    uint64_t v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+} // namespace bsyn::sim
+
+#endif // BSYN_SIM_VALUE_BITS_HH

@@ -47,8 +47,7 @@ generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
 
 SyntheticBenchmark
 synthesize(const profile::StatisticalProfile &prof,
-           const SynthesisOptions &opts,
-           uint64_t (*measure)(const std::string &source))
+           const SynthesisOptions &opts, const MeasureFn &measure)
 {
     uint64_t r = opts.reductionFactor
                      ? opts.reductionFactor
@@ -56,7 +55,7 @@ synthesize(const profile::StatisticalProfile &prof,
                                              opts.targetInstructions);
     SyntheticBenchmark syn = generateOnce(prof, r, opts);
 
-    if (measure == nullptr || opts.calibrationRounds <= 0 ||
+    if (!measure || opts.calibrationRounds <= 0 ||
         opts.reductionFactor != 0)
         return syn;
 

@@ -11,6 +11,7 @@
 #ifndef BSYN_SYNTH_SYNTHESIZER_HH
 #define BSYN_SYNTH_SYNTHESIZER_HH
 
+#include <functional>
 #include <string>
 
 #include "profile/statistical_profile.hh"
@@ -50,18 +51,24 @@ struct SyntheticBenchmark
 };
 
 /**
+ * Callback that compiles+runs a candidate source and returns its
+ * dynamic instruction count. Sessions pass a closure over their decode
+ * cache so repeated calibration measurements skip recompilation.
+ */
+using MeasureFn = std::function<uint64_t(const std::string &source)>;
+
+/**
  * Generate a synthetic clone of @p prof.
  *
  * @param prof the statistical profile (possibly consolidated).
  * @param opts synthesis configuration.
- * @param measure optional callback that compiles+runs a candidate source
- *        and returns its dynamic instruction count (used by the
- *        calibration loop); pass nullptr to skip calibration.
+ * @param measure optional measurement callback (used by the calibration
+ *        loop); pass an empty function to skip calibration.
  */
 SyntheticBenchmark
 synthesize(const profile::StatisticalProfile &prof,
            const SynthesisOptions &opts = {},
-           uint64_t (*measure)(const std::string &source) = nullptr);
+           const MeasureFn &measure = {});
 
 } // namespace bsyn::synth
 

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The structurally-random MiniC program generator behind the
+ * differential fuzz corpus. Shared between test_fuzz (levels/targets
+ * differential) and test_differential_engine (reference vs predecoded
+ * interpreter differential) so both suites exercise the same corpus.
+ */
+
+#ifndef BSYN_TESTS_PROGRAM_FUZZER_HH
+#define BSYN_TESTS_PROGRAM_FUZZER_HH
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/string_util.hh"
+
+namespace bsyn
+{
+
+/** Generates small, always-terminating random MiniC programs. */
+class ProgramFuzzer
+{
+  public:
+    explicit ProgramFuzzer(uint64_t seed) : rng(seed) {}
+
+    std::string
+    generate()
+    {
+        body.clear();
+        intVars = {"a", "b", "c"};
+        uintVars = {"u", "v"};
+        fpVars = {"x", "y"};
+        depth = 0;
+
+        std::string src;
+        src += "uint g[64];\n";
+        src += "double gd[16];\n";
+        src += "int main() {\n";
+        src += "  int a = 3, b = -7, c = 12345;\n";
+        src += "  uint u = 0xABCD, v = 177u;\n";
+        src += "  double x = 1.5, y = -0.25;\n";
+        src += "  int i0, i1;\n";
+        int stmts = 4 + static_cast<int>(rng.nextBounded(6));
+        for (int s = 0; s < stmts; ++s)
+            statement(2);
+        src += body;
+        src += "  printf(\"%d %d %u %u %d %d %u\\n\", a, b, u, v, "
+               "(int)x, (int)y, g[7]);\n";
+        src += "  return 0;\n}\n";
+        return src;
+    }
+
+  private:
+    void
+    emit(const std::string &line)
+    {
+        body += std::string(2 + 2 * static_cast<size_t>(depth), ' ') +
+                line + "\n";
+    }
+
+    std::string
+    intExpr(int budget)
+    {
+        if (budget <= 0 || rng.nextBool(0.35)) {
+            switch (rng.nextBounded(3)) {
+              case 0:
+                return intVars[rng.nextBounded(intVars.size())];
+              case 1:
+                return strprintf("%d",
+                                 int(rng.nextRange(-100, 100)));
+              default:
+                return strprintf("(int)g[%llu]",
+                                 (unsigned long long)rng.nextBounded(64));
+            }
+        }
+        static const char *ops[] = {"+", "-", "*", "/", "%",
+                                    "&", "|", "^"};
+        const char *op = ops[rng.nextBounded(8)];
+        std::string lhs = intExpr(budget - 1);
+        std::string rhs = intExpr(budget - 1);
+        if (op[0] == '/' || op[0] == '%')
+            rhs = "(" + rhs + " | 1)"; // avoid INT_MIN/-1 style UB paths
+        if (rng.nextBool(0.15))
+            return "(" + lhs + " " + op + " " + rhs + ") >> " +
+                   strprintf("%llu",
+                             (unsigned long long)(1 + rng.nextBounded(7)));
+        return "(" + lhs + " " + op + " " + rhs + ")";
+    }
+
+    std::string
+    uintExpr(int budget)
+    {
+        if (budget <= 0 || rng.nextBool(0.35)) {
+            switch (rng.nextBounded(3)) {
+              case 0:
+                return uintVars[rng.nextBounded(uintVars.size())];
+              case 1:
+                return strprintf("%lluu", (unsigned long long)
+                                              rng.nextBounded(100000));
+              default:
+                return strprintf("g[%llu]",
+                                 (unsigned long long)rng.nextBounded(64));
+            }
+        }
+        static const char *ops[] = {"+", "-", "*", "&", "|", "^", ">>",
+                                    "<<"};
+        const char *op = ops[rng.nextBounded(8)];
+        std::string lhs = uintExpr(budget - 1);
+        std::string rhs;
+        if (op[0] == '>' || op[0] == '<')
+            rhs = strprintf("%llu",
+                            (unsigned long long)(1 + rng.nextBounded(7)));
+        else
+            rhs = uintExpr(budget - 1);
+        return "(" + lhs + " " + op + " " + rhs + ")";
+    }
+
+    std::string
+    fpExpr(int budget)
+    {
+        if (budget <= 0 || rng.nextBool(0.4)) {
+            switch (rng.nextBounded(3)) {
+              case 0:
+                return fpVars[rng.nextBounded(fpVars.size())];
+              case 1:
+                return strprintf("%llu.%llu",
+                                 (unsigned long long)rng.nextBounded(50),
+                                 (unsigned long long)rng.nextBounded(10));
+              default:
+                return "(double)" + intExpr(0);
+            }
+        }
+        static const char *ops[] = {"+", "-", "*"};
+        return "(" + fpExpr(budget - 1) + " " + ops[rng.nextBounded(3)] +
+               " " + fpExpr(budget - 1) + ")";
+    }
+
+    std::string
+    condExpr()
+    {
+        static const char *rels[] = {"<", "<=", ">", ">=", "==", "!="};
+        switch (rng.nextBounded(3)) {
+          case 0:
+            return intExpr(1) + " " + rels[rng.nextBounded(6)] + " " +
+                   intExpr(1);
+          case 1:
+            return uintExpr(1) + " " + rels[rng.nextBounded(6)] + " " +
+                   uintExpr(1);
+          default:
+            return fpExpr(1) + " " + rels[rng.nextBounded(6)] + " " +
+                   fpExpr(1);
+        }
+    }
+
+    void
+    statement(int budget)
+    {
+        int kind = static_cast<int>(rng.nextBounded(10));
+        if (budget <= 0)
+            kind = kind % 4; // leaf statements only
+        switch (kind) {
+          case 0:
+            emit(intVars[rng.nextBounded(intVars.size())] + " = " +
+                 intExpr(2) + ";");
+            break;
+          case 1:
+            emit(uintVars[rng.nextBounded(uintVars.size())] + " = " +
+                 uintExpr(2) + ";");
+            break;
+          case 2:
+            emit(fpVars[rng.nextBounded(fpVars.size())] + " = " +
+                 fpExpr(2) + ";");
+            break;
+          case 3:
+            emit(strprintf("g[%llu] = ",
+                           (unsigned long long)rng.nextBounded(64)) +
+                 uintExpr(2) + ";");
+            break;
+          case 4:
+          case 5: {
+            // Bounded counted loop.
+            const char *iter = depth % 2 == 0 ? "i0" : "i1";
+            emit(strprintf("for (%s = 0; %s < %llu; %s++) {", iter, iter,
+                           (unsigned long long)(2 + rng.nextBounded(12)),
+                           iter));
+            ++depth;
+            int n = 1 + static_cast<int>(rng.nextBounded(3));
+            for (int s = 0; s < n; ++s)
+                statement(budget - 1);
+            --depth;
+            emit("}");
+            break;
+          }
+          case 6:
+          case 7: {
+            emit("if (" + condExpr() + ") {");
+            ++depth;
+            statement(budget - 1);
+            --depth;
+            if (rng.nextBool(0.5)) {
+                emit("} else {");
+                ++depth;
+                statement(budget - 1);
+                --depth;
+            }
+            emit("}");
+            break;
+          }
+          case 8:
+            emit(strprintf("gd[%llu] = ",
+                           (unsigned long long)rng.nextBounded(16)) +
+                 fpExpr(2) + ";");
+            break;
+          default:
+            emit(intVars[rng.nextBounded(intVars.size())] +
+                 " += " + intExpr(1) + ";");
+            break;
+        }
+    }
+
+    Rng rng;
+    std::string body;
+    std::vector<std::string> intVars, uintVars, fpVars;
+    int depth = 0;
+};
+
+} // namespace bsyn
+
+#endif // BSYN_TESTS_PROGRAM_FUZZER_HH

@@ -12,6 +12,7 @@
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 #include "pipeline/pipeline.hh"
+#include "sim/decoded_program.hh"
 #include "support/error.hh"
 
 namespace bsyn
@@ -246,6 +247,44 @@ const ExecCase execCases[] = {
     {"exit_code_from_main",
      R"(int main() { printf("x\n"); return 42; })",
      "x\n"},
+    // printf must honor flags, field width and precision the way C
+    // printf does (they used to be parsed and then discarded).
+    {"printf_width_and_flags",
+     R"(int main() {
+          printf("[%08x] [%-5d] [%5d] [%+d] [% d]\n",
+                 48879, 42, 42, 7, 7);
+          return 0;
+        })",
+     "[0000beef] [42   ] [   42] [+7] [ 7]\n"},
+    {"printf_precision",
+     R"(int main() {
+          printf("%.3f %.0f %8.2f %e %g\n",
+                 1.0 / 3.0, 2.5, 3.14159, 12345.678, 0.0001);
+          return 0;
+        })",
+     "0.333 2     3.14 1.234568e+04 0.0001\n"},
+    {"printf_char_width",
+     R"(int main() {
+          printf("[%3c] [%-3c]\n", 'A', 'B');
+          return 0;
+        })",
+     "[  A] [B  ]\n"},
+    {"printf_zero_pad_and_int_precision",
+     R"(int main() {
+          printf("%03d %.5d %5u %#x %o %X\n", 7, 42, 9, 255, 8, 48879);
+          return 0;
+        })",
+     "007 00042     9 0xff 10 BEEF\n"},
+    // An unrecognized conversion is emitted literally and must not
+    // consume an argument — later conversions keep their values (the
+    // old interpreter shifted every subsequent argument by one).
+    {"printf_unknown_conversion_consumes_nothing",
+     R"(int main() {
+          printf("a%yb %d %d\n", 1, 2);
+          printf("%k %d\n", 5);
+          return 0;
+        })",
+     "a%yb 1 2\n%k 5\n"},
 };
 
 class ExecSemantics
@@ -295,6 +334,47 @@ TEST(ExecMisc, InstructionLimitGuards)
     sim::ExecLimits limits;
     limits.maxInstructions = 10000;
     EXPECT_THROW(sim::execute(prog, nullptr, limits), FatalError);
+}
+
+TEST(ExecMisc, InstructionLimitCountIsExact)
+{
+    // A limit-hit run must report exactly the number of instructions
+    // that retired — the old guard incremented before bailing and so
+    // overcounted by one. Both engines must agree.
+    ir::Module m = lang::compile(
+        "int main() { while (1) {} return 0; }", "inf");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::ExecLimits limits;
+    limits.maxInstructions = 10000;
+    for (auto engine :
+         {sim::ExecEngine::Predecoded, sim::ExecEngine::Reference}) {
+        limits.engine = engine;
+        try {
+            sim::execute(prog, nullptr, limits);
+            FAIL() << "instruction limit did not trigger";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          "after retiring 10000 instructions"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(ExecMisc, EnginesAgreeOnEveryExecCase)
+{
+    // Cheap inline differential pass: every semantics case above must
+    // produce identical ExecStats on the reference and the predecoded
+    // engine (the workload-scale version lives in
+    // test_differential_engine).
+    for (const ExecCase &c : execCases) {
+        ir::Module m = lang::compile(c.source, c.name);
+        auto prog = isa::lower(m, isa::targetX86());
+        auto ref = sim::executeReference(prog);
+        auto fast = sim::execute(sim::DecodedProgram(prog));
+        EXPECT_TRUE(ref == fast) << c.name;
+        EXPECT_EQ(ref.output, c.expected) << c.name;
+    }
 }
 
 TEST(ExecMisc, StackOverflowDetected)

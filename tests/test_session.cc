@@ -145,6 +145,45 @@ TEST(Session, CacheHitMissSemantics)
     EXPECT_TRUE(st.synthCached);
 }
 
+TEST(Session, DecodeCacheMemoizesCalibrationMeasurements)
+{
+    pipeline::Session session; // in-memory decode cache, no disk cache
+    const std::string src =
+        "int main() {\n"
+        "  int i; int s; s = 0;\n"
+        "  for (i = 0; i < 100; i = i + 1) s = s + i;\n"
+        "  printf(\"%d\\n\", s);\n"
+        "  return 0;\n"
+        "}\n";
+
+    uint64_t first = session.measureInstructions(src);
+    EXPECT_GT(first, 0u);
+    auto cold = session.cacheStats();
+    EXPECT_EQ(cold.decodeMisses, 1u);
+    EXPECT_EQ(cold.decodeHits, 0u);
+
+    // Re-measuring the identical source must hit the memo (this is the
+    // property that keeps calibration rounds from recompiling), return
+    // the same count, and not touch the artifact-cache counters.
+    uint64_t second = session.measureInstructions(src);
+    EXPECT_EQ(second, first);
+    auto warm = session.cacheStats();
+    EXPECT_EQ(warm.decodeMisses, 1u);
+    EXPECT_EQ(warm.decodeHits, 1u);
+    EXPECT_EQ(warm.hits(), 0u);
+    EXPECT_EQ(warm.misses(), 0u);
+
+    // A different source is a distinct entry, and the memoized path
+    // agrees with the uncached free-function measurement.
+    uint64_t other =
+        session.measureInstructions("int main() { return 0; }");
+    auto after = session.cacheStats();
+    EXPECT_EQ(after.decodeMisses, 2u);
+    EXPECT_EQ(first, pipeline::measureInstructions(src));
+    EXPECT_EQ(other, pipeline::measureInstructions(
+                         "int main() { return 0; }"));
+}
+
 TEST(Session, WarmSuiteRecomputesNothingAndIsByteIdentical)
 {
     // The acceptance criterion: a warm-cache suite re-run performs zero
