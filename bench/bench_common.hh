@@ -151,9 +151,10 @@ cacheHitRateSweep(const std::string &source, opt::OptLevel level)
         sim::CacheSweep sweep{sim::CacheSweep::paperSweep()};
         void onInstruction(int, const isa::MInst &) override {}
         void
-        onMemAccess(int, uint64_t addr, uint32_t, bool, uint64_t) override
+        onMemAccess(int, uint64_t addr, uint32_t size, bool,
+                    uint64_t) override
         {
-            sweep.access(addr);
+            sweep.access(addr, size);
         }
         void onBranch(int, bool) override {}
     } obs;

@@ -100,6 +100,28 @@ BM_DecodeProgram(benchmark::State &state)
 BENCHMARK(BM_DecodeProgram);
 
 void
+BM_InstrumentedThroughput(benchmark::State &state)
+{
+    // The fused profiling mode: dense per-PC counters + inlined cache,
+    // no observer. This is the retired-instruction rate profiling pays
+    // once decode is amortized.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    sim::CacheConfig cache; // the profiler's default 8KB/32B/4-way
+    sim::InstrumentedCounters counters;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto stats = sim::executeInstrumented(decoded, cache, counters);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstrumentedThroughput);
+
+void
 BM_InterpreterWithTimingModel(benchmark::State &state)
 {
     ir::Module m = lang::compile(kernelSrc, "k");
@@ -115,6 +137,26 @@ BM_InterpreterWithTimingModel(benchmark::State &state)
         double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterWithTimingModel);
+
+void
+BM_TimingModelDecodedReuse(benchmark::State &state)
+{
+    // Timing steady state for sweeps that decode once (Fig 10): the
+    // prepared CoreModel steps on the timed dispatch mode.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    auto machine = sim::ptlsimConfig(8);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto t = sim::simulateTiming(decoded, machine.core);
+        insts += t.instructions;
+        benchmark::DoNotOptimize(t.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingModelDecodedReuse);
 
 void
 BM_CacheSimulator(benchmark::State &state)
@@ -169,6 +211,8 @@ BENCHMARK(BM_MiniCCompileO2);
 void
 BM_ProfileWorkload(benchmark::State &state)
 {
+    // End-to-end profiling on the default fused instrumented mode
+    // (includes the per-call lower + decode + SFGL assembly).
     ir::Module m = lang::compile(kernelSrc, "k");
     for (auto _ : state) {
         auto prof = profile::profileModule(m);
@@ -176,6 +220,21 @@ BM_ProfileWorkload(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ProfileWorkload);
+
+void
+BM_ProfileWorkloadReference(benchmark::State &state)
+{
+    // The golden ExecObserver-based profiler the fused mode is
+    // differentially tested against.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    profile::ProfileOptions opts;
+    opts.engine = profile::ProfileEngine::Observer;
+    for (auto _ : state) {
+        auto prof = profile::profileModule(m, opts);
+        benchmark::DoNotOptimize(prof.dynamicInstructions);
+    }
+}
+BENCHMARK(BM_ProfileWorkloadReference);
 
 void
 BM_SynthesizeClone(benchmark::State &state)

@@ -173,7 +173,9 @@ bsyn::profile::StatisticalProfile
 Session::profile(const std::string &source, const std::string &name,
                  bool *cached)
 {
-    std::string key = ArtifactCache::key("profile.v1", {name, source});
+    // v2: profile JSON gained per-CondBr branch annotations and the
+    // width-aware cache simulation — v1 entries must not be reused.
+    std::string key = ArtifactCache::key("profile.v2", {name, source});
     std::string text;
     if (cache_.load(key, text)) {
         ++profileHits_;

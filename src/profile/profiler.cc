@@ -8,6 +8,7 @@
 #include "ir/dominators.hh"
 #include "ir/loops.hh"
 #include "isa/lowering.hh"
+#include "sim/decoded_program.hh"
 #include "support/error.hh"
 
 namespace bsyn::profile
@@ -19,7 +20,26 @@ using isa::MKind;
 namespace
 {
 
-/** Execution observer that fills in the dynamic SFGL annotations. */
+/**
+ * The dynamic half of a profile — everything measured by running the
+ * workload, independent of which collection machinery produced it. The
+ * observer path fills it from the live callback stream; the fused path
+ * reconstructs it from the instrumented engine's dense counters. Both
+ * must be bit-identical (the differential-profile suite asserts it),
+ * and the SFGL assembly below consumes only this.
+ */
+struct DynamicProfile
+{
+    sim::ExecStats exec;
+    InstrMix mix;
+    std::vector<MemAccessStats> memStats;   ///< per PC
+    std::vector<BranchStats> branchStats;   ///< per PC
+    std::vector<uint64_t> blockExec;        ///< per SFGL block
+    std::map<std::pair<int, int>, uint64_t> edges;
+};
+
+/** Execution observer that fills in the dynamic SFGL annotations —
+ *  the golden reference the fused path is checked against. */
 class ProfileObserver : public sim::ExecObserver
 {
   public:
@@ -69,11 +89,12 @@ class ProfileObserver : public sim::ExecObserver
     }
 
     void
-    onMemAccess(int pc, uint64_t addr, uint32_t, bool, uint64_t) override
+    onMemAccess(int pc, uint64_t addr, uint32_t size, bool,
+                uint64_t) override
     {
         auto &s = memStats[static_cast<size_t>(pc)];
         ++s.accesses;
-        if (!cache.access(addr))
+        if (!cache.access(addr, size))
             ++s.misses;
     }
 
@@ -98,6 +119,105 @@ class ProfileObserver : public sim::ExecObserver
     int lastPc = 0;
     bool lastWasIntraFunc = false;
 };
+
+DynamicProfile
+observerDynamicProfile(const isa::MachineProgram &prog,
+                       const std::vector<int> &pc_to_block,
+                       const ProfileOptions &opts)
+{
+    ProfileObserver obs(prog, pc_to_block, opts);
+    DynamicProfile d;
+    d.exec = sim::execute(prog, &obs, opts.limits);
+    d.mix = obs.mix;
+    d.memStats = std::move(obs.memStats);
+    d.branchStats = std::move(obs.branchStats);
+    d.blockExec = std::move(obs.blockExec);
+    d.edges = std::move(obs.edges);
+    return d;
+}
+
+/**
+ * Reconstruct the dynamic profile from the instrumented engine's dense
+ * per-PC counters plus the program's static structure.
+ *
+ * The reconstruction leans on two invariants of the lowered code:
+ * every retired execution of a block's first PC is exactly one block
+ * start (so blockExec falls out of the per-PC retire counts), and
+ * control enters a block start only by (a) a CondBr outcome, (b) a
+ * Jmp, (c) straight-line fall-through from the previous PC (the
+ * lowering elides jumps to the next block, so a block may end in a
+ * plain body instruction), or (d) a Call/Ret — which the observer
+ * deliberately excludes from the edge map. Each of (a)-(c) is
+ * attributable to a static PC whose dynamic count we have.
+ */
+DynamicProfile
+fusedDynamicProfile(const isa::MachineProgram &prog,
+                    const std::vector<int> &pc_to_block,
+                    const std::vector<int> &block_start_pc,
+                    const ProfileOptions &opts)
+{
+    sim::DecodedProgram decoded(prog);
+    sim::InstrumentedCounters c;
+    DynamicProfile d;
+    d.exec = sim::executeInstrumented(decoded, opts.profilingCache, c,
+                                      opts.limits);
+
+    size_t n = prog.code.size();
+    d.memStats.resize(n);
+    d.branchStats.resize(n);
+    std::vector<bool> starts(n, false);
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (c.execCount[pc])
+            d.mix.add(prog.code[pc].cls(), c.execCount[pc]);
+        d.memStats[pc].accesses = c.memAccesses[pc];
+        d.memStats[pc].misses = c.memMisses[pc];
+        BranchStats &b = d.branchStats[pc];
+        b.executions = c.branch[pc].executions;
+        b.taken = c.branch[pc].taken;
+        b.transitions = c.branch[pc].transitions;
+        b.lastOutcome = c.branch[pc].lastOutcome != 0;
+        b.hasLast = c.branch[pc].hasLast != 0;
+        starts[pc] = pc == 0 || pc_to_block[pc - 1] != pc_to_block[pc];
+    }
+
+    d.blockExec.resize(block_start_pc.size());
+    for (size_t b = 0; b < block_start_pc.size(); ++b)
+        d.blockExec[b] =
+            c.execCount[static_cast<size_t>(block_start_pc[b])];
+
+    for (size_t pc = 0; pc < n; ++pc) {
+        const MInst &mi = prog.code[pc];
+        int from = pc_to_block[pc];
+        switch (mi.kind) {
+          case MKind::CondBr: {
+            const auto &b = c.branch[pc];
+            size_t tgt = static_cast<size_t>(mi.target);
+            if (b.taken && starts[tgt])
+                d.edges[{from, pc_to_block[tgt]}] += b.taken;
+            uint64_t fall = b.executions - b.taken;
+            if (fall && pc + 1 < n && starts[pc + 1])
+                d.edges[{from, pc_to_block[pc + 1]}] += fall;
+            break;
+          }
+          case MKind::Jmp: {
+            size_t tgt = static_cast<size_t>(mi.target);
+            if (c.execCount[pc] && starts[tgt])
+                d.edges[{from, pc_to_block[tgt]}] += c.execCount[pc];
+            break;
+          }
+          case MKind::Call:
+          case MKind::Ret:
+            break; // inter-function transfer: never an SFGL edge
+          default:
+            // Straight-line fall-through into the next block.
+            if (c.execCount[pc] && pc + 1 < n && starts[pc + 1] &&
+                prog.code[pc + 1].funcId == mi.funcId)
+                d.edges[{from, pc_to_block[pc + 1]}] += c.execCount[pc];
+            break;
+        }
+    }
+    return d;
+}
 
 } // namespace
 
@@ -145,34 +265,46 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
     for (const auto &f : prog.funcs)
         sfgl.funcNames.push_back(f.name);
 
-    // --- Dynamic annotations.
-    ProfileObserver obs(prog, pc_to_block, opts);
-    sim::ExecStats exec = sim::execute(prog, &obs, opts.limits);
+    // --- Dynamic annotations, via either collection engine. The fused
+    // mode lives inside the predecoded engine, so explicitly selecting
+    // the reference interpreter implies the observer profiler.
+    bool fused = opts.engine == ProfileEngine::Fused &&
+                 opts.limits.engine == sim::ExecEngine::Predecoded;
+    DynamicProfile dyn =
+        fused ? fusedDynamicProfile(prog, pc_to_block, block_start_pc,
+                                    opts)
+              : observerDynamicProfile(prog, pc_to_block, opts);
 
     for (size_t b = 0; b < sfgl.blocks.size(); ++b)
-        sfgl.blocks[b].execCount = obs.blockExec[b];
-    for (const auto &[edge, count] : obs.edges)
+        sfgl.blocks[b].execCount = dyn.blockExec[b];
+    for (const auto &[edge, count] : dyn.edges)
         sfgl.blocks[static_cast<size_t>(edge.first)].succs.push_back(
             {edge.second, count});
 
-    // Branch annotations: find the CondBr PC of each branch block.
+    // Branch annotations: every executed CondBr of a block gets its
+    // own per-descriptor rates (a block can lower to several); the
+    // block-level rates summarize the first executed one.
     for (size_t b = 0; b < sfgl.blocks.size(); ++b) {
         SfglBlock &blk = sfgl.blocks[b];
-        if (blk.term != SfglTerm::Branch)
-            continue;
         int start = block_start_pc[b];
+        bool block_annotated = false;
         for (size_t i = 0; i < blk.code.size(); ++i) {
             int pc = start + static_cast<int>(i);
-            if (prog.code[static_cast<size_t>(pc)].kind == MKind::CondBr) {
-                const BranchStats &bs =
-                    obs.branchStats[static_cast<size_t>(pc)];
-                if (bs.executions > 0) {
-                    blk.takenRate = bs.takenRate();
-                    blk.transitionRate = bs.transitionRate();
-                    blk.easyBranch = opts.branchClassifier.isEasy(
-                        blk.transitionRate);
-                }
-                break;
+            if (prog.code[static_cast<size_t>(pc)].kind != MKind::CondBr)
+                continue;
+            const BranchStats &bs =
+                dyn.branchStats[static_cast<size_t>(pc)];
+            if (bs.executions == 0)
+                continue;
+            blk.code[i].branchExecutions = bs.executions;
+            blk.code[i].takenRate = bs.takenRate();
+            blk.code[i].transitionRate = bs.transitionRate();
+            if (!block_annotated && blk.term == SfglTerm::Branch) {
+                blk.takenRate = bs.takenRate();
+                blk.transitionRate = bs.transitionRate();
+                blk.easyBranch = opts.branchClassifier.isEasy(
+                    blk.transitionRate);
+                block_annotated = true;
             }
         }
     }
@@ -186,7 +318,7 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
             if (!d.readsMem && !d.writesMem)
                 continue;
             const MemAccessStats &ms =
-                obs.memStats[static_cast<size_t>(start) + i];
+                dyn.memStats[static_cast<size_t>(start) + i];
             d.missClass = ms.accesses ? ms.missClass() : 0;
         }
     }
@@ -249,8 +381,8 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
 
     StatisticalProfile profile;
     profile.workloadName = prog.name;
-    profile.dynamicInstructions = exec.instructions;
-    profile.mix = obs.mix;
+    profile.dynamicInstructions = dyn.exec.instructions;
+    profile.mix = dyn.mix;
     profile.sfgl = std::move(sfgl);
     return profile;
 }

@@ -18,6 +18,25 @@
 namespace bsyn::profile
 {
 
+/**
+ * Which collection machinery drives the dynamic half of a profile.
+ * Both produce byte-identical profiles (asserted by
+ * tests/test_differential_profile.cc); the fused mode is ~an order of
+ * magnitude faster and is the default everywhere.
+ */
+enum class ProfileEngine : uint8_t
+{
+    /** The instrumented dispatch mode of the predecoded engine:
+     *  dense per-PC counters, no per-instruction virtual calls; the
+     *  SFGL annotations are assembled from the counters plus the
+     *  program's static structure. */
+    Fused,
+    /** The original ExecObserver-based profiler — the golden
+     *  reference the differential suite compares against. Runs on the
+     *  interpreter selected by limits.engine. */
+    Observer,
+};
+
 /** Profiling parameters. */
 struct ProfileOptions
 {
@@ -29,6 +48,11 @@ struct ProfileOptions
 
     /** Interpreter limits. */
     sim::ExecLimits limits;
+
+    /** Collection machinery. Selecting the reference decode-per-step
+     *  interpreter via limits.engine implies the Observer profiler
+     *  (the fused mode only exists inside the predecoded engine). */
+    ProfileEngine engine = ProfileEngine::Fused;
 };
 
 /**

@@ -47,6 +47,9 @@ descriptorToJson(const InstrDescriptor &d)
                 (d.isControl ? 4 : 0);
     j.push(Json(flags));
     j.push(Json(d.missClass));
+    j.push(Json(d.branchExecutions));
+    j.push(Json(d.takenRate));
+    j.push(Json(d.transitionRate));
     return j;
 }
 
@@ -62,6 +65,13 @@ descriptorFromJson(const Json &j)
     d.writesMem = flags & 2;
     d.isControl = flags & 4;
     d.missClass = static_cast<int>(j.at(4).asInt());
+    // Pre-v2 profiles (5-element descriptors) lack the per-branch
+    // annotation; load them with the fields at their defaults.
+    if (j.size() > 7) {
+        d.branchExecutions = static_cast<uint64_t>(j.at(5).asNumber());
+        d.takenRate = j.at(6).asNumber();
+        d.transitionRate = j.at(7).asNumber();
+    }
     return d;
 }
 

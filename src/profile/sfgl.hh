@@ -32,6 +32,14 @@ struct InstrDescriptor
     bool writesMem = false;
     bool isControl = false; ///< CondBr/Jmp/Ret (not a body statement)
     int missClass = 0;      ///< Table I class for memory instructions
+
+    /** Per-branch annotation (CondBr descriptors only): every CondBr
+     *  in a block carries its own observed rates, so a block that
+     *  lowers to more than one conditional branch loses nothing — the
+     *  block-level rates summarize only the first executed one. */
+    uint64_t branchExecutions = 0;
+    double takenRate = 0.0;
+    double transitionRate = 0.0;
 };
 
 /** A control-flow edge with its observed traversal count. */

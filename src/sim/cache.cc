@@ -45,37 +45,8 @@ Cache::Cache(const CacheConfig &config) : cfg(config)
     BSYN_ASSERT(isPow2(sets), "set count must be a power of two");
     lines.assign(sets * cfg.associativity, Line());
     setShift = log2u(cfg.lineBytes);
+    tagShift = log2u(sets);
     setMask = sets - 1;
-}
-
-bool
-Cache::access(uint64_t addr)
-{
-    ++stats_.accesses;
-    ++clock;
-    uint64_t line_addr = addr >> setShift;
-    uint64_t set = line_addr & setMask;
-    uint64_t tag = line_addr >> log2u(setMask + 1);
-    Line *base = &lines[set * cfg.associativity];
-
-    Line *victim = base;
-    for (uint32_t w = 0; w < cfg.associativity; ++w) {
-        Line &l = base[w];
-        if (l.valid && l.tag == tag) {
-            l.lruStamp = clock;
-            return true;
-        }
-        if (!l.valid) {
-            victim = &l;
-        } else if (victim->valid && l.lruStamp < victim->lruStamp) {
-            victim = &l;
-        }
-    }
-    ++stats_.misses;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lruStamp = clock;
-    return false;
 }
 
 bool
@@ -83,7 +54,7 @@ Cache::probe(uint64_t addr) const
 {
     uint64_t line_addr = addr >> setShift;
     uint64_t set = line_addr & setMask;
-    uint64_t tag = line_addr >> log2u(setMask + 1);
+    uint64_t tag = line_addr >> tagShift;
     const Line *base = &lines[set * cfg.associativity];
     for (uint32_t w = 0; w < cfg.associativity; ++w)
         if (base[w].valid && base[w].tag == tag)
@@ -109,6 +80,13 @@ CacheSweep::access(uint64_t addr)
 {
     for (auto &c : caches)
         c.access(addr);
+}
+
+void
+CacheSweep::access(uint64_t addr, uint32_t size)
+{
+    for (auto &c : caches)
+        c.access(addr, size);
 }
 
 std::vector<CacheConfig>

@@ -53,11 +53,61 @@ class Cache
     explicit Cache(const CacheConfig &cfg);
 
     /**
-     * Access @p addr; @return true on hit. Writes allocate like reads
-     * (write-allocate, write-back is irrelevant without a backing
-     * hierarchy model).
+     * Access the line holding @p addr; @return true on hit. Writes
+     * allocate like reads (write-allocate, write-back is irrelevant
+     * without a backing hierarchy model). Inline — this sits on the
+     * per-memory-access hot path of the instrumented execution engine.
      */
-    bool access(uint64_t addr);
+    bool
+    access(uint64_t addr)
+    {
+        ++stats_.accesses;
+        ++clock;
+        uint64_t line_addr = addr >> setShift;
+        uint64_t set = line_addr & setMask;
+        uint64_t tag = line_addr >> tagShift;
+        Line *base = &lines[set * cfg.associativity];
+
+        Line *victim = base;
+        for (uint32_t w = 0; w < cfg.associativity; ++w) {
+            Line &l = base[w];
+            if (l.valid && l.tag == tag) {
+                l.lruStamp = clock;
+                return true;
+            }
+            if (!l.valid) {
+                victim = &l;
+            } else if (victim->valid && l.lruStamp < victim->lruStamp) {
+                victim = &l;
+            }
+        }
+        ++stats_.misses;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lruStamp = clock;
+        return false;
+    }
+
+    /**
+     * Access @p size bytes starting at @p addr: every cache line the
+     * access overlaps is touched (a load/store straddling a line
+     * boundary costs one access per line). @return true only if every
+     * line hit.
+     */
+    bool
+    access(uint64_t addr, uint32_t size)
+    {
+        bool hit = access(addr);
+        if (size > 1) {
+            uint64_t first = addr >> setShift;
+            uint64_t last = (addr + size - 1) >> setShift;
+            for (uint64_t line = first + 1; line <= last; ++line) {
+                bool h = access(line << setShift);
+                hit = hit && h;
+            }
+        }
+        return hit;
+    }
 
     /** Access without updating statistics (used for warmup). */
     bool probe(uint64_t addr) const;
@@ -80,6 +130,7 @@ class Cache
     std::vector<Line> lines; ///< sets * ways, row-major by set
     uint64_t clock = 0;
     uint32_t setShift = 0;
+    uint32_t tagShift = 0;
     uint64_t setMask = 0;
 };
 
@@ -93,6 +144,10 @@ class CacheSweep
     explicit CacheSweep(const std::vector<CacheConfig> &configs);
 
     void access(uint64_t addr);
+
+    /** Width-aware feed: straddling accesses touch every overlapped
+     *  line in every member cache. */
+    void access(uint64_t addr, uint32_t size);
 
     size_t size() const { return caches.size(); }
     const Cache &at(size_t i) const { return caches[i]; }

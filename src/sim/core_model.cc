@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/decoded_program.hh"
 #include "support/error.hh"
 
 namespace bsyn::sim
@@ -88,60 +89,52 @@ timingClass(const MInst &mi)
 
 } // namespace
 
-void
-CoreModel::onInstruction(int pc, const MInst &mi)
+CoreModel::PreparedInst
+CoreModel::prepareInst(const MInst &mi) const
 {
-    retirePending();
-
-    pending.valid = true;
-    pending.pc = pc;
-    pending.cls = timingClass(mi);
-    pending.extraLatency = 0;
+    PreparedInst p;
+    p.cls = timingClass(mi);
+    p.dst = mi.dst;
     // A fused load operand serializes in front of the operation.
     if (mi.kind == MKind::Compute && mi.loadFused)
-        pending.extraLatency += static_cast<uint64_t>(cfg.l1HitLatency);
-    pending.dst = mi.dst;
-    pending.numSrcs = 0;
-    pending.isBranch = mi.kind == MKind::CondBr;
-    pending.taken = false;
-    pending.isCallRet =
-        mi.kind == MKind::Call || mi.kind == MKind::Ret;
-    pending.hasLoad = false;
-    pending.hasStore = false;
-
+        p.fusedLoadLatency = static_cast<uint32_t>(cfg.l1HitLatency);
+    p.isBranch = mi.kind == MKind::CondBr;
+    p.isCallRet = mi.kind == MKind::Call || mi.kind == MKind::Ret;
     auto addSrc = [&](int r) {
-        if (r >= 0 && pending.numSrcs < 4)
-            pending.srcs[pending.numSrcs++] = r;
+        if (r >= 0 && p.numSrcs < 4)
+            p.srcs[p.numSrcs++] = r;
     };
     addSrc(mi.src0);
     addSrc(mi.src1);
     if (mi.memValid)
         addSrc(mi.mem.indexReg);
-    // Call/print argument registers gate issue as well (cap at 4 tracked).
+    // Call/print argument registers gate issue too (cap at 4 tracked).
     for (int a : mi.args)
         addSrc(a);
+    return p;
 }
 
 void
-CoreModel::onMemAccess(int, uint64_t addr, uint32_t, bool is_write, uint64_t)
+CoreModel::prepare(const isa::MachineProgram &prog)
 {
-    bool l1_hit = l1.access(addr);
-    bool l2_hit = true;
-    if (!l1_hit && cfg.hasL2)
-        l2_hit = l2cache.access(addr);
-    if (is_write) {
-        pending.hasStore = true;
-        pending.storeAddr = addr >> 2; // word granularity
-        return; // stores retire without stalling the dependence chain
-    }
-    pending.hasLoad = true;
-    pending.loadAddr = addr >> 2;
-    if (!l1_hit) {
-        pending.extraLatency += static_cast<uint64_t>(cfg.l1MissPenalty);
-        if (cfg.hasL2 && !l2_hit)
-            pending.extraLatency +=
-                static_cast<uint64_t>(cfg.l2MissPenalty);
-    }
+    prepared.clear();
+    prepared.reserve(prog.code.size());
+    for (const MInst &mi : prog.code)
+        prepared.push_back(prepareInst(mi));
+}
+
+void
+CoreModel::onInstruction(int pc, const MInst &mi)
+{
+    retirePending();
+    beginInstruction(pc, prepareInst(mi));
+}
+
+void
+CoreModel::onMemAccess(int, uint64_t addr, uint32_t size, bool is_write,
+                       uint64_t)
+{
+    noteMemAccess(addr, size, is_write);
 }
 
 void
@@ -248,8 +241,16 @@ TimingStats
 simulateTiming(const isa::MachineProgram &prog, const CoreConfig &cfg,
                const ExecLimits &limits)
 {
+    return simulateTiming(DecodedProgram(prog), cfg, limits);
+}
+
+TimingStats
+simulateTiming(const DecodedProgram &prog, const CoreConfig &cfg,
+               const ExecLimits &limits)
+{
     CoreModel model(cfg);
-    execute(prog, &model, limits);
+    model.prepare(prog.program());
+    executeTimed(prog, model, limits);
     return model.finish();
 }
 

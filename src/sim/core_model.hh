@@ -21,6 +21,8 @@
 namespace bsyn::sim
 {
 
+class DecodedProgram;
+
 /** Microarchitecture parameters of a core. */
 struct CoreConfig
 {
@@ -72,12 +74,66 @@ class CoreModel : public ExecObserver
                      bool is_write, uint64_t raw_value = 0) override;
     void onBranch(int pc, bool taken) override;
 
+    /**
+     * Precompute the per-PC scheduling metadata (timing class, source
+     * registers, fused-load latency...) of @p prog so the timed
+     * dispatch mode (sim::executeTimed) can step the model without
+     * re-deriving any of it from the MInst per retired instruction.
+     */
+    void prepare(const isa::MachineProgram &prog);
+
+    /** Non-virtual onInstruction over prepare()d metadata. */
+    void
+    stepPrepared(int pc)
+    {
+        retirePending();
+        beginInstruction(pc, prepared[static_cast<size_t>(pc)]);
+    }
+
+    /** Non-virtual onMemAccess (width-aware cache simulation). */
+    void
+    noteMemAccess(uint64_t addr, uint32_t size, bool is_write)
+    {
+        bool l1_hit = l1.access(addr, size);
+        bool l2_hit = true;
+        if (!l1_hit && cfg.hasL2)
+            l2_hit = l2cache.access(addr, size);
+        if (is_write) {
+            pending.hasStore = true;
+            pending.storeAddr = addr >> 2; // word granularity
+            return; // stores retire without stalling the chain
+        }
+        pending.hasLoad = true;
+        pending.loadAddr = addr >> 2;
+        if (!l1_hit) {
+            pending.extraLatency +=
+                static_cast<uint64_t>(cfg.l1MissPenalty);
+            if (cfg.hasL2 && !l2_hit)
+                pending.extraLatency +=
+                    static_cast<uint64_t>(cfg.l2MissPenalty);
+        }
+    }
+
+    /** Non-virtual onBranch. */
+    void noteBranch(bool taken) { pending.taken = taken; }
+
     /** Finalize the last in-flight instruction and return the totals. */
     TimingStats finish();
 
     const CoreConfig &config() const { return cfg; }
 
   private:
+    /** Static scheduling metadata of one PC (see prepare()). */
+    struct PreparedInst
+    {
+        isa::MClass cls = isa::MClass::IntAlu;
+        int32_t dst = -1;
+        int32_t srcs[4] = {-1, -1, -1, -1};
+        int8_t numSrcs = 0;
+        bool isBranch = false;
+        bool isCallRet = false;
+        uint32_t fusedLoadLatency = 0;
+    };
     struct Pending
     {
         bool valid = false;
@@ -96,6 +152,31 @@ class CoreModel : public ExecObserver
         bool hasStore = false;
     };
 
+    /** Derive one PC's scheduling metadata from its MInst — the single
+     *  source of truth for both timing paths (prepare() caches it per
+     *  PC; the observer path derives it on the fly). */
+    PreparedInst prepareInst(const isa::MInst &mi) const;
+
+    /** Load @p p into the in-flight slot (shared by stepPrepared and
+     *  the virtual onInstruction). */
+    void
+    beginInstruction(int pc, const PreparedInst &p)
+    {
+        pending.valid = true;
+        pending.pc = pc;
+        pending.cls = p.cls;
+        pending.extraLatency = p.fusedLoadLatency;
+        pending.dst = p.dst;
+        pending.numSrcs = p.numSrcs;
+        for (int i = 0; i < p.numSrcs; ++i)
+            pending.srcs[i] = p.srcs[i];
+        pending.isBranch = p.isBranch;
+        pending.taken = false;
+        pending.isCallRet = p.isCallRet;
+        pending.hasLoad = false;
+        pending.hasStore = false;
+    }
+
     void retirePending();
     uint64_t baseLatency(isa::MClass cls) const;
     uint64_t &regReady(int r);
@@ -104,6 +185,7 @@ class CoreModel : public ExecObserver
     Cache l1;
     Cache l2cache;
     std::unique_ptr<BranchPredictor> pred;
+    std::vector<PreparedInst> prepared; ///< per PC, empty until prepare()
 
     Pending pending;
     std::vector<uint64_t> ready; ///< per-register ready cycle
@@ -134,8 +216,15 @@ class CoreModel : public ExecObserver
     std::array<FwdEntry, fwdSlots> storeReady{};
 };
 
-/** Convenience: execute @p prog under a core model; @return timing. */
+/** Convenience: execute @p prog under a core model; @return timing.
+ *  Decodes once and runs the timed dispatch mode. */
 TimingStats simulateTiming(const isa::MachineProgram &prog,
+                           const CoreConfig &cfg,
+                           const ExecLimits &limits = {});
+
+/** Timed run over an existing decode — callers sweeping one program
+ *  across several core configs (Fig 10) decode once and reuse it. */
+TimingStats simulateTiming(const DecodedProgram &prog,
                            const CoreConfig &cfg,
                            const ExecLimits &limits = {});
 

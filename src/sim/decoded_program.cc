@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "sim/core_model.hh"
 #include "sim/memory_image.hh"
 #include "sim/printf_format.hh"
 #include "sim/value_bits.hh"
@@ -308,17 +309,127 @@ fetchOperand(uint8_t mode, int32_t r, uint64_t imm, uint64_t fused,
 }
 
 /**
- * The threaded-dispatch execution engine. Observed is a compile-time
- * split: the fast path (no ExecObserver) carries no callback sites and
- * never touches the original MInst array for plain instructions.
+ * Per-dispatch-mode instrumentation, resolved at compile time: each
+ * Hooks type instantiates its own copy of the dispatch loop (its own
+ * computed-goto handler table) with the hook bodies inlined into the
+ * handlers, so the fast path carries no callback sites at all and the
+ * instrumented modes pay plain counter updates instead of virtual
+ * calls.
  */
-template <bool Observed>
+
+/** The observer-free fast path: every hook compiles away. */
+struct NullHooks
+{
+    void onInstruction(int) {}
+    void onMemRead(int, uint64_t, uint32_t, uint64_t) {}
+    void onMemWrite(int, uint64_t, uint32_t, uint64_t) {}
+    void onBranch(int, bool) {}
+};
+
+/** Generic ExecObserver dispatch (virtual call per event). */
+struct ObserverHooks
+{
+    const isa::MachineProgram &prog;
+    ExecObserver &obs;
+
+    void
+    onInstruction(int pc)
+    {
+        obs.onInstruction(pc, prog.code[static_cast<size_t>(pc)]);
+    }
+    void
+    onMemRead(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    {
+        obs.onMemAccess(pc, addr, size, false, raw);
+    }
+    void
+    onMemWrite(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    {
+        obs.onMemAccess(pc, addr, size, true, raw);
+    }
+    void
+    onBranch(int pc, bool taken)
+    {
+        obs.onBranch(pc, taken);
+    }
+};
+
+/**
+ * The fused profiling mode: dense per-PC counters plus the profiling
+ * cache, with Cache::access() inlined into the memory handlers. The
+ * branch accounting mirrors profile::BranchStats::record() exactly.
+ */
+struct ProfileHooks
+{
+    InstrumentedCounters &c;
+    Cache cache;
+
+    void
+    onInstruction(int pc)
+    {
+        ++c.execCount[static_cast<size_t>(pc)];
+    }
+    void
+    onMemRead(int pc, uint64_t addr, uint32_t size, uint64_t)
+    {
+        note(pc, addr, size);
+    }
+    void
+    onMemWrite(int pc, uint64_t addr, uint32_t size, uint64_t)
+    {
+        note(pc, addr, size);
+    }
+    void
+    onBranch(int pc, bool taken)
+    {
+        auto &b = c.branch[static_cast<size_t>(pc)];
+        ++b.executions;
+        b.taken += taken;
+        if (b.hasLast && taken != (b.lastOutcome != 0))
+            ++b.transitions;
+        b.lastOutcome = taken;
+        b.hasLast = 1;
+    }
+
+  private:
+    void
+    note(int pc, uint64_t addr, uint32_t size)
+    {
+        ++c.memAccesses[static_cast<size_t>(pc)];
+        if (!cache.access(addr, size))
+            ++c.memMisses[static_cast<size_t>(pc)];
+    }
+};
+
+/** The timed mode: a prepared CoreModel stepped non-virtually. */
+struct TimingHooks
+{
+    CoreModel &model;
+
+    void onInstruction(int pc) { model.stepPrepared(pc); }
+    void
+    onMemRead(int, uint64_t addr, uint32_t size, uint64_t)
+    {
+        model.noteMemAccess(addr, size, false);
+    }
+    void
+    onMemWrite(int, uint64_t addr, uint32_t size, uint64_t)
+    {
+        model.noteMemAccess(addr, size, true);
+    }
+    void onBranch(int, bool taken) { model.noteBranch(taken); }
+};
+
+/**
+ * The threaded-dispatch execution engine, templated over the
+ * instrumentation mode (see the Hooks types above).
+ */
+template <class Hooks>
 class Engine
 {
   public:
-    Engine(const DecodedProgram &dp, ExecObserver *obs,
-           const ExecLimits &lim)
-        : prog(dp.program()), dcode(dp.code().data()), observer(obs),
+    Engine(const DecodedProgram &dp, Hooks &h, const ExecLimits &lim)
+        : prog(dp.program()), dcode(dp.code().data()), hooks(h),
           limits(lim), mem(prog.globals, lim.stackBytes)
     {}
 
@@ -344,18 +455,14 @@ class Engine
     noteRead(int pc, uint64_t addr, uint32_t size, uint64_t raw)
     {
         ++stats.memReads;
-        if constexpr (Observed)
-            observer->onMemAccess(pc, addr, size, false, raw);
-        (void)pc;
+        hooks.onMemRead(pc, addr, size, raw);
     }
 
     void
     noteWrite(int pc, uint64_t addr, uint32_t size, uint64_t raw)
     {
         ++stats.memWrites;
-        if constexpr (Observed)
-            observer->onMemAccess(pc, addr, size, true, raw);
-        (void)pc;
+        hooks.onMemWrite(pc, addr, size, raw);
     }
 
     uint64_t
@@ -442,7 +549,7 @@ class Engine
 
     const isa::MachineProgram &prog;
     const DecodedInst *dcode;
-    ExecObserver *observer;
+    Hooks &hooks;
     ExecLimits limits;
     MemoryImage mem;
 
@@ -455,9 +562,9 @@ class Engine
     ExecStats stats;
 };
 
-template <bool Observed>
+template <class Hooks>
 ExecStats
-Engine<Observed>::run()
+Engine<Hooks>::run()
 {
     if (prog.entryFunc < 0)
         fatal("program '%s' has no main()", prog.name.c_str());
@@ -486,9 +593,7 @@ Engine<Observed>::run()
             limitExceeded(icount);                                       \
         ++icount;                                                        \
         d = &dcode[pc];                                                  \
-        if constexpr (Observed)                                          \
-            observer->onInstruction(                                     \
-                pc, prog.code[static_cast<size_t>(pc)]);                 \
+        hooks.onInstruction(pc);                                         \
     } while (0)
 
 #if BSYN_COMPUTED_GOTO
@@ -584,8 +689,7 @@ Engine<Observed>::run()
         bool taken = asU32(regs[static_cast<size_t>(d->a)]) != 0;
         ++stats.branches;
         stats.takenBranches += taken;
-        if constexpr (Observed)
-            observer->onBranch(pc, taken);
+        hooks.onBranch(pc, taken);
         pc = taken ? d->target : pc + 1;
         BSYN_NEXT();
     }
@@ -594,8 +698,7 @@ Engine<Observed>::run()
         bool taken = asU32(regs[static_cast<size_t>(d->a)]) == 0;
         ++stats.branches;
         stats.takenBranches += taken;
-        if constexpr (Observed)
-            observer->onBranch(pc, taken);
+        hooks.onBranch(pc, taken);
         pc = taken ? d->target : pc + 1;
         BSYN_NEXT();
     }
@@ -837,9 +940,33 @@ ExecStats
 execute(const DecodedProgram &prog, ExecObserver *observer,
         const ExecLimits &limits)
 {
-    if (observer)
-        return Engine<true>(prog, observer, limits).run();
-    return Engine<false>(prog, nullptr, limits).run();
+    if (observer) {
+        ObserverHooks hooks{prog.program(), *observer};
+        return Engine<ObserverHooks>(prog, hooks, limits).run();
+    }
+    NullHooks hooks;
+    return Engine<NullHooks>(prog, hooks, limits).run();
+}
+
+ExecStats
+executeInstrumented(const DecodedProgram &prog,
+                    const CacheConfig &profiling_cache,
+                    InstrumentedCounters &out, const ExecLimits &limits)
+{
+    out.execCount.assign(prog.size(), 0);
+    out.memAccesses.assign(prog.size(), 0);
+    out.memMisses.assign(prog.size(), 0);
+    out.branch.assign(prog.size(), InstrumentedCounters::Branch());
+    ProfileHooks hooks{out, Cache(profiling_cache)};
+    return Engine<ProfileHooks>(prog, hooks, limits).run();
+}
+
+ExecStats
+executeTimed(const DecodedProgram &prog, CoreModel &model,
+             const ExecLimits &limits)
+{
+    TimingHooks hooks{model};
+    return Engine<TimingHooks>(prog, hooks, limits).run();
 }
 
 } // namespace bsyn::sim

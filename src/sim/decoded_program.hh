@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "isa/machine_program.hh"
+#include "sim/cache.hh"
 #include "sim/interpreter.hh"
 
 namespace bsyn::sim
 {
+
+class CoreModel;
 
 /**
  * Precomputed handler id: the MKind/opcode/type/signedness decision
@@ -147,6 +150,59 @@ class DecodedProgram
 ExecStats execute(const DecodedProgram &prog,
                   ExecObserver *observer = nullptr,
                   const ExecLimits &limits = {});
+
+/**
+ * Dense per-PC dynamic counters filled by the instrumented dispatch
+ * mode (executeInstrumented). Everything the statistical profiler
+ * derives from the ExecObserver callback stream is reconstructible
+ * from these plus the program's static structure, so the instrumented
+ * engine never pays a virtual call per retired instruction.
+ */
+struct InstrumentedCounters
+{
+    /** Times the instruction at each PC retired. */
+    std::vector<uint64_t> execCount;
+
+    /** Data-cache accesses / misses attributed to each PC (both pure
+     *  loads/stores and fused memory operands), measured against the
+     *  profiling cache fed in execution order. */
+    std::vector<uint64_t> memAccesses;
+    std::vector<uint64_t> memMisses;
+
+    /** Per-CondBr outcome counters, same accounting as
+     *  profile::BranchStats::record(). */
+    struct Branch
+    {
+        uint64_t executions = 0;
+        uint64_t taken = 0;
+        uint64_t transitions = 0;
+        uint8_t lastOutcome = 0;
+        uint8_t hasLast = 0;
+    };
+    std::vector<Branch> branch;
+};
+
+/**
+ * Execute on the instrumented dispatch mode: identical semantics and
+ * ExecStats to execute(), plus @p out filled with the dense counters a
+ * cache of geometry @p profiling_cache observes. The per-access cache
+ * lookup is inlined into the memory handlers; no ExecObserver is
+ * involved.
+ */
+ExecStats executeInstrumented(const DecodedProgram &prog,
+                              const CacheConfig &profiling_cache,
+                              InstrumentedCounters &out,
+                              const ExecLimits &limits = {});
+
+/**
+ * Execute under @p model (timing) on the non-virtual timed dispatch
+ * mode: the model must have been prepared for this program
+ * (CoreModel::prepare), so each step consumes precomputed per-PC
+ * metadata instead of re-deriving operands from the MInst. Call
+ * model.finish() afterwards, as with the observer path.
+ */
+ExecStats executeTimed(const DecodedProgram &prog, CoreModel &model,
+                       const ExecLimits &limits = {});
 
 } // namespace bsyn::sim
 

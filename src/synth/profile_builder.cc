@@ -107,6 +107,12 @@ ProfileBuilder::build() const
             br.op = ir::Opcode::Nop;
             br.cls = isa::MClass::Branch;
             br.isControl = true;
+            // Measured profiles annotate every CondBr descriptor with
+            // its own rates; declared ones carry them too so consumers
+            // can treat both shapes uniformly.
+            br.branchExecutions = spec.execCount;
+            br.takenRate = spec.takenRate;
+            br.transitionRate = spec.transitionRate;
             b.code.push_back(br);
         } else {
             b.term = SfglTerm::Jump;

@@ -46,6 +46,73 @@ TEST(Cache, LruEviction)
     EXPECT_FALSE(c.access(0x1000)); // was evicted
 }
 
+TEST(Cache, StraddlingAccessTouchesBothLines)
+{
+    Cache c(cfg(1024));
+    // 4 bytes starting 2 bytes before a line boundary: lines 0x1000
+    // and 0x1020 must both be brought in.
+    EXPECT_FALSE(c.access(0x101E, 4));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x1020));
+    // Both lines resident: the same straddling access now hits.
+    EXPECT_TRUE(c.access(0x101E, 4));
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, StraddleHitsOnlyIfEveryLineHits)
+{
+    Cache c(cfg(1024));
+    c.access(0x1000); // first line resident, second cold
+    EXPECT_FALSE(c.access(0x101C, 8));
+    EXPECT_TRUE(c.probe(0x1020)); // second line allocated by the miss
+}
+
+TEST(Cache, ContainedAccessIsOneLine)
+{
+    Cache c(cfg(1024));
+    EXPECT_FALSE(c.access(0x1008, 8)); // fully inside one 32B line
+    EXPECT_EQ(c.stats().accesses, 1u);
+    EXPECT_TRUE(c.access(0x1008, 8));
+    EXPECT_EQ(c.stats().accesses, 2u);
+}
+
+TEST(Cache, WideAccessOnNarrowLinesTouchesEveryLine)
+{
+    // 8-byte access on a 4-byte-line cache: two lines even when the
+    // address is aligned.
+    Cache c(cfg(64, 4, 1));
+    EXPECT_FALSE(c.access(0x1000, 8));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x1004));
+}
+
+TEST(Cache, StraddleThrashesSingleSetCache)
+{
+    // One set, one way: the two lines of a straddling access evict
+    // each other, so it misses every time — the width-ignoring access
+    // would hit from the second access on.
+    Cache c(cfg(32, 32, 1));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(c.access(0x101C, 8));
+    EXPECT_EQ(c.stats().accesses, 16u);
+    EXPECT_EQ(c.stats().misses, 16u);
+}
+
+TEST(CacheSweep, WidthAwareFeed)
+{
+    CacheSweep sweep({cfg(1024), cfg(64, 32, 2)});
+    sweep.access(0x101E, 4);
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        EXPECT_EQ(sweep.at(i).stats().accesses, 2u);
+        EXPECT_TRUE(sweep.at(i).probe(0x1020));
+    }
+}
+
 TEST(Cache, ProbeDoesNotDisturb)
 {
     Cache c(cfg(1024));

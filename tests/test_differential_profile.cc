@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Differential tests for the fused instrumented profiling mode: every
+ * suite workload and the shared fuzz corpus are profiled by both the
+ * golden ExecObserver-based profiler and the fused dense-counter mode,
+ * at -O0 and -O2, and the results — serialized profile JSON, SFGL edge
+ * sets, and the ExecStats of the underlying run — must be identical
+ * byte for byte. The profile JSON is the paper's distribution
+ * artifact; this suite is what lets the fast mode produce it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/lowering.hh"
+#include "lang/frontend.hh"
+#include "opt/pipeline.hh"
+#include "profile/profiler.hh"
+#include "sim/decoded_program.hh"
+#include "workloads/suite.hh"
+
+#include "program_fuzzer.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+/** One instance per benchmark — the profile differential does not need
+ *  every input size of the same kernel. */
+const std::vector<workloads::Workload> &
+representativeSuite()
+{
+    static const std::vector<workloads::Workload> suite = [] {
+        std::vector<workloads::Workload> out;
+        std::string last;
+        for (const auto &w : workloads::mibenchSuite()) {
+            if (w.benchmark == last)
+                continue;
+            last = w.benchmark;
+            out.push_back(w);
+        }
+        return out;
+    }();
+    return suite;
+}
+
+profile::ProfileOptions
+observerOptions()
+{
+    profile::ProfileOptions opts;
+    opts.engine = profile::ProfileEngine::Observer;
+    return opts;
+}
+
+/** Flatten a profile's SFGL edges into comparable (from, to, count)
+ *  triples. */
+std::vector<std::tuple<int, int, uint64_t>>
+edgeSet(const profile::StatisticalProfile &prof)
+{
+    std::vector<std::tuple<int, int, uint64_t>> out;
+    for (const auto &b : prof.sfgl.blocks)
+        for (const auto &e : b.succs)
+            out.emplace_back(b.id, e.to, e.count);
+    return out;
+}
+
+void
+expectProfilesIdentical(const ir::Module &m, const std::string &label)
+{
+    auto fused = profile::profileModule(m); // default: fused
+    auto ref = profile::profileModule(m, observerOptions());
+    EXPECT_EQ(ref.serialize(), fused.serialize()) << label;
+    EXPECT_EQ(edgeSet(ref), edgeSet(fused)) << label;
+    EXPECT_EQ(ref.dynamicInstructions, fused.dynamicInstructions)
+        << label;
+}
+
+class WorkloadProfileDifferential
+    : public ::testing::TestWithParam<std::tuple<size_t, opt::OptLevel>>
+{};
+
+TEST_P(WorkloadProfileDifferential, ProfileJsonAndEdgesIdentical)
+{
+    const auto &[idx, level] = GetParam();
+    const workloads::Workload &w = representativeSuite()[idx];
+    ir::Module m = lang::compile(w.source, w.name());
+    opt::optimize(m, level);
+    expectProfilesIdentical(m, w.name());
+}
+
+TEST_P(WorkloadProfileDifferential, InstrumentedExecStatsIdentical)
+{
+    const auto &[idx, level] = GetParam();
+    const workloads::Workload &w = representativeSuite()[idx];
+    ir::Module m = lang::compile(w.source, w.name());
+    opt::optimize(m, level);
+    // Default lowering (fusion on) so fused memory operands exercise
+    // the instrumented handlers too.
+    isa::MachineProgram prog = isa::lower(m, isa::targetX86());
+
+    sim::ExecStats ref = sim::executeReference(prog);
+    sim::DecodedProgram decoded(prog);
+    sim::InstrumentedCounters c;
+    sim::ExecStats inst =
+        sim::executeInstrumented(decoded, sim::CacheConfig(), c);
+    EXPECT_TRUE(ref == inst) << w.name();
+
+    // The dense counters must agree with the aggregate stats.
+    uint64_t retired = 0, accesses = 0, branches = 0, taken = 0;
+    for (size_t pc = 0; pc < prog.size(); ++pc) {
+        retired += c.execCount[pc];
+        accesses += c.memAccesses[pc];
+        branches += c.branch[pc].executions;
+        taken += c.branch[pc].taken;
+    }
+    EXPECT_EQ(retired, inst.instructions) << w.name();
+    EXPECT_EQ(accesses, inst.memReads + inst.memWrites) << w.name();
+    EXPECT_EQ(branches, inst.branches) << w.name();
+    EXPECT_EQ(taken, inst.takenBranches) << w.name();
+}
+
+std::string
+profileDiffName(const ::testing::TestParamInfo<
+                WorkloadProfileDifferential::ParamType> &info)
+{
+    const auto &[idx, level] = info.param;
+    std::string name = representativeSuite()[idx].benchmark;
+    for (char &c : name)
+        if (c == '/' || c == '-')
+            c = '_';
+    return name + "_" + opt::optLevelName(level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadProfileDifferential,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, representativeSuite().size()),
+        ::testing::Values(opt::OptLevel::O0, opt::OptLevel::O2)),
+    profileDiffName);
+
+// The same seed range as test_fuzz / test_differential_engine — one
+// corpus, three differential properties.
+class FuzzProfileDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FuzzProfileDifferential, ProfileJsonIdenticalAtO0AndO2)
+{
+    ProgramFuzzer fuzzer(GetParam());
+    std::string src = fuzzer.generate();
+    for (auto level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+        ir::Module m = lang::compile(src, "fuzz");
+        opt::optimize(m, level);
+        auto fused = profile::profileModule(m);
+        auto ref = profile::profileModule(m, observerOptions());
+        EXPECT_EQ(ref.serialize(), fused.serialize())
+            << "seed " << GetParam() << " at "
+            << opt::optLevelName(level) << "\n"
+            << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProfileDifferential,
+                         ::testing::Range<uint64_t>(1, 41));
+
+/** CI smoke check: fused and reference must agree on one real
+ *  workload (filtered as ProfileSmoke.* by the workflow). */
+TEST(ProfileSmoke, FusedMatchesReferenceOnShaSmall)
+{
+    const auto &w = workloads::findWorkload("sha/small");
+    ir::Module m = lang::compile(w.source, w.name());
+    expectProfilesIdentical(m, w.name());
+
+    // Belt and braces: the golden observer on the *reference*
+    // decode-per-step interpreter agrees too.
+    profile::ProfileOptions golden = observerOptions();
+    golden.limits.engine = sim::ExecEngine::Reference;
+    EXPECT_EQ(profile::profileModule(m, golden).serialize(),
+              profile::profileModule(m).serialize());
+}
+
+} // namespace
+} // namespace bsyn

@@ -184,10 +184,10 @@ TEST(EndToEnd, CloneTracksCachePressureDirection)
             sim::CacheSweep sweep{sim::CacheSweep::paperSweep()};
             void onInstruction(int, const isa::MInst &) override {}
             void
-            onMemAccess(int, uint64_t addr, uint32_t, bool,
+            onMemAccess(int, uint64_t addr, uint32_t size, bool,
                         uint64_t) override
             {
-                sweep.access(addr);
+                sweep.access(addr, size);
             }
             void onBranch(int, bool) override {}
         } obs;

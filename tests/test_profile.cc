@@ -1,5 +1,6 @@
 /** @file Profiler/SFGL tests: exact counts on small programs, branch
- *  rates, memory classes, serialization. */
+ *  rates, memory classes, per-CondBr annotations, profiling edge
+ *  cases, serialization. */
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,22 @@ profileSource(const char *src)
 {
     ir::Module m = lang::compile(src, "p");
     return profile::profileModule(m);
+}
+
+/** Profile on both collection engines and assert identity; @return the
+ *  (shared) profile. */
+profile::StatisticalProfile
+profileBothEngines(const ir::Module &m,
+                   const profile::ProfileOptions &base = {})
+{
+    profile::ProfileOptions fused = base;
+    fused.engine = profile::ProfileEngine::Fused;
+    profile::ProfileOptions obs = base;
+    obs.engine = profile::ProfileEngine::Observer;
+    auto pf = profile::profileModule(m, fused);
+    auto po = profile::profileModule(m, obs);
+    EXPECT_EQ(po.serialize(), pf.serialize());
+    return pf;
 }
 
 const profile::SfglLoop *
@@ -216,6 +233,300 @@ int main() {
                          prof.sfgl.loops[i].avgIterations);
     }
     EXPECT_EQ(back.mix.total(), prof.mix.total());
+}
+
+// ------------------------------------------------------------------
+// Multi-CondBr blocks: profileWorkload must annotate every executed
+// conditional branch of a block, not just the first one it finds.
+// Normal lowering emits at most one CondBr per IR block, so the
+// programs are built by hand (profileWorkload only needs the module
+// for loop detection; an empty one means "no loops").
+// ------------------------------------------------------------------
+
+isa::MachineProgram
+twoCondBrProgram()
+{
+    using isa::MInst;
+    using isa::MKind;
+    isa::MachineProgram prog;
+    prog.name = "twobr";
+
+    auto inst = [&](MKind kind, int ir_block) {
+        MInst mi;
+        mi.kind = kind;
+        mi.funcId = 0;
+        mi.irBlockId = ir_block;
+        prog.code.push_back(mi);
+        return &prog.code.back();
+    };
+
+    // Block 0 (pcs 0..3) carries two conditional branches.
+    MInst *mov = inst(MKind::Compute, 0); // pc0: r0 = 1
+    mov->op = ir::Opcode::MovImm;
+    mov->dst = 0;
+    mov->imm = 1;
+    MInst *br1 = inst(MKind::CondBr, 0); // pc1: if (r0) goto 3
+    br1->src0 = 0;
+    br1->target = 3;
+    MInst *dead = inst(MKind::Compute, 0); // pc2: r1 = 9 (skipped)
+    dead->op = ir::Opcode::MovImm;
+    dead->dst = 1;
+    dead->imm = 9;
+    MInst *br2 = inst(MKind::CondBr, 0); // pc3: if (!r0) goto 5
+    br2->src0 = 0;
+    br2->brIfZero = true;
+    br2->target = 5;
+    inst(MKind::Ret, 1)->src0 = -1; // pc4: block 1
+    inst(MKind::Ret, 2)->src0 = -1; // pc5: block 2
+
+    isa::MFunction fn;
+    fn.name = "main";
+    fn.entry = 0;
+    fn.end = 6;
+    fn.numRegs = 2;
+    fn.frameSize = 0;
+    fn.numParams = 0;
+    prog.funcs.push_back(fn);
+    prog.entryFunc = 0;
+    return prog;
+}
+
+TEST(Profiler, AnnotatesEveryCondBrInABlock)
+{
+    isa::MachineProgram prog = twoCondBrProgram();
+    ir::Module mod; // no functions: no loop annotation needed
+    auto prof = profile::profileWorkload(mod, prog);
+
+    // Path: pc0, pc1 (taken -> pc3), pc3 (not taken), pc4 ret.
+    ASSERT_EQ(prof.sfgl.blocks.size(), 3u);
+    const auto &blk = prof.sfgl.blocks[0];
+    EXPECT_EQ(blk.term, profile::SfglTerm::Branch);
+    EXPECT_EQ(blk.execCount, 1u);
+
+    // Both CondBrs carry their own stats: the first taken 1/1, the
+    // second (which the old scan silently dropped) taken 0/1.
+    ASSERT_EQ(blk.code.size(), 4u);
+    EXPECT_EQ(blk.code[1].branchExecutions, 1u);
+    EXPECT_DOUBLE_EQ(blk.code[1].takenRate, 1.0);
+    EXPECT_EQ(blk.code[3].branchExecutions, 1u);
+    EXPECT_DOUBLE_EQ(blk.code[3].takenRate, 0.0);
+
+    // Block-level rates summarize the first executed CondBr.
+    EXPECT_DOUBLE_EQ(blk.takenRate, 1.0);
+
+    // The skipped MovImm retired zero times: block exec, edges and mix
+    // must reflect the taken shortcut (4 retired instructions total).
+    EXPECT_EQ(prof.dynamicInstructions, 4u);
+
+    // Fused and observer collection agree on the hand-built program.
+    profile::ProfileOptions obs;
+    obs.engine = profile::ProfileEngine::Observer;
+    EXPECT_EQ(profile::profileWorkload(mod, prog, obs).serialize(),
+              prof.serialize());
+}
+
+TEST(Profiler, DeadFirstCondBrDoesNotHideLaterBranchStats)
+{
+    // Enter the block mid-way (entry = 2): the first CondBr never
+    // executes; the second does. The old scan broke at the first
+    // CondBr and left the block unannotated.
+    isa::MachineProgram prog = twoCondBrProgram();
+    prog.funcs[0].entry = 2;
+    ir::Module mod;
+    auto prof = profile::profileWorkload(mod, prog);
+
+    // Path: pc2, pc3 (r0 == 0 -> taken to pc5), pc5 ret.
+    const auto &blk = prof.sfgl.blocks[0];
+    EXPECT_EQ(blk.code[1].branchExecutions, 0u);
+    EXPECT_EQ(blk.code[3].branchExecutions, 1u);
+    EXPECT_DOUBLE_EQ(blk.code[3].takenRate, 1.0);
+    EXPECT_DOUBLE_EQ(blk.takenRate, 1.0); // from the executed CondBr
+
+    // Entered mid-run: never a block start, so exec stays 0.
+    EXPECT_EQ(blk.execCount, 0u);
+
+    profile::ProfileOptions obs;
+    obs.engine = profile::ProfileEngine::Observer;
+    EXPECT_EQ(profile::profileWorkload(mod, prog, obs).serialize(),
+              prof.serialize());
+}
+
+// ------------------------------------------------------------------
+// Profiling edge cases.
+// ------------------------------------------------------------------
+
+TEST(Profiler, NeverEnteredLoopKeepsZeroEntries)
+{
+    ir::Module m = lang::compile(R"(
+uint g;
+int main() {
+  int i;
+  if (g > 5u) {
+    for (i = 0; i < 10; i++) g = g + 1;
+  }
+  printf("%u\n", g);
+  return 0;
+})",
+                                 "p");
+    auto prof = profileBothEngines(m);
+    bool found_dead_loop = false;
+    for (const auto &l : prof.sfgl.loops) {
+        if (prof.sfgl.blocks[static_cast<size_t>(l.header)].execCount ==
+            0) {
+            found_dead_loop = true;
+            EXPECT_EQ(l.entries, 0u);
+            EXPECT_DOUBLE_EQ(l.avgIterations, 0.0);
+        }
+    }
+    EXPECT_TRUE(found_dead_loop);
+}
+
+TEST(Profiler, ReturnsLandingMidBlockDoNotRetriggerBlockStarts)
+{
+    ir::Module m = lang::compile(R"(
+uint g;
+uint bump(uint x) { return x + 1; }
+int main() {
+  int i;
+  for (i = 0; i < 50; i++) g = bump(g) + bump(g);
+  printf("%u\n", g);
+  return 0;
+})",
+                                 "p");
+    auto prof = profileBothEngines(m);
+    // The loop body block contains two calls; returning into it twice
+    // per iteration must not inflate its execution count past 50.
+    bool found_body = false;
+    for (const auto &b : prof.sfgl.blocks) {
+        if (prof.sfgl.funcNames[static_cast<size_t>(b.funcId)] != "main")
+            continue;
+        size_t calls = 0;
+        for (const auto &d : b.code)
+            if (d.cls == isa::MClass::Call)
+                ++calls;
+        if (calls >= 2) {
+            found_body = true;
+            EXPECT_EQ(b.execCount, 50u);
+        }
+    }
+    EXPECT_TRUE(found_body);
+}
+
+TEST(Profiler, NeverExecutedMemoryPcHasMissClassZero)
+{
+    profile::MemAccessStats idle;
+    EXPECT_EQ(idle.missClass(), 0); // zero accesses: class 0 by fiat
+
+    ir::Module m = lang::compile(R"(
+uint g[8];
+uint never;
+int main() {
+  if (never != 0u) g[3] = 7u;
+  printf("%u\n", g[3]);
+  return 0;
+})",
+                                 "p");
+    auto prof = profileBothEngines(m);
+    bool found_dead_store = false;
+    for (const auto &b : prof.sfgl.blocks) {
+        if (b.execCount != 0)
+            continue;
+        for (const auto &d : b.code)
+            if (d.writesMem) {
+                found_dead_store = true;
+                EXPECT_EQ(d.missClass, 0);
+            }
+    }
+    EXPECT_TRUE(found_dead_store);
+}
+
+TEST(Profiler, LineStraddlingAccessShowsUpInMissClass)
+{
+    // An f64 access spans two lines of a 4-byte-line cache. On a
+    // single-set cache the two halves evict each other, so every
+    // access misses: the straddle alone drives the load to class 8.
+    // (The width-ignoring access of old touched only the first line
+    // and classified the same load as 0.)
+    ir::Module m = lang::compile(R"(
+double gd;
+int main() {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 200; i++) s = s + gd;
+  printf("%d\n", (int)s);
+  return 0;
+})",
+                                 "p");
+
+    profile::ProfileOptions thrash;
+    thrash.profilingCache = sim::CacheConfig{4, 4, 1}; // one 4B line
+    auto prof = profileBothEngines(m, thrash);
+    bool straddle_missed = false;
+    for (const auto &b : prof.sfgl.blocks) {
+        if (b.execCount < 200)
+            continue;
+        for (const auto &d : b.code)
+            if (d.readsMem && d.type == ir::Type::F64 &&
+                d.missClass == 8)
+                straddle_missed = true;
+    }
+    EXPECT_TRUE(straddle_missed);
+
+    // Same program on 8-byte lines: each f64 access fits one line and
+    // the resident variable hits, so the load classifies as 0.
+    profile::ProfileOptions roomy;
+    roomy.profilingCache = sim::CacheConfig{8 * 1024, 8, 4};
+    auto prof2 = profileBothEngines(m, roomy);
+    bool resident = false;
+    for (const auto &b : prof2.sfgl.blocks) {
+        if (b.execCount < 200)
+            continue;
+        for (const auto &d : b.code)
+            if (d.readsMem && d.type == ir::Type::F64 && d.missClass == 0)
+                resident = true;
+    }
+    EXPECT_TRUE(resident);
+}
+
+TEST(Sfgl, LoadsPreV2DescriptorsWithoutBranchFields)
+{
+    // Profiles are the distribution artifact: a v1 file (5-element
+    // descriptor arrays, no per-branch annotation) must still load,
+    // with the new fields at their defaults.
+    Json d = Json::array();
+    d.push(Json(static_cast<int>(ir::Opcode::Load)));
+    d.push(Json(static_cast<int>(ir::Type::U32)));
+    d.push(Json(static_cast<int>(isa::MClass::Load)));
+    d.push(Json(1)); // readsMem
+    d.push(Json(3)); // missClass
+    Json code = Json::array();
+    code.push(std::move(d));
+    Json jb = Json::object();
+    jb.set("id", Json(0));
+    jb.set("func", Json(0));
+    jb.set("irBlock", Json(0));
+    jb.set("exec", Json(5));
+    jb.set("code", std::move(code));
+    jb.set("succs", Json::array());
+    jb.set("term", Json(0));
+    jb.set("takenRate", Json(0.0));
+    jb.set("transitionRate", Json(0.0));
+    jb.set("easy", Json(true));
+    jb.set("loop", Json(-1));
+    Json blocks = Json::array();
+    blocks.push(std::move(jb));
+    Json root = Json::object();
+    root.set("blocks", std::move(blocks));
+    root.set("loops", Json::array());
+    root.set("funcNames", Json::array());
+
+    auto g = profile::Sfgl::fromJson(root);
+    ASSERT_EQ(g.blocks.size(), 1u);
+    ASSERT_EQ(g.blocks[0].code.size(), 1u);
+    EXPECT_EQ(g.blocks[0].code[0].missClass, 3);
+    EXPECT_TRUE(g.blocks[0].code[0].readsMem);
+    EXPECT_EQ(g.blocks[0].code[0].branchExecutions, 0u);
+    EXPECT_DOUBLE_EQ(g.blocks[0].code[0].takenRate, 0.0);
 }
 
 TEST(Sfgl, DynamicInstructionAccounting)
