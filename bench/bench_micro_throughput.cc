@@ -10,6 +10,7 @@
 
 #include "bench_common.hh"
 
+#include "gen/registry.hh"
 #include "sim/decoded_program.hh"
 #include "similarity/report.hh"
 
@@ -98,6 +99,29 @@ BM_DecodeProgram(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DecodeProgram);
+
+void
+BM_GeneratedPointerChaseThroughput(benchmark::State &state)
+{
+    // Interpreter throughput on a generated non-MiBench shape: a
+    // dependent-load pointer chase (every iteration serializes on the
+    // previous load), L1-resident so the number tracks dispatch cost,
+    // not simulated-cache behavior.
+    auto w = gen::Registry::global().require("pointer_chase").make(
+        {{"nodes", 1024}, {"steps", 100000}}, 1);
+    ir::Module m = lang::compile(w.source, "pchase");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto stats = sim::execute(decoded);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GeneratedPointerChaseThroughput);
 
 void
 BM_InstrumentedThroughput(benchmark::State &state)

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * branch_maze — irregular, data-dependent control flow. Two fixed
+ * control branches target the requested taken rate (iid draws against
+ * `taken_pct`) and transition rate (a Markov state that flips with
+ * probability `trans_pct`, so consecutive outcomes of the
+ * state-controlled branch differ at that rate). `sites` adds further
+ * seed-derived branch sites, each keyed off different bits of the
+ * per-iteration random draw with its own threshold around the target,
+ * so the static branch population is decorrelated and hard for simple
+ * predictors.
+ */
+
+#include "gen/families.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/mirror.hh"
+#include "support/rng.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+/** One generated branch site: both the emitted MiniC text and the C++
+ *  mirror interpret this same record, so they cannot drift. */
+struct Site
+{
+    enum class Op { AddC, XorC, AddShifted, SubMasked };
+
+    uint32_t shift = 0;  ///< which bits of r drive the condition
+    uint32_t thresh = 0; ///< taken when ((r >> shift) % 100) < thresh
+    Op thenOp = Op::AddC;
+    Op elseOp = Op::XorC;
+    uint32_t thenArg = 0;
+    uint32_t elseArg = 0;
+};
+
+uint32_t siteArg(Site::Op op, Rng &rng);
+
+std::vector<Site>
+deriveSites(long long count, long long takenPct, uint64_t seed)
+{
+    // Structure (not just data) is seed-driven: thresholds scatter
+    // around the target and each site keys off its own bit window.
+    Rng rng(seed ^ 0x6272616e63686dULL); // "branchm"
+    std::vector<Site> sites;
+    for (long long s = 0; s < count; ++s) {
+        Site site;
+        site.shift = static_cast<uint32_t>(rng.nextRange(0, 16));
+        long long delta = rng.nextRange(-20, 20);
+        site.thresh = static_cast<uint32_t>(
+            std::clamp<long long>(takenPct + delta, 0, 100));
+        site.thenOp = static_cast<Site::Op>(rng.nextRange(0, 3));
+        site.elseOp = static_cast<Site::Op>(rng.nextRange(0, 3));
+        site.thenArg = siteArg(site.thenOp, rng);
+        site.elseArg = siteArg(site.elseOp, rng);
+        sites.push_back(site);
+    }
+    return sites;
+}
+
+uint32_t
+siteArg(Site::Op op, Rng &rng)
+{
+    switch (op) {
+      case Site::Op::AddC:
+      case Site::Op::XorC:
+        return static_cast<uint32_t>(rng.nextRange(1, 0xffff));
+      case Site::Op::AddShifted:
+        return static_cast<uint32_t>(rng.nextRange(1, 12)); // shift
+      case Site::Op::SubMasked:
+        return (1u << rng.nextRange(2, 6)) - 1; // mask
+    }
+    return 1;
+}
+
+/** MiniC statement for one arm. */
+std::string
+armText(Site::Op op, uint32_t arg)
+{
+    switch (op) {
+      case Site::Op::AddC:
+        return strprintf("acc = acc + %uu;", arg);
+      case Site::Op::XorC:
+        return strprintf("acc = acc ^ %uu;", arg);
+      case Site::Op::AddShifted:
+        return strprintf("acc = acc + (r >> %u);", arg);
+      case Site::Op::SubMasked:
+        return strprintf("acc = acc - (r & %uu);", arg);
+    }
+    return "acc = acc;";
+}
+
+/** Mirror of one arm. */
+uint32_t
+armApply(Site::Op op, uint32_t arg, uint32_t acc, uint32_t r)
+{
+    switch (op) {
+      case Site::Op::AddC:
+        return acc + arg;
+      case Site::Op::XorC:
+        return acc ^ arg;
+      case Site::Op::AddShifted:
+        return acc + (r >> arg);
+      case Site::Op::SubMasked:
+        return acc - (r & arg);
+    }
+    return acc;
+}
+
+class BranchMazeFamily : public Family
+{
+  public:
+    std::string name() const override { return "branch_maze"; }
+
+    std::string
+    description() const override
+    {
+        return "irregular data-dependent control flow with tunable "
+               "taken-rate and transition-rate targets across "
+               "seed-derived branch sites";
+    }
+
+    std::vector<KnobSpec>
+    knobs() const override
+    {
+        return {
+            {"sites", "extra seed-derived branch sites in the loop body",
+             6, 0, 12},
+            {"iters", "loop iterations (every site branches once per "
+                      "iteration)",
+             60000, 1000, 2000000},
+            {"taken_pct", "target taken rate of the iid branch sites "
+                          "(percent)",
+             65, 0, 100},
+            {"trans_pct", "target transition rate of the Markov-state "
+                          "branch (percent)",
+             30, 0, 100},
+        };
+    }
+
+    std::vector<KnobValues>
+    presets() const override
+    {
+        return {
+            {},                                          // default mix
+            {{"taken_pct", 92}, {"trans_pct", 6}},       // predictable
+            {{"taken_pct", 50}, {"trans_pct", 50},
+             {"sites", 10}},                             // adversarial
+        };
+    }
+
+    workloads::Workload
+    instantiate(const KnobValues &knobs, uint64_t seed) const override
+    {
+        const long long sites = knobs.at("sites");
+        const long long iters = knobs.at("iters");
+        const long long taken = knobs.at("taken_pct");
+        const long long trans = knobs.at("trans_pct");
+        const uint32_t s32 = programSeed(seed);
+        const std::vector<Site> derived =
+            deriveSites(sites, taken, seed);
+
+        std::string body;
+        for (const auto &site : derived) {
+            body += strprintf(
+                "    if (((r >> %u) %% 100u) < %uu) { %s } "
+                "else { %s }\n",
+                site.shift, site.thresh,
+                armText(site.thenOp, site.thenArg).c_str(),
+                armText(site.elseOp, site.elseArg).c_str());
+        }
+
+        workloads::Workload w;
+        w.benchmark = name();
+        w.input = instanceInput(knobs, seed);
+        w.source = strprintf(R"(uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525u + 1013904223u;
+  return rngState;
+}
+
+int main() {
+  int i;
+  int state;
+  uint acc;
+  acc = 0x1d5cu;
+  state = 0;
+  rngState = %uu;
+  for (i = 0; i < %lld; i++) {
+    uint r = nextRand();
+    uint d = nextRand();
+    if ((r %% 100u) < %lldu) acc = acc + 3u; else acc = acc ^ 0x5bd1u;
+    if ((d %% 100u) < %lldu) state = 1 - state;
+    if (state > 0) acc = acc + (r & 7u); else acc = acc ^ (r >> 5);
+%s  }
+  printf("branch_maze=%%u\n", acc);
+  return (int)(acc & 255u);
+}
+)",
+                             s32, iters, taken, trans, body.c_str());
+        w.expectedOutput = strprintf(
+            "branch_maze=%u",
+            expected(derived, iters, taken, trans, s32));
+        return w;
+    }
+
+  private:
+    static uint32_t
+    expected(const std::vector<Site> &sites, long long iters,
+             long long taken, long long trans, uint32_t s32)
+    {
+        uint32_t state32 = s32;
+        uint32_t acc = 0x1d5cu;
+        int state = 0;
+        for (long long i = 0; i < iters; ++i) {
+            uint32_t r = mirror::lcg(state32);
+            uint32_t d = mirror::lcg(state32);
+            if ((r % 100u) < static_cast<uint32_t>(taken))
+                acc = acc + 3u;
+            else
+                acc = acc ^ 0x5bd1u;
+            if ((d % 100u) < static_cast<uint32_t>(trans))
+                state = 1 - state;
+            if (state > 0)
+                acc = acc + (r & 7u);
+            else
+                acc = acc ^ (r >> 5);
+            for (const auto &s : sites) {
+                if (((r >> s.shift) % 100u) < s.thresh)
+                    acc = armApply(s.thenOp, s.thenArg, acc, r);
+                else
+                    acc = armApply(s.elseOp, s.elseArg, acc, r);
+            }
+        }
+        return acc;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Family>
+makeBranchMazeFamily()
+{
+    return std::make_unique<BranchMazeFamily>();
+}
+
+} // namespace bsyn::gen

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Factories for the built-in workload families (one .cc each):
+ *
+ *   pointer_chase — linked-node graph traversal; Sattolo-shuffled or
+ *       sequential successor ring, footprint from L1-resident to
+ *       L2-thrashing.
+ *   branch_maze   — irregular data-dependent control flow with tunable
+ *       taken-rate and transition-rate targets per branch site.
+ *   fp_kernel     — FLOP-dense ping-pong stencil sweeps with a running
+ *       reduction (tunable radius and array size).
+ *   stream_mix    — strided + gathered memory streams with tunable
+ *       stride, working set and gather fraction.
+ *   phase_shift   — multi-phase programs whose instruction mix and
+ *       miss rates drift between phases (ALU / FP / memory / branch
+ *       phases); the first workloads whose profiles are not
+ *       stationary.
+ */
+
+#ifndef BSYN_GEN_FAMILIES_HH
+#define BSYN_GEN_FAMILIES_HH
+
+#include <memory>
+
+#include "gen/family.hh"
+
+namespace bsyn::gen
+{
+
+std::unique_ptr<Family> makePointerChaseFamily();
+std::unique_ptr<Family> makeBranchMazeFamily();
+std::unique_ptr<Family> makeFpKernelFamily();
+std::unique_ptr<Family> makeStreamMixFamily();
+std::unique_ptr<Family> makePhaseShiftFamily();
+
+} // namespace bsyn::gen
+
+#endif // BSYN_GEN_FAMILIES_HH

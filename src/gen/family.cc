@@ -1,0 +1,145 @@
+#include "gen/family.hh"
+
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+KnobValues
+Family::resolve(const KnobValues &overrides) const
+{
+    const std::vector<KnobSpec> schema = knobs();
+    for (const auto &kv : overrides) {
+        const KnobSpec *spec = nullptr;
+        for (const auto &k : schema)
+            if (k.name == kv.first)
+                spec = &k;
+        if (!spec) {
+            std::vector<std::string> names;
+            for (const auto &k : schema)
+                names.push_back(k.name);
+            fatal("family '%s' has no knob '%s' (knobs: %s)",
+                  name().c_str(), kv.first.c_str(),
+                  join(names, ", ").c_str());
+        }
+        if (kv.second < spec->min || kv.second > spec->max)
+            fatal("family '%s': knob %s=%lld out of range [%lld, %lld]",
+                  name().c_str(), kv.first.c_str(),
+                  static_cast<long long>(kv.second),
+                  static_cast<long long>(spec->min),
+                  static_cast<long long>(spec->max));
+    }
+    KnobValues resolved;
+    for (const auto &k : schema) {
+        auto it = overrides.find(k.name);
+        resolved[k.name] = it != overrides.end() ? it->second : k.def;
+    }
+    return resolved;
+}
+
+workloads::Workload
+Family::make(const KnobValues &overrides, uint64_t seed) const
+{
+    return instantiate(resolve(overrides), seed);
+}
+
+std::string
+Family::instanceInput(const KnobValues &resolved, uint64_t seed) const
+{
+    std::vector<std::string> parts;
+    for (const auto &k : knobs()) {
+        auto it = resolved.find(k.name);
+        if (it == resolved.end())
+            fatal("family '%s': instanceInput() needs resolved knobs "
+                  "(missing '%s')",
+                  name().c_str(), k.name.c_str());
+        parts.push_back(strprintf("%s=%lld", k.name.c_str(),
+                                  static_cast<long long>(it->second)));
+    }
+    parts.push_back(strprintf(
+        "seed=%llu", static_cast<unsigned long long>(seed)));
+    return join(parts, ",");
+}
+
+InstanceSpec
+parseSpec(const std::string &text)
+{
+    InstanceSpec spec;
+    // "family/k=v,..." (instance-name form) or "family,k=v,...".
+    std::string rest;
+    size_t slash = text.find('/');
+    size_t comma = text.find(',');
+    size_t cut = std::min(slash, comma);
+    if (cut == std::string::npos) {
+        spec.family = trim(text);
+    } else {
+        spec.family = trim(text.substr(0, cut));
+        rest = text.substr(cut + 1);
+    }
+    if (spec.family.empty())
+        fatal("empty family name in spec '%s'", text.c_str());
+
+    if (trim(rest).empty())
+        return spec;
+    for (const auto &field : split(rest, ',')) {
+        std::string kv = trim(field);
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size())
+            fatal("malformed knob assignment '%s' in spec '%s' "
+                  "(expected knob=value)",
+                  kv.c_str(), text.c_str());
+        std::string key = trim(kv.substr(0, eq));
+        std::string val = trim(kv.substr(eq + 1));
+        bool neg = !val.empty() && val[0] == '-';
+        std::string digits = neg ? val.substr(1) : val;
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            fatal("malformed knob value '%s' for '%s' in spec '%s'",
+                  val.c_str(), key.c_str(), text.c_str());
+        if (key == "seed") {
+            // Seeds span the full uint64 range (derived sample seeds
+            // regularly exceed int64), so they get their own parse —
+            // the canonical name a sample prints must round-trip.
+            if (neg)
+                fatal("seed must be non-negative in spec '%s'",
+                      text.c_str());
+            if (spec.hasSeed)
+                fatal("duplicate seed in spec '%s'", text.c_str());
+            try {
+                spec.seed = std::stoull(digits);
+            } catch (const std::exception &) {
+                fatal("seed '%s' out of range in spec '%s'",
+                      val.c_str(), text.c_str());
+            }
+            spec.hasSeed = true;
+            continue;
+        }
+        long long parsed = 0;
+        try {
+            parsed = std::stoll(val);
+        } catch (const std::exception &) {
+            fatal("knob value '%s' for '%s' out of range", val.c_str(),
+                  key.c_str());
+        }
+        if (spec.knobs.count(key))
+            fatal("duplicate knob '%s' in spec '%s'", key.c_str(),
+                  text.c_str());
+        spec.knobs[key] = parsed;
+    }
+    return spec;
+}
+
+uint32_t
+programSeed(uint64_t seed)
+{
+    // One splitmix-quality scramble via the shared Rng, truncated to
+    // the 32 bits the emitted LCG state holds. Never zero so the first
+    // nextRand() is never the degenerate all-zero draw.
+    Rng rng(seed ^ 0x67656e5f73656564ULL); // "gen_seed"
+    uint32_t s = static_cast<uint32_t>(rng.next());
+    return s ? s : 0x1u;
+}
+
+} // namespace bsyn::gen

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parameterized workload-family generation. A Family is a deterministic,
+ * seed-driven generator of MiniC workloads: it publishes a schema of
+ * integer knobs (footprint, iteration counts, rate targets...) and
+ * instantiate() turns a fully-resolved knob assignment plus a 64-bit
+ * seed into a workloads::Workload whose expectedOutput the generator
+ * computes itself, by mirroring the emitted program's arithmetic in
+ * C++. Generated instances are ordinary workloads — they flow through
+ * compilation, profiling, synthesis, the artifact cache and the
+ * differential test suites exactly like the hand-written MiBench
+ * analogues — which is what turns the fixed Figure-4 evaluation surface
+ * into an open-ended family of scenarios (ROADMAP "scenario
+ * diversity").
+ */
+
+#ifndef BSYN_GEN_FAMILY_HH
+#define BSYN_GEN_FAMILY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace bsyn::gen
+{
+
+/** Schema entry for one integer knob of a family. */
+struct KnobSpec
+{
+    std::string name;        ///< e.g. "nodes"
+    std::string description; ///< one-line meaning incl. units
+    int64_t def = 0;         ///< value used when the knob is omitted
+    int64_t min = 0;         ///< inclusive lower bound
+    int64_t max = 0;         ///< inclusive upper bound
+};
+
+/** A (partial or resolved) knob assignment. Ordered so canonical
+ *  instance names and cache keys are deterministic. */
+using KnobValues = std::map<std::string, int64_t>;
+
+/**
+ * One generator family. Implementations are stateless and
+ * thread-safe: instantiate() may be called concurrently from pool
+ * workers. Everything an instance contains — source text, name,
+ * expected output — is a pure function of (knobs, seed).
+ */
+class Family
+{
+  public:
+    virtual ~Family() = default;
+
+    /** Family name, e.g. "pointer_chase" (also the instance's
+     *  Workload::benchmark). */
+    virtual std::string name() const = 0;
+
+    /** One-line description of the behavioral shape the family covers. */
+    virtual std::string description() const = 0;
+
+    /** The knob schema, in canonical (naming/cache-key) order. */
+    virtual std::vector<KnobSpec> knobs() const = 0;
+
+    /**
+     * Knob presets sampling the family's interesting corners (e.g.
+     * L1-resident vs L2-thrashing footprints). Used by
+     * Registry::sample() and the CLI's `--family all`. Presets may be
+     * partial; they are resolved against the schema.
+     */
+    virtual std::vector<KnobValues> presets() const = 0;
+
+    /**
+     * Generate the instance for a *fully resolved* knob assignment
+     * (every schema knob present and in range — use make() for
+     * overrides). The returned workload's expectedOutput is the exact
+     * line the program prints, computed by the generator itself.
+     */
+    virtual workloads::Workload instantiate(const KnobValues &knobs,
+                                            uint64_t seed) const = 0;
+
+    // ------------------------------------------------- shared helpers
+
+    /** Apply defaults and validate: fatal() on an unknown knob name
+     *  (listing the valid ones) or an out-of-range value. */
+    KnobValues resolve(const KnobValues &overrides) const;
+
+    /** resolve() + instantiate(). */
+    workloads::Workload make(const KnobValues &overrides,
+                             uint64_t seed) const;
+
+    /** Canonical instance input string: every schema knob in schema
+     *  order plus the seed — "nodes=4096,steps=200000,shuffle=1,seed=1".
+     *  Workload::input of generated instances; deterministic, so the
+     *  content-addressed cache keys on it. */
+    std::string instanceInput(const KnobValues &resolved,
+                              uint64_t seed) const;
+};
+
+/** A parsed generation request: family plus (partial) knob overrides.
+ *  Accepted shapes: "family", "family,k=v,...", and the instance-name
+ *  form "family/k=v,...,seed=S". "seed=S" is recognized in both. */
+struct InstanceSpec
+{
+    std::string family;
+    KnobValues knobs;
+    bool hasSeed = false;
+    uint64_t seed = 0;
+};
+
+/** Parse a spec; fatal() on malformed text (bad k=v syntax, duplicate
+ *  knob, malformed number). Family existence is NOT checked here. */
+InstanceSpec parseSpec(const std::string &text);
+
+/** Derive the 32-bit in-program RNG seed every family feeds its
+ *  emitted MiniC LCG from (and its C++ mirror). Never zero. */
+uint32_t programSeed(uint64_t seed);
+
+} // namespace bsyn::gen
+
+#endif // BSYN_GEN_FAMILY_HH

@@ -1,0 +1,292 @@
+#include "gen/fidelity.hh"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "gen/registry.hh"
+#include "support/error.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double
+relError(double orig, double clone)
+{
+    double denom = std::max(std::fabs(orig), 0.01);
+    return std::fabs(orig - clone) / denom;
+}
+
+/** Aggregate, comparable numbers of one profile. */
+struct ProfileAggregates
+{
+    double loadFrac = 0, storeFrac = 0, branchFrac = 0, otherFrac = 0;
+    double fpFrac = 0;
+    double blocks = 0, edges = 0;
+    double takenRate = 0, transitionRate = 0;
+    double missRate = 0;
+};
+
+ProfileAggregates
+aggregate(const profile::StatisticalProfile &prof)
+{
+    ProfileAggregates a;
+    a.loadFrac = prof.mix.loadFraction();
+    a.storeFrac = prof.mix.storeFraction();
+    a.branchFrac = prof.mix.branchFraction();
+    a.otherFrac = prof.mix.otherFraction();
+    a.fpFrac = prof.mix.fpFraction();
+
+    double takenW = 0, taken = 0, trans = 0;
+    double accesses = 0, expectedMisses = 0;
+    size_t edges = 0;
+    for (const auto &b : prof.sfgl.blocks) {
+        edges += b.succs.size();
+        for (const auto &d : b.code) {
+            if (d.branchExecutions > 0) {
+                double w = static_cast<double>(d.branchExecutions);
+                takenW += w;
+                taken += w * d.takenRate;
+                trans += w * d.transitionRate;
+            }
+            if ((d.readsMem || d.writesMem) && b.execCount > 0) {
+                double w = static_cast<double>(b.execCount);
+                accesses += w;
+                expectedMisses +=
+                    w * profile::missRateForClass(d.missClass);
+            }
+        }
+    }
+    a.blocks = static_cast<double>(prof.sfgl.blocks.size());
+    a.edges = static_cast<double>(edges);
+    a.takenRate = takenW > 0 ? taken / takenW : 0.0;
+    a.transitionRate = takenW > 0 ? trans / takenW : 0.0;
+    a.missRate = accesses > 0 ? expectedMisses / accesses : 0.0;
+    return a;
+}
+
+void
+pushMetric(InstanceFidelity &inst, const std::string &name,
+           double orig, double clone)
+{
+    MetricScore m;
+    m.metric = name;
+    m.original = orig;
+    m.clone = clone;
+    m.error = relError(orig, clone);
+    inst.metrics.push_back(std::move(m));
+}
+
+InstanceFidelity
+scoreOne(pipeline::Session &session, const workloads::Workload &w,
+         const FidelityOptions &opts)
+{
+    InstanceFidelity inst;
+    inst.workload = w.name();
+    if (Registry::global().find(w.benchmark))
+        inst.family = w.benchmark;
+
+    auto t0 = Clock::now();
+    auto prof = session.profile(w);
+    inst.profileSecs = secondsSince(t0);
+
+    synth::SynthesisOptions so = opts.synthesis;
+    so.seed = pipeline::deriveWorkloadSeed(so.seed, w.name());
+    t0 = Clock::now();
+    auto clone = session.synthesize(prof, so);
+    inst.synthSecs = secondsSince(t0);
+
+    t0 = Clock::now();
+    auto cloneProf =
+        session.profile(clone.cSource, w.name() + ".clone");
+    inst.cloneProfileSecs = secondsSince(t0);
+
+    ProfileAggregates o = aggregate(prof);
+    ProfileAggregates c = aggregate(cloneProf);
+    pushMetric(inst, "mix.load", o.loadFrac, c.loadFrac);
+    pushMetric(inst, "mix.store", o.storeFrac, c.storeFrac);
+    pushMetric(inst, "mix.branch", o.branchFrac, c.branchFrac);
+    pushMetric(inst, "mix.other", o.otherFrac, c.otherFrac);
+    pushMetric(inst, "mix.fp", o.fpFrac, c.fpFrac);
+    pushMetric(inst, "sfgl.blocks", o.blocks, c.blocks);
+    pushMetric(inst, "sfgl.edges", o.edges, c.edges);
+    pushMetric(inst, "branch.takenRate", o.takenRate, c.takenRate);
+    pushMetric(inst, "branch.transitionRate", o.transitionRate,
+               c.transitionRate);
+    pushMetric(inst, "mem.missRate", o.missRate, c.missRate);
+
+    if (opts.timing) {
+        t0 = Clock::now();
+        auto ot = pipeline::timeOnMachine(w.source, w.name(),
+                                          opts.timingLevel,
+                                          opts.machine);
+        auto ct = pipeline::timeOnMachine(clone.cSource,
+                                          w.name() + ".clone",
+                                          opts.timingLevel,
+                                          opts.machine);
+        inst.timingSecs = secondsSince(t0);
+        pushMetric(inst, "timing.cpi", ot.cpi(), ct.cpi());
+    }
+
+    double sum = 0;
+    for (const auto &m : inst.metrics) {
+        sum += m.error;
+        inst.maxError = std::max(inst.maxError, m.error);
+    }
+    inst.meanError =
+        inst.metrics.empty() ? 0.0 : sum / double(inst.metrics.size());
+    return inst;
+}
+
+} // namespace
+
+FidelityOptions::FidelityOptions()
+    : synthesis(pipeline::defaultSynthesisOptions()),
+      machine(sim::ptlsimConfig(8))
+{
+}
+
+FidelityReport
+scoreFidelity(pipeline::Session &session,
+              const std::vector<workloads::Workload> &batch,
+              const FidelityOptions &opts)
+{
+    FidelityReport report;
+    report.instances.resize(batch.size());
+    auto t0 = Clock::now();
+    session.parallelFor(batch.size(), [&](size_t i) {
+        try {
+            report.instances[i] = scoreOne(session, batch[i], opts);
+        } catch (const std::exception &e) {
+            InstanceFidelity bad;
+            bad.workload = batch[i].name();
+            if (Registry::global().find(batch[i].benchmark))
+                bad.family = batch[i].benchmark;
+            bad.ok = false;
+            bad.error = e.what();
+            report.instances[i] = std::move(bad);
+        }
+    });
+    report.totalSecs = secondsSince(t0);
+    return report;
+}
+
+Json
+FidelityReport::resultsJson() const
+{
+    Json root = Json::object();
+    root.set("schema", Json("bsyn.fidelity.v1"));
+
+    Json list = Json::array();
+    // Per-metric accumulation across ok instances, in first-seen
+    // metric order (deterministic: every instance scores the same
+    // metric list).
+    std::vector<std::string> metricOrder;
+    std::map<std::string, std::pair<double, double>> metricAgg; // sum,max
+    size_t okCount = 0;
+
+    for (const auto &inst : instances) {
+        Json j = Json::object();
+        j.set("workload", Json(inst.workload));
+        j.set("family", Json(inst.family));
+        j.set("ok", Json(inst.ok));
+        if (!inst.ok) {
+            j.set("error", Json(inst.error));
+            list.push(std::move(j));
+            continue;
+        }
+        ++okCount;
+        Json metrics = Json::object();
+        for (const auto &m : inst.metrics) {
+            Json entry = Json::object();
+            entry.set("original", Json(m.original));
+            entry.set("clone", Json(m.clone));
+            entry.set("relError", Json(m.error));
+            metrics.set(m.metric, std::move(entry));
+            auto it = metricAgg.find(m.metric);
+            if (it == metricAgg.end()) {
+                metricOrder.push_back(m.metric);
+                metricAgg[m.metric] = {m.error, m.error};
+            } else {
+                it->second.first += m.error;
+                it->second.second =
+                    std::max(it->second.second, m.error);
+            }
+        }
+        j.set("metrics", std::move(metrics));
+        j.set("meanRelError", Json(inst.meanError));
+        j.set("maxRelError", Json(inst.maxError));
+        list.push(std::move(j));
+    }
+    root.set("instances", std::move(list));
+
+    Json summary = Json::object();
+    for (const auto &name : metricOrder) {
+        const auto &agg = metricAgg.at(name);
+        Json entry = Json::object();
+        entry.set("mean", Json(okCount ? agg.first / double(okCount)
+                                       : 0.0));
+        entry.set("max", Json(agg.second));
+        summary.set(name, std::move(entry));
+    }
+    root.set("summary", std::move(summary));
+    root.set("scored", Json(static_cast<uint64_t>(okCount)));
+    root.set("failed",
+             Json(static_cast<uint64_t>(instances.size() - okCount)));
+    return root;
+}
+
+Json
+FidelityReport::toJson() const
+{
+    Json root = resultsJson();
+
+    // Bench half: wall-clock provenance, aggregated per family ("" =
+    // the hand-written suite). Not deterministic, not compared.
+    struct FamilyBench
+    {
+        size_t count = 0;
+        double profileSecs = 0, synthSecs = 0, cloneProfileSecs = 0,
+               timingSecs = 0;
+    };
+    std::map<std::string, FamilyBench> perFamily;
+    for (const auto &inst : instances) {
+        auto &fb = perFamily[inst.family.empty() ? "figure4"
+                                                 : inst.family];
+        ++fb.count;
+        fb.profileSecs += inst.profileSecs;
+        fb.synthSecs += inst.synthSecs;
+        fb.cloneProfileSecs += inst.cloneProfileSecs;
+        fb.timingSecs += inst.timingSecs;
+    }
+
+    Json bench = Json::object();
+    bench.set("generationSecs", Json(generationSecs));
+    bench.set("totalSecs", Json(totalSecs));
+    Json families = Json::object();
+    for (const auto &[name, fb] : perFamily) {
+        Json f = Json::object();
+        f.set("instances", Json(static_cast<uint64_t>(fb.count)));
+        f.set("profileSecs", Json(fb.profileSecs));
+        f.set("synthSecs", Json(fb.synthSecs));
+        f.set("cloneProfileSecs", Json(fb.cloneProfileSecs));
+        f.set("timingSecs", Json(fb.timingSecs));
+        families.set(name, std::move(f));
+    }
+    bench.set("perFamily", std::move(families));
+    root.set("bench", std::move(bench));
+    return root;
+}
+
+} // namespace bsyn::gen

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Clone-fidelity scoring: the quantitative answer to "how closely does
+ * the synthesized clone track the original's behavioral profile?". For
+ * every workload (Figure-4 instance or generated family instance) the
+ * report profiles the original, synthesizes its clone through the
+ * session (so both stages ride the artifact cache), profiles the
+ * clone, and scores per-metric errors — instruction-mix fractions,
+ * SFGL block/edge counts, aggregate branch taken/transition rates,
+ * the access-weighted cache miss rate, and timing-model CPI — plus a
+ * per-metric mean/max summary across the batch. Serialized as JSON,
+ * this is the repo's clone-accuracy scoreboard (CI's
+ * BENCH_families.json).
+ */
+
+#ifndef BSYN_GEN_FIDELITY_HH
+#define BSYN_GEN_FIDELITY_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/session.hh"
+#include "sim/machine.hh"
+
+namespace bsyn::gen
+{
+
+/** Configuration for a fidelity run. */
+struct FidelityOptions
+{
+    /** Synthesis configuration; the seed is the batch base seed that
+     *  deriveWorkloadSeed() specializes per workload, exactly like
+     *  Session::processSuite — so fidelity scores the same clones a
+     *  suite run produces. */
+    synth::SynthesisOptions synthesis;
+
+    /** Optimization level for the timing-model comparison. */
+    opt::OptLevel timingLevel = opt::OptLevel::O2;
+
+    /** Machine the CPI metric is measured on. */
+    sim::MachineSpec machine;
+
+    /** Skip the (comparatively slow) timing-model CPI metric. */
+    bool timing = true;
+
+    FidelityOptions();
+};
+
+/** One scored metric: original value, clone value, and the error
+ *  |orig - clone| / max(|orig|, 0.01) — relative, with a floor that
+ *  keeps near-zero metrics (e.g. fpFraction of integer kernels) from
+ *  exploding the score. */
+struct MetricScore
+{
+    std::string metric;
+    double original = 0.0;
+    double clone = 0.0;
+    double error = 0.0;
+};
+
+/** Fidelity of one workload's clone. */
+struct InstanceFidelity
+{
+    std::string workload;       ///< "crc32/small" or generated name
+    std::string family;         ///< registered family name, or ""
+    bool ok = true;
+    std::string error;          ///< failure description when !ok
+    std::vector<MetricScore> metrics; ///< fixed metric order
+
+    double meanError = 0.0;
+    double maxError = 0.0;
+
+    /** Wall-clock provenance (bench half of the report; not part of
+     *  the deterministic results). */
+    double profileSecs = 0.0;
+    double synthSecs = 0.0;
+    double cloneProfileSecs = 0.0;
+    double timingSecs = 0.0;
+};
+
+/** The whole scoreboard. */
+struct FidelityReport
+{
+    std::vector<InstanceFidelity> instances; ///< batch order
+
+    /** Wall-clock of workload generation, set by callers that
+     *  generated part of the batch (the CLI does); serialized into the
+     *  bench section. */
+    double generationSecs = 0.0;
+
+    /** Total wall-clock of the fidelity run. */
+    double totalSecs = 0.0;
+
+    /** Deterministic half: instances + per-metric summary. Stable for
+     *  fixed inputs at any thread count — what the determinism tests
+     *  compare. */
+    Json resultsJson() const;
+
+    /** Full report: results + bench timings (generation, per-family
+     *  profile/synth/timing seconds). What `bsyn fidelity -o` writes. */
+    Json toJson() const;
+};
+
+/**
+ * Score every workload of @p batch on @p session, fanned across the
+ * session's pool. Per-workload failures are isolated (ok=false with
+ * the error string); they never abort the batch.
+ */
+FidelityReport scoreFidelity(pipeline::Session &session,
+                             const std::vector<workloads::Workload> &batch,
+                             const FidelityOptions &opts = {});
+
+} // namespace bsyn::gen
+
+#endif // BSYN_GEN_FIDELITY_HH

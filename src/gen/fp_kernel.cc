@@ -1,0 +1,199 @@
+/**
+ * @file
+ * fp_kernel — FLOP-dense ping-pong stencil sweeps with a running
+ * reduction. Each sweep applies a symmetric (2*radius+1)-point stencil
+ * a -> b and then b -> a, and accumulates two probes into a scalar;
+ * the stencil gain is kept below 1 so values decay toward a small
+ * injected bias and every quantity stays exactly representable. The
+ * expected output is the truncated `(int)(acc * 1000.0)` of the same
+ * IEEE double arithmetic mirrored in C++ (identical op order; no FMA
+ * contraction on the baseline x86-64 target).
+ */
+
+#include "gen/families.hh"
+
+#include <vector>
+
+#include "gen/mirror.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+/** Per-distance stencil weights by radius. The SAME literal values
+ *  feed the emitted source text and the mirror, so both compute with
+ *  the identical nearest-double constants. */
+const char *const kWeightText[4][4] = {
+    {"0.24", nullptr, nullptr, nullptr},
+    {"0.12", "0.12", nullptr, nullptr},
+    {"0.08", "0.08", "0.08", nullptr},
+    {"0.06", "0.06", "0.06", "0.06"},
+};
+const double kWeight[4][4] = {
+    {0.24, 0.0, 0.0, 0.0},
+    {0.12, 0.12, 0.0, 0.0},
+    {0.08, 0.08, 0.08, 0.0},
+    {0.06, 0.06, 0.06, 0.06},
+};
+
+class FpKernelFamily : public Family
+{
+  public:
+    std::string name() const override { return "fp_kernel"; }
+
+    std::string
+    description() const override
+    {
+        return "FLOP-dense ping-pong stencil sweeps (tunable radius "
+               "and array size) with a running reduction";
+    }
+
+    std::vector<KnobSpec>
+    knobs() const override
+    {
+        return {
+            {"size", "array length (two double arrays; footprint = "
+                     "16*size bytes)",
+             2048, 64, 65536},
+            {"sweeps", "stencil sweep pairs (a->b then b->a)",
+             40, 1, 2000},
+            {"radius", "stencil radius (points = 2*radius+1)",
+             2, 1, 4},
+        };
+    }
+
+    std::vector<KnobValues>
+    presets() const override
+    {
+        return {
+            {},                                    // default: 32 KB
+            {{"size", 512}, {"sweeps", 120},
+             {"radius", 4}},                       // compute-bound, wide
+            {{"size", 32768}, {"sweeps", 6}},      // 512 KB footprint
+        };
+    }
+
+    workloads::Workload
+    instantiate(const KnobValues &knobs, uint64_t seed) const override
+    {
+        const long long size = knobs.at("size");
+        const long long sweeps = knobs.at("sweeps");
+        const long long radius = knobs.at("radius");
+        const uint32_t s32 = programSeed(seed);
+
+        // The stencil body, unrolled per distance; identical text for
+        // the a->b and b->a passes modulo the array names.
+        auto stencilBody = [&](const char *src, const char *dst) {
+            std::string text =
+                strprintf("    double v = %s[i] * 0.5;\n", src);
+            for (long long k = 1; k <= radius; ++k)
+                text += strprintf(
+                    "    v = v + (%s[i - %lld] + %s[i + %lld]) * %s;\n",
+                    src, k, src, k, kWeightText[radius - 1][k - 1]);
+            text += strprintf("    %s[i] = v * 0.9 + 0.001;\n", dst);
+            return text;
+        };
+
+        workloads::Workload w;
+        w.benchmark = name();
+        w.input = instanceInput(knobs, seed);
+        w.source = strprintf(R"(double a[%lld];
+double b[%lld];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525u + 1013904223u;
+  return rngState;
+}
+
+void stencilAB() {
+  int i;
+  for (i = %lld; i < %lld - %lld; i++) {
+%s  }
+}
+
+void stencilBA() {
+  int i;
+  for (i = %lld; i < %lld - %lld; i++) {
+%s  }
+}
+
+int main() {
+  int s;
+  int i;
+  double acc;
+  rngState = %uu;
+  for (i = 0; i < %lld; i++) {
+    a[i] = (double)((int)(nextRand() & 2047u) - 1024) / 512.0;
+    b[i] = 0.0;
+  }
+  acc = 0.0;
+  for (s = 0; s < %lld; s++) {
+    stencilAB();
+    stencilBA();
+    acc = acc + a[%lld] + b[%lld];
+  }
+  printf("fp_kernel=%%d\n", (int)(acc * 1000.0));
+  return 0;
+}
+)",
+                             size, size, radius, size, radius,
+                             stencilBody("a", "b").c_str(), radius,
+                             size, radius,
+                             stencilBody("b", "a").c_str(), s32, size,
+                             sweeps, size / 2, size / 3);
+        w.expectedOutput = strprintf(
+            "fp_kernel=%d", expected(size, sweeps, radius, s32));
+        return w;
+    }
+
+  private:
+    static int32_t
+    expected(long long size, long long sweeps, long long radius,
+             uint32_t s32)
+    {
+        const size_t n = static_cast<size_t>(size);
+        std::vector<double> a(n), b(n, 0.0);
+        uint32_t state = s32;
+        for (size_t i = 0; i < n; ++i)
+            a[i] = static_cast<double>(
+                       static_cast<int32_t>(mirror::lcg(state) &
+                                            2047u) -
+                       1024) /
+                   512.0;
+
+        auto stencil = [&](const std::vector<double> &src,
+                           std::vector<double> &dst) {
+            for (long long i = radius; i < size - radius; ++i) {
+                double v = src[static_cast<size_t>(i)] * 0.5;
+                for (long long k = 1; k <= radius; ++k)
+                    v = v + (src[static_cast<size_t>(i - k)] +
+                             src[static_cast<size_t>(i + k)]) *
+                                kWeight[radius - 1][k - 1];
+                dst[static_cast<size_t>(i)] = v * 0.9 + 0.001;
+            }
+        };
+
+        double acc = 0.0;
+        for (long long s = 0; s < sweeps; ++s) {
+            stencil(a, b);
+            stencil(b, a);
+            acc = acc + a[static_cast<size_t>(size / 2)] +
+                  b[static_cast<size_t>(size / 3)];
+        }
+        return mirror::castF64ToI32(acc * 1000.0);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Family>
+makeFpKernelFamily()
+{
+    return std::make_unique<FpKernelFamily>();
+}
+
+} // namespace bsyn::gen

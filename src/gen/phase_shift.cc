@@ -1,0 +1,267 @@
+/**
+ * @file
+ * phase_shift — multi-phase programs whose profiles are not
+ * stationary: each round runs up to four phases with deliberately
+ * different instruction mixes and miss rates (integer ALU over a small
+ * buffer, an FP recurrence, dependent walks over a 256 KB array, and a
+ * Markov-branchy loop), so the aggregate instruction mix and the
+ * per-block counts drift with the phase structure. `only_phase`
+ * isolates a single phase — same static program text modulo the main
+ * loop — which is how the tests (and users) observe the per-phase
+ * instruction-mix deltas directly in the profile.
+ */
+
+#include "gen/families.hh"
+
+#include <vector>
+
+#include "gen/mirror.hh"
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+class PhaseShiftFamily : public Family
+{
+  public:
+    std::string name() const override { return "phase_shift"; }
+
+    std::string
+    description() const override
+    {
+        return "multi-phase programs whose instruction mix and miss "
+               "rates drift between ALU / FP / memory / branch phases";
+    }
+
+    std::vector<KnobSpec>
+    knobs() const override
+    {
+        return {
+            {"phases", "phases per round (order: alu, fp, mem, "
+                       "branch)",
+             3, 2, 4},
+            {"rounds", "times the phase sequence repeats",
+             4, 1, 64},
+            {"work", "inner iterations per phase per round",
+             12000, 2000, 500000},
+            {"only_phase", "isolate one phase index (-1 = run all; "
+                           "must be < phases)",
+             -1, -1, 3},
+        };
+    }
+
+    std::vector<KnobValues>
+    presets() const override
+    {
+        return {
+            {},                                   // alu -> fp -> mem
+            {{"phases", 4}, {"rounds", 6}},       // all four phases
+            {{"phases", 2}, {"work", 30000}},     // alu <-> fp flip
+        };
+    }
+
+    workloads::Workload
+    instantiate(const KnobValues &knobs, uint64_t seed) const override
+    {
+        const long long phases = knobs.at("phases");
+        const long long rounds = knobs.at("rounds");
+        const long long work = knobs.at("work");
+        const long long only = knobs.at("only_phase");
+        if (only >= phases)
+            fatal("phase_shift: only_phase=%lld but the instance has "
+                  "%lld phases",
+                  static_cast<long long>(only),
+                  static_cast<long long>(phases));
+        const uint32_t s32 = programSeed(seed);
+
+        std::string calls;
+        static const char *const kCall[4] = {
+            "    acc = phaseAlu(%lld, acc);\n",
+            "    facc = phaseFp(%lld, facc);\n",
+            "    acc = phaseMem(%lld, acc);\n",
+            "    acc = phaseBr(%lld, acc);\n",
+        };
+        for (long long k = 0; k < phases; ++k)
+            if (only < 0 || only == k)
+                calls += strprintf(kCall[k], work);
+
+        workloads::Workload w;
+        w.benchmark = name();
+        w.input = instanceInput(knobs, seed);
+        w.source = strprintf(R"(uint ibuf[1024];
+uint big[65536];
+double fa[1024];
+double fb[1024];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525u + 1013904223u;
+  return rngState;
+}
+
+uint phaseAlu(int n, uint acc) {
+  int i;
+  for (i = 0; i < n; i++) {
+    uint x = ibuf[i & 1023];
+    acc = acc + ((x ^ (acc << 3)) + (x >> 7));
+    acc = acc ^ (acc >> 11);
+    acc = acc + (acc << 2);
+    ibuf[(i * 3) & 1023] = acc;
+  }
+  return acc;
+}
+
+double phaseFp(int n, double facc) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int k = i & 1023;
+    double v = fa[k] * 0.7 + fb[k] * 0.29;
+    fb[k] = v * 0.9 + 0.001;
+    fa[k] = v;
+    facc = facc * 0.5 + v;
+  }
+  return facc;
+}
+
+uint phaseMem(int n, uint acc) {
+  int i;
+  for (i = 0; i < n; i++) {
+    uint j = (acc ^ ((uint)i * 2654435761u)) & 65535u;
+    acc = acc + big[j];
+    big[(j + 11u) & 65535u] = acc;
+  }
+  return acc;
+}
+
+uint phaseBr(int n, uint acc) {
+  int i;
+  int state;
+  state = 0;
+  for (i = 0; i < n; i++) {
+    uint r = nextRand();
+    if ((r %% 100u) < 47u) acc = acc + 5u; else acc = acc ^ 0x2545u;
+    if (((r >> 8) %% 100u) < 31u) state = 1 - state;
+    if (state > 0) acc = acc + (r & 15u); else acc = acc - (r & 3u);
+  }
+  return acc;
+}
+
+int main() {
+  int r;
+  int i;
+  uint acc;
+  double facc;
+  rngState = %uu;
+  for (i = 0; i < 1024; i++) {
+    fa[i] = (double)((int)(nextRand() & 1023u) - 512) / 256.0;
+    fb[i] = 0.0;
+  }
+  acc = 0x9e37u;
+  facc = 0.0;
+  for (r = 0; r < %lld; r++) {
+%s  }
+  printf("phase_shift=%%u\n", acc ^ (uint)((int)(facc * 1000.0)));
+  return (int)(acc & 255u);
+}
+)",
+                             s32, rounds, calls.c_str());
+        w.expectedOutput = strprintf(
+            "phase_shift=%u",
+            expected(phases, rounds, work, only, s32));
+        return w;
+    }
+
+  private:
+    static uint32_t
+    expected(long long phases, long long rounds, long long work,
+             long long only, uint32_t s32)
+    {
+        std::vector<uint32_t> ibuf(1024, 0);
+        std::vector<uint32_t> big(65536, 0);
+        std::vector<double> fa(1024), fb(1024, 0.0);
+        uint32_t rng = s32;
+        for (int i = 0; i < 1024; ++i)
+            fa[static_cast<size_t>(i)] =
+                static_cast<double>(
+                    static_cast<int32_t>(mirror::lcg(rng) & 1023u) -
+                    512) /
+                256.0;
+
+        uint32_t acc = 0x9e37u;
+        double facc = 0.0;
+        auto alu = [&](long long n) {
+            for (long long i = 0; i < n; ++i) {
+                uint32_t x = ibuf[static_cast<size_t>(i & 1023)];
+                acc = acc + ((x ^ (acc << 3)) + (x >> 7));
+                acc = acc ^ (acc >> 11);
+                acc = acc + (acc << 2);
+                ibuf[static_cast<size_t>((i * 3) & 1023)] = acc;
+            }
+        };
+        auto fp = [&](long long n) {
+            for (long long i = 0; i < n; ++i) {
+                size_t k = static_cast<size_t>(i & 1023);
+                double v = fa[k] * 0.7 + fb[k] * 0.29;
+                fb[k] = v * 0.9 + 0.001;
+                fa[k] = v;
+                facc = facc * 0.5 + v;
+            }
+        };
+        auto mem = [&](long long n) {
+            for (long long i = 0; i < n; ++i) {
+                uint32_t j =
+                    (acc ^ (static_cast<uint32_t>(i) * 2654435761u)) &
+                    65535u;
+                acc = acc + big[j];
+                big[(j + 11u) & 65535u] = acc;
+            }
+        };
+        auto br = [&](long long n) {
+            int state = 0;
+            for (long long i = 0; i < n; ++i) {
+                uint32_t r = mirror::lcg(rng);
+                if ((r % 100u) < 47u)
+                    acc = acc + 5u;
+                else
+                    acc = acc ^ 0x2545u;
+                if (((r >> 8) % 100u) < 31u)
+                    state = 1 - state;
+                if (state > 0)
+                    acc = acc + (r & 15u);
+                else
+                    acc = acc - (r & 3u);
+            }
+        };
+
+        for (long long r = 0; r < rounds; ++r) {
+            for (long long k = 0; k < phases; ++k) {
+                if (only >= 0 && only != k)
+                    continue;
+                if (k == 0)
+                    alu(work);
+                else if (k == 1)
+                    fp(work);
+                else if (k == 2)
+                    mem(work);
+                else
+                    br(work);
+            }
+        }
+        return acc ^ static_cast<uint32_t>(
+                         mirror::castF64ToI32(facc * 1000.0));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Family>
+makePhaseShiftFamily()
+{
+    return std::make_unique<PhaseShiftFamily>();
+}
+
+} // namespace bsyn::gen

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * pointer_chase — serialized pointer chasing over a successor array.
+ * `shuffle=1` builds a random single-cycle permutation with Sattolo's
+ * algorithm (every load depends on the previous one and jumps across
+ * the whole footprint), `shuffle=0` walks a sequential ring (the
+ * cache-line-friendly control). `nodes` scales the footprint from
+ * L1-resident (16 nodes = 64 B) to L2-thrashing (256 K nodes = 1 MB
+ * against the profiler's 8 KB cache and the timing models' L1/L2).
+ */
+
+#include "gen/families.hh"
+
+#include <vector>
+
+#include "gen/mirror.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+class PointerChaseFamily : public Family
+{
+  public:
+    std::string name() const override { return "pointer_chase"; }
+
+    std::string
+    description() const override
+    {
+        return "serialized pointer chasing over a shuffled or "
+               "sequential successor ring; footprint tunable from "
+               "L1-resident to L2-thrashing";
+    }
+
+    std::vector<KnobSpec>
+    knobs() const override
+    {
+        return {
+            {"nodes", "successor-ring size (4-byte nodes; footprint "
+                      "= 4*nodes bytes)",
+             4096, 16, 262144},
+            {"steps", "chase steps (each is one dependent load)",
+             250000, 1000, 5000000},
+            {"shuffle", "1 = Sattolo single-cycle permutation, "
+                        "0 = sequential ring",
+             1, 0, 1},
+        };
+    }
+
+    std::vector<KnobValues>
+    presets() const override
+    {
+        return {
+            {},                                   // default: 16 KB shuffled
+            {{"nodes", 1024}, {"steps", 300000}}, // L1-resident (4 KB)
+            {{"nodes", 65536}, {"steps", 200000}}, // L2-stressing (256 KB)
+            {{"shuffle", 0}},                     // sequential control
+        };
+    }
+
+    workloads::Workload
+    instantiate(const KnobValues &knobs, uint64_t seed) const override
+    {
+        const long long nodes = knobs.at("nodes");
+        const long long steps = knobs.at("steps");
+        const long long shuffle = knobs.at("shuffle");
+        const uint32_t s32 = programSeed(seed);
+
+        workloads::Workload w;
+        w.benchmark = name();
+        w.input = instanceInput(knobs, seed);
+        w.source = strprintf(R"(uint nxt[%lld];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525u + 1013904223u;
+  return rngState;
+}
+
+int main() {
+  int i;
+  int j;
+  uint p;
+  uint acc;
+  rngState = %uu;
+  if (%lld > 0) {
+    for (i = 0; i < %lld; i++) nxt[i] = (uint)i;
+    for (i = %lld - 1; i > 0; i = i - 1) {
+      j = (int)(nextRand() %% (uint)i);
+      uint t = nxt[i];
+      nxt[i] = nxt[j];
+      nxt[j] = t;
+    }
+  } else {
+    for (i = 0; i < %lld; i++) nxt[i] = (uint)(i + 1);
+    nxt[%lld - 1] = 0u;
+  }
+  p = 0u;
+  acc = 0u;
+  for (i = 0; i < %lld; i++) {
+    p = nxt[p];
+    acc = acc + p + (uint)i;
+  }
+  printf("pointer_chase=%%u\n", acc);
+  return (int)(acc & 255u);
+}
+)",
+                             nodes, s32, shuffle, nodes, nodes, nodes,
+                             nodes, steps);
+        w.expectedOutput =
+            strprintf("pointer_chase=%u", expected(nodes, steps,
+                                                   shuffle != 0, s32));
+        return w;
+    }
+
+  private:
+    /** Mirror of the emitted program (exact uint32 semantics). */
+    static uint32_t
+    expected(long long nodes, long long steps, bool shuffle,
+             uint32_t s32)
+    {
+        std::vector<uint32_t> nxt(static_cast<size_t>(nodes));
+        uint32_t state = s32;
+        if (shuffle) {
+            for (long long i = 0; i < nodes; ++i)
+                nxt[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+            for (long long i = nodes - 1; i > 0; --i) {
+                uint32_t j =
+                    mirror::lcg(state) % static_cast<uint32_t>(i);
+                std::swap(nxt[static_cast<size_t>(i)], nxt[j]);
+            }
+        } else {
+            for (long long i = 0; i < nodes; ++i)
+                nxt[static_cast<size_t>(i)] =
+                    static_cast<uint32_t>(i + 1);
+            nxt[static_cast<size_t>(nodes - 1)] = 0;
+        }
+        uint32_t p = 0, acc = 0;
+        for (long long i = 0; i < steps; ++i) {
+            p = nxt[p];
+            acc = acc + p + static_cast<uint32_t>(i);
+        }
+        return acc;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Family>
+makePointerChaseFamily()
+{
+    return std::make_unique<PointerChaseFamily>();
+}
+
+} // namespace bsyn::gen

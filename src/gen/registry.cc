@@ -1,0 +1,143 @@
+#include "gen/registry.hh"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "gen/families.hh"
+#include "pipeline/pipeline.hh"
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+const Registry &
+Registry::global()
+{
+    static const Registry reg = [] {
+        Registry r;
+        r.add(makePointerChaseFamily());
+        r.add(makeBranchMazeFamily());
+        r.add(makeFpKernelFamily());
+        r.add(makeStreamMixFamily());
+        r.add(makePhaseShiftFamily());
+        return r;
+    }();
+    return reg;
+}
+
+void
+Registry::add(std::unique_ptr<Family> family)
+{
+    if (find(family->name()))
+        fatal("gen: family '%s' registered twice",
+              family->name().c_str());
+    families_.push_back(std::move(family));
+}
+
+std::vector<const Family *>
+Registry::families() const
+{
+    std::vector<const Family *> out;
+    out.reserve(families_.size());
+    for (const auto &f : families_)
+        out.push_back(f.get());
+    return out;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(families_.size());
+    for (const auto &f : families_)
+        out.push_back(f->name());
+    return out;
+}
+
+const Family *
+Registry::find(const std::string &name) const
+{
+    for (const auto &f : families_)
+        if (f->name() == name)
+            return f.get();
+    return nullptr;
+}
+
+const Family &
+Registry::require(const std::string &name) const
+{
+    if (const Family *f = find(name))
+        return *f;
+    fatal("unknown workload family '%s' (registered: %s)", name.c_str(),
+          join(names(), ", ").c_str());
+}
+
+std::vector<workloads::Workload>
+Registry::sample(size_t perFamily, uint64_t baseSeed) const
+{
+    std::vector<workloads::Workload> out;
+    for (const auto &f : families_) {
+        const std::vector<KnobValues> presets = f->presets();
+        if (presets.empty())
+            fatal("gen: family '%s' publishes no presets",
+                  f->name().c_str());
+        for (size_t i = 0; i < perFamily; ++i) {
+            // The seed depends only on (base, family, preset index) —
+            // not on registry order or batch position — so a sample is
+            // stable under family additions elsewhere in the registry.
+            uint64_t seed = pipeline::deriveWorkloadSeed(
+                baseSeed,
+                f->name() + "#" + std::to_string(i));
+            out.push_back(
+                f->make(presets[i % presets.size()], seed));
+        }
+    }
+    return out;
+}
+
+workloads::Workload
+instantiateSpec(const InstanceSpec &spec)
+{
+    const Family &family = Registry::global().require(spec.family);
+    return family.make(spec.knobs, spec.hasSeed ? spec.seed : 1);
+}
+
+const workloads::Workload *
+findGenerated(const std::string &name)
+{
+    size_t slash = name.find('/');
+    std::string familyName =
+        slash == std::string::npos ? name : name.substr(0, slash);
+    const Family *family = Registry::global().find(familyName);
+    if (!family)
+        return nullptr;
+
+    // Interned by requested name: findWorkload() hands out references,
+    // so every instance generated through the lookup must stay alive
+    // (and stable) for the life of the process.
+    static std::mutex mtx;
+    static std::unordered_map<std::string,
+                              std::unique_ptr<workloads::Workload>>
+        interned;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = interned.find(name);
+        if (it != interned.end())
+            return it->second.get();
+    }
+
+    // Generate outside the lock — instantiation runs the family's full
+    // C++ mirror and concurrent lookups of *different* names must not
+    // serialize behind it. A racing duplicate generation is identical
+    // (pure function of the name); the first inserter wins.
+    InstanceSpec spec = parseSpec(name); // fatal on malformed knobs
+    auto w = std::make_unique<workloads::Workload>(
+        instantiateSpec(spec));
+    std::lock_guard<std::mutex> lock(mtx);
+    auto [pos, inserted] = interned.emplace(name, std::move(w));
+    (void)inserted;
+    return pos->second.get();
+}
+
+} // namespace bsyn::gen

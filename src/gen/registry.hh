@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The family registry: the one place that knows every registered
+ * workload family. The workloads:: suite lookup, the pipeline batch
+ * API and the bsyn CLI (`gen`, `list`, `suite --family`, `fidelity`)
+ * all resolve families through it, so a new family registered here is
+ * immediately generatable, profileable, synthesizable, cacheable and
+ * testable everywhere.
+ */
+
+#ifndef BSYN_GEN_REGISTRY_HH
+#define BSYN_GEN_REGISTRY_HH
+
+#include <memory>
+#include <vector>
+
+#include "gen/family.hh"
+
+namespace bsyn::gen
+{
+
+class Registry
+{
+  public:
+    /** The process-wide registry holding the built-in families. */
+    static const Registry &global();
+
+    /** Registration order (stable; drives `bsyn list` and sample()). */
+    std::vector<const Family *> families() const;
+
+    /** Family names in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Look up by name; nullptr if not registered. */
+    const Family *find(const std::string &name) const;
+
+    /** Look up by name; fatal() listing registered families. */
+    const Family &require(const std::string &name) const;
+
+    /**
+     * A deterministic fixed-seed sample across every family: for each
+     * family, its first @p perFamily presets (cycling when a family
+     * publishes fewer), instantiated with seeds derived from
+     * @p baseSeed, the family name and the preset index. The same
+     * (perFamily, baseSeed) always yields byte-identical workloads —
+     * this is the instance set CI profiles and scores nightly.
+     */
+    std::vector<workloads::Workload> sample(size_t perFamily,
+                                            uint64_t baseSeed) const;
+
+    /** Add a family (test/extension hook; not thread-safe vs reads). */
+    void add(std::unique_ptr<Family> family);
+
+  private:
+    std::vector<std::unique_ptr<Family>> families_;
+};
+
+/**
+ * Resolve a generated-instance name of the form
+ * "family/knob=value,...,seed=S" (any knob subset, any order; omitted
+ * knobs take their defaults, omitted seed is 1). Returns nullptr when
+ * the name's family prefix is not registered — the caller falls back
+ * to its own error path. fatal() when the family exists but the knob
+ * string is malformed or out of range. The returned workload is
+ * interned: repeated lookups of the same name return the same stable
+ * reference (workloads::findWorkload hands these out by reference).
+ */
+const workloads::Workload *findGenerated(const std::string &name);
+
+/** Instantiate from a parsed spec via the global registry; fatal() on
+ *  an unknown family. Seed defaults to 1 when the spec carries none. */
+workloads::Workload instantiateSpec(const InstanceSpec &spec);
+
+} // namespace bsyn::gen
+
+#endif // BSYN_GEN_REGISTRY_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * stream_mix — concurrent memory streams over a power-of-two working
+ * set: a strided load stream (tunable element stride), a data-dependent
+ * gather stream taken on a tunable fraction of iterations, and a
+ * strided store stream at 7x the load stride. `wset_log2` scales the
+ * footprint from L1-resident (1 KB) to deep-L2 (1 MB per array), which
+ * moves every stream's miss class without touching the instruction
+ * mix.
+ */
+
+#include "gen/families.hh"
+
+#include <vector>
+
+#include "gen/mirror.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::gen
+{
+
+namespace
+{
+
+class StreamMixFamily : public Family
+{
+  public:
+    std::string name() const override { return "stream_mix"; }
+
+    std::string
+    description() const override
+    {
+        return "strided load + data-dependent gather + strided store "
+               "streams with tunable stride, working set and gather "
+               "fraction";
+    }
+
+    std::vector<KnobSpec>
+    knobs() const override
+    {
+        return {
+            {"wset_log2", "log2 of the per-array working set in "
+                          "4-byte elements (3 arrays)",
+             14, 8, 18},
+            {"stride", "load-stream stride in elements",
+             3, 1, 64},
+            {"gather_pct", "approximate percent of iterations taking "
+                           "the gather access",
+             25, 0, 100},
+            {"iters", "stream iterations",
+             120000, 1000, 4000000},
+        };
+    }
+
+    std::vector<KnobValues>
+    presets() const override
+    {
+        return {
+            {},                                        // default: 64 KB
+            {{"wset_log2", 9}, {"iters", 250000}},     // L1-resident
+            {{"wset_log2", 17}, {"stride", 9},
+             {"gather_pct", 60}},                      // 512 KB, gathers
+        };
+    }
+
+    workloads::Workload
+    instantiate(const KnobValues &knobs, uint64_t seed) const override
+    {
+        const long long wsetLog2 = knobs.at("wset_log2");
+        const long long stride = knobs.at("stride");
+        const long long gatherPct = knobs.at("gather_pct");
+        const long long iters = knobs.at("iters");
+        const long long wset = 1ll << wsetLog2;
+        const long long mask = wset - 1;
+        // ~gather_pct% of iterations: the low 7 checksum bits are
+        // close to uniform, so compare against gather_pct * 128 / 100.
+        const long long gthresh = gatherPct * 128 / 100;
+        const uint32_t s32 = programSeed(seed);
+
+        workloads::Workload w;
+        w.benchmark = name();
+        w.input = instanceInput(knobs, seed);
+        w.source = strprintf(R"(uint A[%lld];
+uint B[%lld];
+uint idx[%lld];
+uint rngState;
+
+uint nextRand() {
+  rngState = rngState * 1664525u + 1013904223u;
+  return rngState;
+}
+
+int main() {
+  int i;
+  uint pos;
+  uint acc;
+  rngState = %uu;
+  for (i = 0; i < %lld; i++) {
+    A[i] = nextRand();
+    idx[i] = nextRand() & %lldu;
+    B[i] = 0u;
+  }
+  pos = 0u;
+  acc = 0u;
+  for (i = 0; i < %lld; i++) {
+    pos = (pos + %lldu) & %lldu;
+    acc = acc + A[pos];
+    if ((acc & 127u) < %lldu) acc = acc ^ A[idx[pos]];
+    B[(pos * 7u) & %lldu] = acc;
+  }
+  printf("stream_mix=%%u\n", acc);
+  return (int)(acc & 255u);
+}
+)",
+                             wset, wset, wset, s32, wset, mask, iters,
+                             stride, mask, gthresh, mask);
+        w.expectedOutput = strprintf(
+            "stream_mix=%u",
+            expected(wset, stride, gthresh, iters, s32));
+        return w;
+    }
+
+  private:
+    static uint32_t
+    expected(long long wset, long long stride, long long gthresh,
+             long long iters, uint32_t s32)
+    {
+        const uint32_t mask = static_cast<uint32_t>(wset - 1);
+        std::vector<uint32_t> A(static_cast<size_t>(wset));
+        std::vector<uint32_t> B(static_cast<size_t>(wset), 0);
+        std::vector<uint32_t> idx(static_cast<size_t>(wset));
+        uint32_t state = s32;
+        for (long long i = 0; i < wset; ++i) {
+            A[static_cast<size_t>(i)] = mirror::lcg(state);
+            idx[static_cast<size_t>(i)] = mirror::lcg(state) & mask;
+            B[static_cast<size_t>(i)] = 0;
+        }
+        uint32_t pos = 0, acc = 0;
+        for (long long i = 0; i < iters; ++i) {
+            pos = (pos + static_cast<uint32_t>(stride)) & mask;
+            acc = acc + A[pos];
+            if ((acc & 127u) < static_cast<uint32_t>(gthresh))
+                acc = acc ^ A[idx[pos]];
+            B[(pos * 7u) & mask] = acc;
+        }
+        return acc;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Family>
+makeStreamMixFamily()
+{
+    return std::make_unique<StreamMixFamily>();
+}
+
+} // namespace bsyn::gen

@@ -202,8 +202,11 @@ synth::SyntheticBenchmark
 Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
                     const synth::SynthesisOptions &opts, bool *cached)
 {
+    // v2: calibration became a parallel candidate ladder (picks the
+    // measured count closest to the budget) — v1 clones were retuned
+    // serially and must not be reused.
     std::string key = ArtifactCache::key(
-        "synth.v1", {synthesisFingerprint(opts), prof.serialize()});
+        "synth.v2", {synthesisFingerprint(opts), prof.serialize()});
     std::string text;
     if (cache_.load(key, text)) {
         ++synthHits_;
@@ -214,9 +217,21 @@ Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
     ++synthMisses_;
     if (cached)
         *cached = false;
+    // Calibration candidates fan across the session pool (intra-
+    // workload parallelism); under processSuite the nested parallelFor
+    // degrades to inline execution on the worker, and either way the
+    // clone bytes are schedule-independent.
     auto syn = synth::synthesize(
         prof, opts,
-        [this](const std::string &src) { return measureInstructions(src); });
+        [this](const std::string &src) { return measureInstructions(src); },
+        [this](size_t n, const std::function<void(size_t)> &fn) {
+            if (n <= 1) {
+                for (size_t i = 0; i < n; ++i)
+                    fn(i);
+                return;
+            }
+            parallelFor(n, fn);
+        });
     cache_.store(key, benchmarkToJson(syn).dump(-1));
     return syn;
 }

@@ -1,6 +1,8 @@
 #include "synth/synthesizer.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "support/error.hh"
 #include "synth/scale_down.hh"
@@ -47,7 +49,8 @@ generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
 
 SyntheticBenchmark
 synthesize(const profile::StatisticalProfile &prof,
-           const SynthesisOptions &opts, const MeasureFn &measure)
+           const SynthesisOptions &opts, const MeasureFn &measure,
+           const ParallelFn &parallel)
 {
     uint64_t r = opts.reductionFactor
                      ? opts.reductionFactor
@@ -60,23 +63,82 @@ synthesize(const profile::StatisticalProfile &prof,
         return syn;
 
     // Calibration: the analytic R misses when control structure (loop
-    // overheads, guards, index advances) shifts the clone's size;
-    // remeasure and retune, as the paper does empirically.
-    for (int round = 0; round < opts.calibrationRounds; ++round) {
-        uint64_t measured = measure(syn.cSource);
-        if (measured == 0)
-            break;
-        double ratio = double(measured) / double(opts.targetInstructions);
-        if (ratio < 2.0 && ratio > 0.5)
-            break; // close enough (within 2x)
-        uint64_t new_r = std::clamp<uint64_t>(
-            static_cast<uint64_t>(double(r) * ratio + 0.5), 1, 250);
-        if (new_r == r)
-            break;
-        r = new_r;
-        syn = generateOnce(prof, r, opts);
+    // overheads, guards, index advances) shifts the clone's size —
+    // the paper retunes R empirically. Instead of a serial
+    // remeasure-retune chain (whose every round depends on the one
+    // before), fan one deterministic ladder of candidates — the
+    // analytic retune R*ratio plus a geometric bracket around it,
+    // wider for more calibrationRounds — and keep whichever measured
+    // count lands closest to the budget. The candidate set and the
+    // pick depend only on measurements, never on scheduling, so the
+    // result is byte-identical serial, parallel, alone or in a batch.
+    uint64_t measured = measure(syn.cSource);
+    if (measured == 0)
+        return syn;
+    double ratio = double(measured) / double(opts.targetInstructions);
+    if (ratio < 2.0 && ratio > 0.5)
+        return syn; // close enough (within 2x)
+
+    auto clampR = [](double v) {
+        return std::clamp<uint64_t>(
+            static_cast<uint64_t>(v + 0.5), 1, 250);
+    };
+    uint64_t base = clampR(double(r) * ratio);
+    std::vector<uint64_t> ladder;
+    auto push = [&](uint64_t cand) {
+        if (cand == r)
+            return; // already generated and measured
+        for (uint64_t seen : ladder)
+            if (seen == cand)
+                return;
+        ladder.push_back(cand);
+    };
+    push(base);
+    double spread = 1.0;
+    for (int round = 1; round < opts.calibrationRounds; ++round) {
+        spread *= 1.5;
+        push(clampR(double(base) * spread));
+        push(clampR(double(base) / spread));
     }
-    return syn;
+    if (ladder.empty())
+        return syn;
+
+    std::vector<SyntheticBenchmark> cands(ladder.size());
+    std::vector<uint64_t> counts(ladder.size(), 0);
+    auto evalOne = [&](size_t i) {
+        cands[i] = generateOnce(prof, ladder[i], opts);
+        counts[i] = measure(cands[i].cSource);
+    };
+    if (parallel && ladder.size() > 1)
+        parallel(ladder.size(), evalOne);
+    else
+        for (size_t i = 0; i < ladder.size(); ++i)
+            evalOne(i);
+
+    // Pick by log-distance to the budget; the initial (r, measured)
+    // pair competes too, so the fan-out can only improve on it. Ties
+    // go to the smaller R (cheaper clone).
+    auto score = [&](uint64_t count) {
+        if (count == 0)
+            return std::numeric_limits<double>::infinity();
+        return std::fabs(
+            std::log(double(count) / double(opts.targetInstructions)));
+    };
+    double bestScore = score(measured);
+    size_t best = ladder.size(); // sentinel: keep the initial clone
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        double s = score(counts[i]);
+        if (s < bestScore ||
+            (s == bestScore && best < ladder.size() &&
+             ladder[i] < ladder[best]) ||
+            (s == bestScore && best == ladder.size() &&
+             ladder[i] < r)) {
+            bestScore = s;
+            best = i;
+        }
+    }
+    return best < ladder.size() ? std::move(cands[best])
+                                : std::move(syn);
 }
 
 } // namespace bsyn::synth

@@ -58,17 +58,37 @@ struct SyntheticBenchmark
 using MeasureFn = std::function<uint64_t(const std::string &source)>;
 
 /**
+ * Callback that runs fn(0)..fn(n-1), possibly concurrently (must
+ * block until all are done). Sessions pass Session::parallelFor so
+ * one clone's calibration candidates are generated and measured
+ * across the pool; an empty function runs them serially. The parallel
+ * runner only schedules work — the synthesized bytes are identical
+ * with or without it.
+ */
+using ParallelFn =
+    std::function<void(size_t, const std::function<void(size_t)> &)>;
+
+/**
  * Generate a synthetic clone of @p prof.
+ *
+ * When the first calibration measurement lands outside the accepted
+ * band, the retune does not iterate serially: it fans a deterministic
+ * ladder of candidate reduction factors (the analytic retune plus a
+ * geometric bracket, wider for more calibrationRounds) through
+ * @p measure — concurrently when @p parallel is given — and keeps the
+ * candidate whose measured count lands closest to the budget.
  *
  * @param prof the statistical profile (possibly consolidated).
  * @param opts synthesis configuration.
  * @param measure optional measurement callback (used by the calibration
  *        loop); pass an empty function to skip calibration.
+ * @param parallel optional concurrent runner for the candidate ladder.
  */
 SyntheticBenchmark
 synthesize(const profile::StatisticalProfile &prof,
            const SynthesisOptions &opts = {},
-           const MeasureFn &measure = {});
+           const MeasureFn &measure = {},
+           const ParallelFn &parallel = {});
 
 } // namespace bsyn::synth
 

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "gen/registry.hh"
 #include "support/error.hh"
+#include "support/string_util.hh"
 
 namespace bsyn::workloads
 {
@@ -41,7 +43,21 @@ findWorkload(const std::string &name)
     for (const auto &w : mibenchSuite())
         if (w.name() == name)
             return w;
-    fatal("unknown workload '%s'", name.c_str());
+
+    // Not a suite instance: a registered generator family resolves on
+    // demand ("pointer_chase/nodes=1024,seed=3" instantiates through
+    // gen::Registry and is interned for the process lifetime).
+    if (const Workload *generated = gen::findGenerated(name))
+        return *generated;
+
+    std::vector<std::string> instances;
+    for (const auto &w : mibenchSuite())
+        instances.push_back(w.name());
+    fatal("unknown workload '%s'\n"
+          "  suite instances: %s\n"
+          "  generator families (as family/knob=value,...,seed=S): %s",
+          name.c_str(), join(instances, ", ").c_str(),
+          join(gen::Registry::global().names(), ", ").c_str());
 }
 
 std::vector<std::string>

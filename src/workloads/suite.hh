@@ -15,7 +15,10 @@ namespace bsyn::workloads
 /** Every workload instance, in the paper's Figure 4 order. */
 const std::vector<Workload> &mibenchSuite();
 
-/** Look up an instance by "benchmark/input" name; fatal() if missing. */
+/** Look up an instance by "benchmark/input" name. Names whose prefix
+ *  is a registered generator family ("pointer_chase/nodes=1024,seed=3")
+ *  are instantiated on demand through gen::Registry. fatal() on a
+ *  miss, listing every suite instance and registered family. */
 const Workload &findWorkload(const std::string &name);
 
 /** Distinct benchmark names in suite order. */

@@ -1,0 +1,164 @@
+/** @file Tests for the clone-fidelity report: metric coverage and
+ *  sanity, family attribution, per-instance failure isolation, and
+ *  determinism of the results JSON across thread counts. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/fidelity.hh"
+#include "gen/registry.hh"
+#include "support/error.hh"
+
+namespace bsyn
+{
+namespace
+{
+
+synth::SynthesisOptions
+fastSynthesis()
+{
+    auto opts = pipeline::defaultSynthesisOptions();
+    opts.targetInstructions = 20000;
+    return opts;
+}
+
+std::vector<workloads::Workload>
+smallBatch()
+{
+    return {
+        workloads::findWorkload("crc32/small"),
+        gen::Registry::global().require("stream_mix").make(
+            {{"wset_log2", 10}, {"iters", 10000}}, 4),
+    };
+}
+
+TEST(Fidelity, ScoresEveryMetricWithFiniteErrors)
+{
+    pipeline::Session session;
+    gen::FidelityOptions opts;
+    opts.synthesis = fastSynthesis();
+    auto report = gen::scoreFidelity(session, smallBatch(), opts);
+
+    ASSERT_EQ(report.instances.size(), 2u);
+    const char *expected[] = {
+        "mix.load",          "mix.store",
+        "mix.branch",        "mix.other",
+        "mix.fp",            "sfgl.blocks",
+        "sfgl.edges",        "branch.takenRate",
+        "branch.transitionRate", "mem.missRate",
+        "timing.cpi",
+    };
+    for (const auto &inst : report.instances) {
+        EXPECT_TRUE(inst.ok) << inst.workload << ": " << inst.error;
+        ASSERT_EQ(inst.metrics.size(), std::size(expected))
+            << inst.workload;
+        for (size_t i = 0; i < inst.metrics.size(); ++i) {
+            EXPECT_EQ(inst.metrics[i].metric, expected[i]);
+            EXPECT_TRUE(std::isfinite(inst.metrics[i].error))
+                << inst.workload << " " << expected[i];
+            EXPECT_GE(inst.metrics[i].error, 0.0);
+        }
+        EXPECT_GE(inst.maxError, inst.meanError);
+        // Original-side values describe a real profile.
+        EXPECT_GT(inst.metrics[0].original, 0.0) << "no loads?";
+        EXPECT_GT(inst.metrics[10].original, 0.0) << "no CPI?";
+    }
+
+    // Family attribution: suite instance bare, generated tagged.
+    EXPECT_EQ(report.instances[0].family, "");
+    EXPECT_EQ(report.instances[1].family, "stream_mix");
+}
+
+TEST(Fidelity, NoTimingSkipsTheCpiMetric)
+{
+    pipeline::Session session;
+    gen::FidelityOptions opts;
+    opts.synthesis = fastSynthesis();
+    opts.timing = false;
+    auto report = gen::scoreFidelity(
+        session, {workloads::findWorkload("bitcount/small")}, opts);
+    ASSERT_EQ(report.instances.size(), 1u);
+    for (const auto &m : report.instances[0].metrics)
+        EXPECT_NE(m.metric, "timing.cpi");
+    EXPECT_EQ(report.instances[0].metrics.size(), 10u);
+}
+
+TEST(Fidelity, ResultsJsonIsDeterministicAcrossThreadCounts)
+{
+    auto batch = smallBatch();
+    gen::FidelityOptions opts;
+    opts.synthesis = fastSynthesis();
+
+    std::string a, b;
+    for (unsigned threads : {1u, 3u}) {
+        pipeline::SessionOptions so;
+        so.threads = threads;
+        pipeline::Session session(std::move(so));
+        auto report = gen::scoreFidelity(session, batch, opts);
+        (threads == 1 ? a : b) = report.resultsJson().dump(-1);
+    }
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(Fidelity, JsonShapeAndSummary)
+{
+    pipeline::Session session;
+    gen::FidelityOptions opts;
+    opts.synthesis = fastSynthesis();
+    opts.timing = false;
+    auto report = gen::scoreFidelity(session, smallBatch(), opts);
+    report.generationSecs = 0.25;
+
+    Json full = report.toJson();
+    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v1");
+    EXPECT_EQ(full.get("instances").size(), 2u);
+    EXPECT_EQ(full.get("scored").asInt(), 2);
+    EXPECT_EQ(full.get("failed").asInt(), 0);
+    ASSERT_TRUE(full.has("summary"));
+    const Json &load = full.get("summary").get("mix.load");
+    EXPECT_GE(load.get("max").asNumber(), load.get("mean").asNumber());
+
+    // Bench half present in the full report, absent from results.
+    ASSERT_TRUE(full.has("bench"));
+    EXPECT_EQ(full.get("bench").get("generationSecs").asNumber(), 0.25);
+    ASSERT_TRUE(full.get("bench").has("perFamily"));
+    EXPECT_TRUE(full.get("bench").get("perFamily").has("figure4"));
+    EXPECT_TRUE(full.get("bench").get("perFamily").has("stream_mix"));
+    EXPECT_FALSE(report.resultsJson().has("bench"));
+
+    // Round-trips through the parser.
+    Json parsed = Json::parse(full.dump(2));
+    EXPECT_EQ(parsed.get("instances").size(), 2u);
+}
+
+TEST(Fidelity, PerInstanceFailureIsolation)
+{
+    workloads::Workload bad;
+    bad.benchmark = "broken";
+    bad.input = "syntax";
+    bad.source = "int main( { nope";
+    auto batch = smallBatch();
+    batch.insert(batch.begin() + 1, bad);
+
+    pipeline::Session session;
+    gen::FidelityOptions opts;
+    opts.synthesis = fastSynthesis();
+    opts.timing = false;
+    auto report = gen::scoreFidelity(session, batch, opts);
+
+    ASSERT_EQ(report.instances.size(), 3u);
+    EXPECT_TRUE(report.instances[0].ok);
+    EXPECT_FALSE(report.instances[1].ok);
+    EXPECT_FALSE(report.instances[1].error.empty());
+    EXPECT_TRUE(report.instances[2].ok);
+
+    Json j = report.resultsJson();
+    EXPECT_EQ(j.get("scored").asInt(), 2);
+    EXPECT_EQ(j.get("failed").asInt(), 1);
+    EXPECT_FALSE(j.get("instances").at(1).get("ok").asBool());
+}
+
+} // namespace
+} // namespace bsyn

@@ -16,9 +16,20 @@
  *       run the program on all five Table III machine models
  *   bsyn suite [-o <dir>] [--threads N] [--seed S] [--target-instr N]
  *       profile + synthesize the whole MiBench-analogue suite in one
- *       batch, fanned across a thread pool
+ *       batch, fanned across a thread pool; --family swaps in
+ *       generated workload-family instances
+ *   bsyn list
+ *       print every suite instance and registered generator family
+ *       (with knob schemas and presets)
+ *   bsyn gen <family>[,knob=v...][,seed=S] [-o prog.c]
+ *       generate one workload-family instance and write its MiniC
+ *       source (stdout by default)
+ *   bsyn fidelity [-o report.json] [--family <spec>] [--gen-count N]
+ *       score clone-vs-original profile agreement per metric across
+ *       the Figure-4 suite plus any generated instances, as JSON
  *
- * profile, synth and suite run through a pipeline::Session and accept
+ * profile, synth, suite and fidelity run through a pipeline::Session
+ * and accept
  * --cache-dir <dir> (or the BSYN_CACHE_DIR environment variable):
  * profiles and clones are stored content-addressed, so re-running with
  * unchanged inputs recomputes nothing and produces byte-identical
@@ -35,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "gen/fidelity.hh"
+#include "gen/registry.hh"
 #include "isa/lowering.hh"
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
@@ -60,6 +73,13 @@ struct Args
     unsigned threads = 0; ///< 0 = one per hardware thread
     std::string cacheDir; ///< empty = no artifact cache
     bool noCache = false; ///< overrides --cache-dir / BSYN_CACHE_DIR
+    bool levelSet = false; ///< an explicit -O flag was passed
+    bool noTiming = false; ///< fidelity: skip the timing CPI metric
+
+    /** Generated-workload selection: each --family value, in order
+     *  ("all" or "family[,knob=v...][,seed=S]"). */
+    std::vector<std::string> families;
+    uint64_t genCount = 1; ///< instances per family for "all"/seedless
 
     /** Cache directory after --no-cache is applied. */
     std::string
@@ -119,6 +139,18 @@ parseArgs(int argc, char **argv, int first)
             args.cacheDir = next("--cache-dir");
         } else if (a == "--no-cache") {
             args.noCache = true;
+        } else if (a == "--family") {
+            args.families.push_back(next("--family"));
+        } else if (startsWith(a, "--family=")) {
+            args.families.push_back(a.substr(strlen("--family=")));
+        } else if (a == "--gen-count") {
+            uint64_t n = parseU64(next("--gen-count"), "--gen-count");
+            if (n < 1 || n > 64)
+                fatal("--gen-count %llu is out of range (1..64)",
+                      static_cast<unsigned long long>(n));
+            args.genCount = n;
+        } else if (a == "--no-timing") {
+            args.noTiming = true;
         } else if (a == "--threads" || a == "-j") {
             uint64_t n = parseU64(next(a.c_str()), a.c_str());
             if (n > 4096)
@@ -127,6 +159,7 @@ parseArgs(int argc, char **argv, int first)
             args.threads = static_cast<unsigned>(n);
         } else if (a.size() == 3 && a[0] == '-' && a[1] == 'O') {
             args.level = opt::optLevelByName(a);
+            args.levelSet = true;
         } else if (!a.empty() && a[0] == '-') {
             fatal("unknown option '%s'", a.c_str());
         } else {
@@ -134,6 +167,37 @@ parseArgs(int argc, char **argv, int first)
         }
     }
     return args;
+}
+
+/**
+ * Resolve the --family selection into concrete workloads: "all" is a
+ * fixed-seed sample across every registered family (--gen-count
+ * presets each, seeded from --seed); an explicit spec without a seed
+ * yields --gen-count instances at seeds 1..N; a spec carrying seed=S
+ * yields exactly that instance.
+ */
+std::vector<workloads::Workload>
+generatedSelection(const Args &args)
+{
+    std::vector<workloads::Workload> out;
+    for (const auto &text : args.families) {
+        if (text == "all") {
+            auto sample = gen::Registry::global().sample(
+                args.genCount, args.seed);
+            out.insert(out.end(), sample.begin(), sample.end());
+            continue;
+        }
+        gen::InstanceSpec spec = gen::parseSpec(text);
+        const gen::Family &family =
+            gen::Registry::global().require(spec.family);
+        if (spec.hasSeed) {
+            out.push_back(family.make(spec.knobs, spec.seed));
+        } else {
+            for (uint64_t s = 1; s <= args.genCount; ++s)
+                out.push_back(family.make(spec.knobs, s));
+        }
+    }
+    return out;
 }
 
 int
@@ -260,11 +324,16 @@ cmdSuite(const Args &args)
 {
     if (!args.positional.empty())
         fatal("usage: bsyn suite [-o <dir>] [--threads N] [--seed S] "
-              "[--target-instr N] [--cache-dir D] [--no-cache] — "
-              "unexpected argument '%s'",
+              "[--target-instr N] [--family <spec>] [--gen-count N] "
+              "[--cache-dir D] [--no-cache] — unexpected argument '%s'",
               args.positional[0].c_str());
 
-    const auto &suite = workloads::mibenchSuite();
+    // --family swaps the batch from the MiBench-analogue suite to
+    // generated family instances; everything downstream (cache,
+    // sinks, seeds) treats them identically.
+    const std::vector<workloads::Workload> suite =
+        args.families.empty() ? workloads::mibenchSuite()
+                              : generatedSelection(args);
 
     pipeline::SessionOptions so;
     // Cap the pool at the batch width so a wide --threads (or a wide
@@ -351,6 +420,135 @@ cmdSuite(const Args &args)
     return failed ? 1 : 0;
 }
 
+int
+cmdList(const Args &args)
+{
+    if (!args.positional.empty())
+        fatal("usage: bsyn list — unexpected argument '%s'",
+              args.positional[0].c_str());
+
+    std::printf("suite instances (%zu):\n",
+                workloads::mibenchSuite().size());
+    std::string last;
+    for (const auto &w : workloads::mibenchSuite()) {
+        if (w.benchmark != last) {
+            std::printf("%s  %s:", last.empty() ? "" : "\n",
+                        w.benchmark.c_str());
+            last = w.benchmark;
+        }
+        std::printf(" %s", w.input.c_str());
+    }
+    std::printf("\n\ngenerator families (instantiate as "
+                "family[,knob=value...][,seed=S]):\n");
+    for (const auto *family : gen::Registry::global().families()) {
+        std::printf("\n  %s — %s\n", family->name().c_str(),
+                    family->description().c_str());
+        for (const auto &k : family->knobs())
+            std::printf("    %-12s default %-8lld range [%lld, %lld]  "
+                        "%s\n",
+                        k.name.c_str(),
+                        static_cast<long long>(k.def),
+                        static_cast<long long>(k.min),
+                        static_cast<long long>(k.max),
+                        k.description.c_str());
+        std::printf("    presets: %zu\n", family->presets().size());
+    }
+    return 0;
+}
+
+int
+cmdGen(const Args &args)
+{
+    if (args.positional.size() != 1)
+        fatal("usage: bsyn gen <family>[,knob=v...][,seed=S] "
+              "[-o prog.c]");
+    gen::InstanceSpec spec = gen::parseSpec(args.positional[0]);
+    workloads::Workload w = gen::instantiateSpec(spec);
+    if (args.output.empty())
+        std::fputs(w.source.c_str(), stdout);
+    else
+        writeFile(args.output, w.source);
+    std::fprintf(stderr,
+                 "[bsyn] generated %s (%zu bytes)%s%s\n"
+                 "[bsyn] expected output: %s\n",
+                 w.name().c_str(), w.source.size(),
+                 args.output.empty() ? "" : " -> ",
+                 args.output.c_str(), w.expectedOutput.c_str());
+    return 0;
+}
+
+int
+cmdFidelity(const Args &args)
+{
+    if (!args.positional.empty())
+        fatal("usage: bsyn fidelity [-o report.json] [--family <spec>] "
+              "[--gen-count N] [--seed S] [--target-instr N] "
+              "[-O0..-O3] [--no-timing] [--threads N] [--cache-dir D] "
+              "[--no-cache] — unexpected argument '%s'",
+              args.positional[0].c_str());
+
+    // Scope: every Figure-4 instance, plus every generated instance
+    // the --family selection adds.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<workloads::Workload> batch = workloads::mibenchSuite();
+    auto generated = generatedSelection(args);
+    batch.insert(batch.end(), generated.begin(), generated.end());
+    double genSecs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    pipeline::SessionOptions so;
+    so.threads = pipeline::resolveSuiteThreads(args.threads,
+                                               batch.size());
+    so.cacheDir = args.effectiveCacheDir();
+    so.synthesis.targetInstructions = args.targetInstr;
+    so.synthesis.seed = args.seed;
+    pipeline::Session session(std::move(so));
+
+    gen::FidelityOptions fo;
+    fo.synthesis = session.options().synthesis;
+    if (args.levelSet)
+        fo.timingLevel = args.level;
+    fo.timing = !args.noTiming;
+
+    auto report = gen::scoreFidelity(session, batch, fo);
+    report.generationSecs = genSecs;
+
+    std::string text = report.toJson().dump(2) + "\n";
+    if (args.output.empty())
+        std::fputs(text.c_str(), stdout);
+    else
+        writeFile(args.output, text);
+
+    size_t failed = 0;
+    TextTable table("clone fidelity (relative error per instance)");
+    table.setHeader({"workload", "mean", "max", "worst metric"});
+    for (const auto &inst : report.instances) {
+        if (!inst.ok) {
+            ++failed;
+            std::fprintf(stderr, "[bsyn] FAILED %-22s %s\n",
+                         inst.workload.c_str(), inst.error.c_str());
+            continue;
+        }
+        const gen::MetricScore *worst = nullptr;
+        for (const auto &m : inst.metrics)
+            if (!worst || m.error > worst->error)
+                worst = &m;
+        table.addRow({inst.workload,
+                      strprintf("%.3f", inst.meanError),
+                      strprintf("%.3f", inst.maxError),
+                      worst ? worst->metric : "-"});
+    }
+    table.print(std::cout);
+    std::fprintf(stderr,
+                 "[bsyn] scored %zu/%zu instances in %.2fs%s%s\n",
+                 report.instances.size() - failed,
+                 report.instances.size(), report.totalSecs,
+                 args.output.empty() ? "" : ", report written to ",
+                 args.output.c_str());
+    return failed ? 1 : 0;
+}
+
 void
 usage()
 {
@@ -366,9 +564,18 @@ usage()
         "  bsyn time <prog.c> [-O0..-O3]\n"
         "  bsyn suite [-o <dir>] [--threads N] [--seed S] "
         "[--target-instr N]\n"
+        "             [--family <spec>] [--gen-count N]\n"
+        "  bsyn list\n"
+        "  bsyn gen <family>[,knob=v...][,seed=S] [-o prog.c]\n"
+        "  bsyn fidelity [-o report.json] [--family <spec>] "
+        "[--gen-count N]\n"
+        "                [-O0..-O3] [--no-timing]\n"
         "\n"
-        "profile/synth/suite also accept --cache-dir <dir> and "
-        "--no-cache;\nBSYN_CACHE_DIR sets the default cache "
+        "a --family <spec> is 'all' or 'name[,knob=value...][,seed=S]' "
+        "(repeatable);\nbsyn list prints the registered families and "
+        "their knobs.\n"
+        "profile/synth/suite/fidelity also accept --cache-dir <dir> "
+        "and --no-cache;\nBSYN_CACHE_DIR sets the default cache "
         "directory.\n");
 }
 
@@ -408,6 +615,12 @@ main(int argc, char **argv)
             return cmdTime(args);
         if (cmd == "suite")
             return cmdSuite(args);
+        if (cmd == "list")
+            return cmdList(args);
+        if (cmd == "gen")
+            return cmdGen(args);
+        if (cmd == "fidelity")
+            return cmdFidelity(args);
         std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
         usage();
         return 2;
