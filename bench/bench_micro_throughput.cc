@@ -146,6 +146,35 @@ BM_InstrumentedThroughput(benchmark::State &state)
 BENCHMARK(BM_InstrumentedThroughput);
 
 void
+BM_InstrumentedSlicedThroughput(benchmark::State &state)
+{
+    // The fused mode with the v3 slice recorder armed (default slice
+    // interval and checkpoint budget). The recorder is one decrement
+    // per retired instruction plus a counter snapshot every few
+    // thousand, so this must stay within a few percent of the plain
+    // instrumented rate above.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    sim::CacheConfig cache;
+    sim::InstrumentedCounters counters;
+    sim::SliceOptions slices; // default 4096-instruction base interval
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SlicedCounters stream;
+        auto stats = sim::executeInstrumentedSliced(decoded, cache,
+                                                    counters, stream,
+                                                    slices);
+        insts += stats.instructions;
+        benchmark::DoNotOptimize(stats.exitCode);
+        benchmark::DoNotOptimize(stream.snapshots.size());
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstrumentedSlicedThroughput);
+
+void
 BM_InterpreterWithTimingModel(benchmark::State &state)
 {
     ir::Module m = lang::compile(kernelSrc, "k");

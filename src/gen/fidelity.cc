@@ -39,19 +39,19 @@ struct ProfileAggregates
 };
 
 ProfileAggregates
-aggregate(const profile::StatisticalProfile &prof)
+aggregate(const profile::InstrMix &mix, const profile::Sfgl &sfgl)
 {
     ProfileAggregates a;
-    a.loadFrac = prof.mix.loadFraction();
-    a.storeFrac = prof.mix.storeFraction();
-    a.branchFrac = prof.mix.branchFraction();
-    a.otherFrac = prof.mix.otherFraction();
-    a.fpFrac = prof.mix.fpFraction();
+    a.loadFrac = mix.loadFraction();
+    a.storeFrac = mix.storeFraction();
+    a.branchFrac = mix.branchFraction();
+    a.otherFrac = mix.otherFraction();
+    a.fpFrac = mix.fpFraction();
 
     double takenW = 0, taken = 0, trans = 0;
     double accesses = 0, expectedMisses = 0;
     size_t edges = 0;
-    for (const auto &b : prof.sfgl.blocks) {
+    for (const auto &b : sfgl.blocks) {
         edges += b.succs.size();
         for (const auto &d : b.code) {
             if (d.branchExecutions > 0) {
@@ -68,12 +68,59 @@ aggregate(const profile::StatisticalProfile &prof)
             }
         }
     }
-    a.blocks = static_cast<double>(prof.sfgl.blocks.size());
+    a.blocks = static_cast<double>(sfgl.blocks.size());
     a.edges = static_cast<double>(edges);
     a.takenRate = takenW > 0 ? taken / takenW : 0.0;
     a.transitionRate = takenW > 0 ? trans / takenW : 0.0;
     a.missRate = accesses > 0 ? expectedMisses / accesses : 0.0;
     return a;
+}
+
+ProfileAggregates
+aggregate(const profile::StatisticalProfile &prof)
+{
+    return aggregate(prof.mix, prof.sfgl);
+}
+
+/** One phase's aggregates plus its normalized execution interval
+ *  [begin, end) in units of the whole run. */
+struct PhaseSpan
+{
+    double begin = 0.0;
+    double end = 1.0;
+    ProfileAggregates agg;
+};
+
+std::vector<PhaseSpan>
+phaseSpans(const profile::StatisticalProfile &prof)
+{
+    std::vector<PhaseSpan> spans;
+    double total = 0;
+    for (const auto &ph : prof.phases)
+        total += static_cast<double>(ph.dynamicInstructions);
+    if (total <= 0)
+        total = 1;
+    double at = 0;
+    for (const auto &ph : prof.phases) {
+        PhaseSpan s;
+        s.begin = at / total;
+        at += static_cast<double>(ph.dynamicInstructions);
+        s.end = at / total;
+        s.agg = aggregate(ph.mix, ph.sfgl);
+        spans.push_back(std::move(s));
+    }
+    return spans;
+}
+
+double
+mixError(const ProfileAggregates &o, const ProfileAggregates &c)
+{
+    return (relError(o.loadFrac, c.loadFrac) +
+            relError(o.storeFrac, c.storeFrac) +
+            relError(o.branchFrac, c.branchFrac) +
+            relError(o.otherFrac, c.otherFrac) +
+            relError(o.fpFrac, c.fpFrac)) /
+           5.0;
 }
 
 void
@@ -86,6 +133,67 @@ pushMetric(InstanceFidelity &inst, const std::string &name,
     m.clone = clone;
     m.error = relError(orig, clone);
     inst.metrics.push_back(std::move(m));
+}
+
+/**
+ * Score the clone's phase behaviour against the original's. Phases are
+ * aligned by normalized execution time: each original phase compares
+ * against the clone phase covering its midpoint, so the comparison is
+ * meaningful even when the detected phase counts differ (an aggregate
+ * clone has one phase covering everything — its flat behaviour is
+ * scored against every original phase, which is exactly the error a
+ * phase-aware clone exists to remove).
+ */
+void
+scorePhases(InstanceFidelity &inst,
+            const profile::StatisticalProfile &orig,
+            const profile::StatisticalProfile &clone)
+{
+    inst.originalPhases = orig.phaseCount();
+    inst.clonePhases = clone.phaseCount();
+    // Bounded error |o-c|/max(o,c): a plain relative error on small
+    // counts (1 vs 5 -> 4.0) would drown every behavioural metric in
+    // the instance summary.
+    {
+        double o = static_cast<double>(inst.originalPhases);
+        double c = static_cast<double>(inst.clonePhases);
+        MetricScore m;
+        m.metric = "phase.count";
+        m.original = o;
+        m.clone = c;
+        m.error = std::fabs(o - c) / std::max(o, c);
+        inst.metrics.push_back(std::move(m));
+    }
+
+    std::vector<PhaseSpan> os = phaseSpans(orig);
+    std::vector<PhaseSpan> cs = phaseSpans(clone);
+    if (os.empty() || cs.empty())
+        return;
+
+    double sum = 0;
+    for (size_t i = 0; i < os.size(); ++i) {
+        double mid = (os[i].begin + os[i].end) / 2;
+        size_t j = cs.size() - 1;
+        for (size_t k = 0; k < cs.size(); ++k) {
+            if (mid < cs[k].end) {
+                j = k;
+                break;
+            }
+        }
+        PhaseScore ps;
+        ps.original = i;
+        ps.clone = j;
+        ps.mixError = mixError(os[i].agg, cs[j].agg);
+        ps.missRateError =
+            relError(os[i].agg.missRate, cs[j].agg.missRate);
+        ps.takenRateError =
+            relError(os[i].agg.takenRate, cs[j].agg.takenRate);
+        inst.phaseWorstMixError =
+            std::max(inst.phaseWorstMixError, ps.mixError);
+        sum += ps.mixError;
+        inst.phaseScores.push_back(ps);
+    }
+    inst.phaseMeanMixError = sum / double(os.size());
 }
 
 InstanceFidelity
@@ -125,6 +233,7 @@ scoreOne(pipeline::Session &session, const workloads::Workload &w,
     pushMetric(inst, "branch.transitionRate", o.transitionRate,
                c.transitionRate);
     pushMetric(inst, "mem.missRate", o.missRate, c.missRate);
+    scorePhases(inst, prof, cloneProf);
 
     if (opts.timing) {
         t0 = Clock::now();
@@ -186,7 +295,7 @@ Json
 FidelityReport::resultsJson() const
 {
     Json root = Json::object();
-    root.set("schema", Json("bsyn.fidelity.v1"));
+    root.set("schema", Json("bsyn.fidelity.v2"));
 
     Json list = Json::array();
     // Per-metric accumulation across ok instances, in first-seen
@@ -227,6 +336,26 @@ FidelityReport::resultsJson() const
         j.set("metrics", std::move(metrics));
         j.set("meanRelError", Json(inst.meanError));
         j.set("maxRelError", Json(inst.maxError));
+
+        // Phase half (v2): counts, per-phase alignment scores and the
+        // worst/mean per-phase mix error.
+        Json phases = Json::object();
+        phases.set("original", Json(inst.originalPhases));
+        phases.set("clone", Json(inst.clonePhases));
+        phases.set("worstMixError", Json(inst.phaseWorstMixError));
+        phases.set("meanMixError", Json(inst.phaseMeanMixError));
+        Json perPhase = Json::array();
+        for (const auto &ps : inst.phaseScores) {
+            Json p = Json::object();
+            p.set("original", Json(static_cast<uint64_t>(ps.original)));
+            p.set("clone", Json(static_cast<uint64_t>(ps.clone)));
+            p.set("mixError", Json(ps.mixError));
+            p.set("missRateError", Json(ps.missRateError));
+            p.set("takenRateError", Json(ps.takenRateError));
+            perPhase.push(std::move(p));
+        }
+        phases.set("perPhase", std::move(perPhase));
+        j.set("phases", std::move(phases));
         list.push(std::move(j));
     }
     root.set("instances", std::move(list));
@@ -239,6 +368,22 @@ FidelityReport::resultsJson() const
                                        : 0.0));
         entry.set("max", Json(agg.second));
         summary.set(name, std::move(entry));
+    }
+    // Batch-level phase summary: mean/max of the per-instance
+    // worst-phase mix error (the phase-aware vs aggregate-only
+    // comparison CI smokes on).
+    {
+        double sum = 0, mx = 0;
+        for (const auto &inst : instances) {
+            if (!inst.ok)
+                continue;
+            sum += inst.phaseWorstMixError;
+            mx = std::max(mx, inst.phaseWorstMixError);
+        }
+        Json entry = Json::object();
+        entry.set("mean", Json(okCount ? sum / double(okCount) : 0.0));
+        entry.set("max", Json(mx));
+        summary.set("phaseWorstMix", std::move(entry));
     }
     root.set("summary", std::move(summary));
     root.set("scored", Json(static_cast<uint64_t>(okCount)));

@@ -58,6 +58,17 @@ struct MetricScore
     double error = 0.0;
 };
 
+/** Per-phase comparison of one original phase against the clone phase
+ *  covering the same normalized execution interval. */
+struct PhaseScore
+{
+    size_t original = 0; ///< original phase index
+    size_t clone = 0;    ///< aligned clone phase index
+    double mixError = 0.0;       ///< mean rel. error of the 5 mix fractions
+    double missRateError = 0.0;  ///< rel. error of the expected miss rate
+    double takenRateError = 0.0; ///< rel. error of the taken rate
+};
+
 /** Fidelity of one workload's clone. */
 struct InstanceFidelity
 {
@@ -69,6 +80,16 @@ struct InstanceFidelity
 
     double meanError = 0.0;
     double maxError = 0.0;
+
+    /** Phase half: detected phase counts on both sides, the per-phase
+     *  alignment scores, and the worst/mean per-phase mix error — the
+     *  number a phase-aware clone must beat an aggregate-only clone
+     *  on (time-varying behaviour an aggregate cannot reproduce). */
+    uint64_t originalPhases = 1;
+    uint64_t clonePhases = 1;
+    std::vector<PhaseScore> phaseScores; ///< one per original phase
+    double phaseWorstMixError = 0.0;
+    double phaseMeanMixError = 0.0;
 
     /** Wall-clock provenance (bench half of the report; not part of
      *  the deterministic results). */

@@ -23,13 +23,15 @@ synthesisFingerprint(const synth::SynthesisOptions &o)
 {
     return strprintf(
         "seed=%llu;R=%llu;target=%llu;cal=%d;"
+        "phaseAware=%d;maxPhases=%d;"
         "maxFuncs=%d;loopInfo=%d;cold=%.17g;hot=%.17g;"
         "stream=%llu;minPeriod=%d;maxPeriod=%d;"
         "maxOps=%d;intTemps=%d;fpTemps=%d;patterns=%d",
         static_cast<unsigned long long>(o.seed),
         static_cast<unsigned long long>(o.reductionFactor),
         static_cast<unsigned long long>(o.targetInstructions),
-        o.calibrationRounds, o.skeleton.maxFunctions,
+        o.calibrationRounds, int(o.phaseAware), o.maxPhases,
+        o.skeleton.maxFunctions,
         int(o.skeleton.useLoopInfo), o.skeleton.coldThreshold,
         o.skeleton.hotThreshold,
         static_cast<unsigned long long>(o.emitter.streamElems),
@@ -39,6 +41,18 @@ synthesisFingerprint(const synth::SynthesisOptions &o)
         int(o.emitter.pattern.usePatterns));
 }
 
+/** Every profiling knob that shapes the stored profile — the slice
+ *  stream and phase detection feed the v3 phase list, so two sessions
+ *  profiling with different slicing must not share cache entries. */
+std::string
+profilingFingerprint(const bsyn::profile::ProfileOptions &o)
+{
+    return strprintf(
+        "slice=%llu;maxSlices=%u;phaseThresh=%.17g;minPhase=%.17g",
+        static_cast<unsigned long long>(o.sliceBaseLength),
+        o.maxSliceCheckpoints, o.phaseThreshold, o.minPhaseFraction);
+}
+
 Json
 benchmarkToJson(const synth::SyntheticBenchmark &b)
 {
@@ -46,6 +60,7 @@ benchmarkToJson(const synth::SyntheticBenchmark &b)
     root.set("name", Json(b.name));
     root.set("cSource", Json(b.cSource));
     root.set("reductionFactor", Json(b.reductionFactor));
+    root.set("phases", Json(static_cast<uint64_t>(b.phases)));
     Json ps = Json::object();
     ps.set("coveredInstrs", Json(b.patternStats.coveredInstrs));
     ps.set("uncoveredInstrs", Json(b.patternStats.uncoveredInstrs));
@@ -63,6 +78,8 @@ benchmarkFromJson(const Json &j)
     b.cSource = j.get("cSource").asString();
     b.reductionFactor =
         static_cast<uint64_t>(j.get("reductionFactor").asNumber());
+    if (j.has("phases"))
+        b.phases = static_cast<uint32_t>(j.get("phases").asNumber());
     const Json &ps = j.get("patternStats");
     b.patternStats.coveredInstrs =
         static_cast<uint64_t>(ps.get("coveredInstrs").asNumber());
@@ -173,9 +190,13 @@ bsyn::profile::StatisticalProfile
 Session::profile(const std::string &source, const std::string &name,
                  bool *cached)
 {
-    // v2: profile JSON gained per-CondBr branch annotations and the
-    // width-aware cache simulation — v1 entries must not be reused.
-    std::string key = ArtifactCache::key("profile.v2", {name, source});
+    // v3: profiles became time-sliced with a per-phase sub-profile
+    // list (v2 entries lack the slice stream and must not be reused);
+    // the slicing knobs join the key so sessions with different phase
+    // detection settings keep distinct entries.
+    std::string key = ArtifactCache::key(
+        "profile.v3",
+        {name, source, profilingFingerprint(options_.profiling)});
     std::string text;
     if (cache_.load(key, text)) {
         ++profileHits_;
@@ -187,7 +208,7 @@ Session::profile(const std::string &source, const std::string &name,
     if (cached)
         *cached = false;
     ir::Module mod = lang::compile(source, name); // -O0 shape
-    auto prof = bsyn::profile::profileModule(mod);
+    auto prof = bsyn::profile::profileModule(mod, options_.profiling);
     cache_.store(key, prof.serialize());
     return prof;
 }
@@ -202,11 +223,11 @@ synth::SyntheticBenchmark
 Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
                     const synth::SynthesisOptions &opts, bool *cached)
 {
-    // v2: calibration became a parallel candidate ladder (picks the
-    // measured count closest to the budget) — v1 clones were retuned
-    // serially and must not be reused.
+    // v3: synthesis became phase-aware (one stitched skeleton per
+    // profile phase) — v2 clones of multi-phase profiles must not be
+    // reused, and the benchmark JSON gained the phase count.
     std::string key = ArtifactCache::key(
-        "synth.v2", {synthesisFingerprint(opts), prof.serialize()});
+        "synth.v3", {synthesisFingerprint(opts), prof.serialize()});
     std::string text;
     if (cache_.load(key, text)) {
         ++synthHits_;

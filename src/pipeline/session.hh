@@ -23,6 +23,7 @@
 #include "pipeline/artifact_cache.hh"
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
+#include "profile/profiler.hh"
 
 namespace bsyn::pipeline
 {
@@ -46,6 +47,10 @@ struct SessionOptions
      *  its seed is the batch *base* seed that deriveWorkloadSeed()
      *  specializes per workload. */
     synth::SynthesisOptions synthesis;
+
+    /** Profiling configuration (slice interval, checkpoint budget,
+     *  phase threshold). Part of the profile cache fingerprint. */
+    bsyn::profile::ProfileOptions profiling;
 
     SessionOptions();
 };

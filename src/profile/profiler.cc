@@ -1,6 +1,7 @@
 #include "profile/profiler.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -38,18 +39,46 @@ struct DynamicProfile
     std::map<std::pair<int, int>, uint64_t> edges;
 };
 
+/** Per-PC memory/branch statistics from dense counters — the shared
+ *  decode both engines' slice streams go through. */
+void
+statsFromCounters(const sim::InstrumentedCounters &c, size_t n,
+                  DynamicProfile &d)
+{
+    d.memStats.resize(n);
+    d.branchStats.resize(n);
+    for (size_t pc = 0; pc < n; ++pc) {
+        d.memStats[pc].accesses = c.memAccesses[pc];
+        d.memStats[pc].misses = c.memMisses[pc];
+        BranchStats &b = d.branchStats[pc];
+        b.executions = c.branch[pc].executions;
+        b.taken = c.branch[pc].taken;
+        b.transitions = c.branch[pc].transitions;
+        b.lastOutcome = c.branch[pc].lastOutcome != 0;
+        b.hasLast = c.branch[pc].hasLast != 0;
+    }
+}
+
 /** Execution observer that fills in the dynamic SFGL annotations —
- *  the golden reference the fused path is checked against. */
+ *  the golden reference the fused path is checked against. It keeps
+ *  the same dense per-PC counters as the instrumented engine (so the
+ *  slice streams of both engines decode through one code path) plus
+ *  the directly observed block executions, edges and retire-order mix
+ *  the differential suite compares against the reconstruction. */
 class ProfileObserver : public sim::ExecObserver
 {
   public:
     ProfileObserver(const isa::MachineProgram &p,
                     const std::vector<int> &pc_to_block,
-                    const ProfileOptions &opts)
-        : prog(p), pcToBlock(pc_to_block), cache(opts.profilingCache)
+                    const ProfileOptions &opts, sim::SliceRecorder &rec)
+        : prog(p), pcToBlock(pc_to_block), cache(opts.profilingCache),
+          recorder(rec)
     {
-        memStats.resize(prog.code.size());
-        branchStats.resize(prog.code.size());
+        counters.execCount.assign(prog.code.size(), 0);
+        counters.memAccesses.assign(prog.code.size(), 0);
+        counters.memMisses.assign(prog.code.size(), 0);
+        counters.branch.assign(prog.code.size(),
+                               sim::InstrumentedCounters::Branch());
         blockExec.assign(1 + *std::max_element(pcToBlock.begin(),
                                                pcToBlock.end()),
                          0);
@@ -64,6 +93,11 @@ class ProfileObserver : public sim::ExecObserver
     void
     onInstruction(int pc, const MInst &mi) override
     {
+        // Checkpoint before counting, exactly like the instrumented
+        // engine's hook: a boundary never splits one instruction's
+        // events across two slices.
+        recorder.beforeRetire(counters);
+        ++counters.execCount[static_cast<size_t>(pc)];
         mix.add(clsByPc[static_cast<size_t>(pc)]);
 
         // A block "starts" at a PC whose predecessor PC belongs to a
@@ -92,26 +126,32 @@ class ProfileObserver : public sim::ExecObserver
     onMemAccess(int pc, uint64_t addr, uint32_t size, bool,
                 uint64_t) override
     {
-        auto &s = memStats[static_cast<size_t>(pc)];
-        ++s.accesses;
+        ++counters.memAccesses[static_cast<size_t>(pc)];
         if (!cache.access(addr, size))
-            ++s.misses;
+            ++counters.memMisses[static_cast<size_t>(pc)];
     }
 
     void
     onBranch(int pc, bool taken) override
     {
-        branchStats[static_cast<size_t>(pc)].record(taken);
+        // Mirrors BranchStats::record() / the instrumented engine.
+        auto &b = counters.branch[static_cast<size_t>(pc)];
+        ++b.executions;
+        b.taken += taken;
+        if (b.hasLast && taken != (b.lastOutcome != 0))
+            ++b.transitions;
+        b.lastOutcome = taken;
+        b.hasLast = 1;
     }
 
     const isa::MachineProgram &prog;
     const std::vector<int> &pcToBlock;
     sim::Cache cache;
+    sim::SliceRecorder &recorder;
 
     InstrMix mix;
     std::vector<isa::MClass> clsByPc;         // per PC
-    std::vector<MemAccessStats> memStats;     // per PC
-    std::vector<BranchStats> branchStats;     // per PC
+    sim::InstrumentedCounters counters;       // per PC, dense
     std::vector<uint64_t> blockExec;          // per SFGL block
     std::map<std::pair<int, int>, uint64_t> edges;
 
@@ -120,25 +160,10 @@ class ProfileObserver : public sim::ExecObserver
     bool lastWasIntraFunc = false;
 };
 
-DynamicProfile
-observerDynamicProfile(const isa::MachineProgram &prog,
-                       const std::vector<int> &pc_to_block,
-                       const ProfileOptions &opts)
-{
-    ProfileObserver obs(prog, pc_to_block, opts);
-    DynamicProfile d;
-    d.exec = sim::execute(prog, &obs, opts.limits);
-    d.mix = obs.mix;
-    d.memStats = std::move(obs.memStats);
-    d.branchStats = std::move(obs.branchStats);
-    d.blockExec = std::move(obs.blockExec);
-    d.edges = std::move(obs.edges);
-    return d;
-}
-
 /**
- * Reconstruct the dynamic profile from the instrumented engine's dense
- * per-PC counters plus the program's static structure.
+ * Reconstruct a dynamic profile from dense per-PC counters plus the
+ * program's static structure — the aggregate counters of a fused run,
+ * or the delta between two slice-stream snapshots of either engine.
  *
  * The reconstruction leans on two invariants of the lowered code:
  * every retired execution of a block's first PC is exactly one block
@@ -151,34 +176,20 @@ observerDynamicProfile(const isa::MachineProgram &prog,
  * attributable to a static PC whose dynamic count we have.
  */
 DynamicProfile
-fusedDynamicProfile(const isa::MachineProgram &prog,
-                    const std::vector<int> &pc_to_block,
-                    const std::vector<int> &block_start_pc,
-                    const ProfileOptions &opts)
+dynFromCounters(const isa::MachineProgram &prog,
+                const std::vector<int> &pc_to_block,
+                const std::vector<int> &block_start_pc,
+                const sim::InstrumentedCounters &c)
 {
-    sim::DecodedProgram decoded(prog);
-    sim::InstrumentedCounters c;
     DynamicProfile d;
-    d.exec = sim::executeInstrumented(decoded, opts.profilingCache, c,
-                                      opts.limits);
-
     size_t n = prog.code.size();
-    d.memStats.resize(n);
-    d.branchStats.resize(n);
     std::vector<bool> starts(n, false);
     for (size_t pc = 0; pc < n; ++pc) {
         if (c.execCount[pc])
             d.mix.add(prog.code[pc].cls(), c.execCount[pc]);
-        d.memStats[pc].accesses = c.memAccesses[pc];
-        d.memStats[pc].misses = c.memMisses[pc];
-        BranchStats &b = d.branchStats[pc];
-        b.executions = c.branch[pc].executions;
-        b.taken = c.branch[pc].taken;
-        b.transitions = c.branch[pc].transitions;
-        b.lastOutcome = c.branch[pc].lastOutcome != 0;
-        b.hasLast = c.branch[pc].hasLast != 0;
         starts[pc] = pc == 0 || pc_to_block[pc - 1] != pc_to_block[pc];
     }
+    statsFromCounters(c, n, d);
 
     d.blockExec.resize(block_start_pc.size());
     for (size_t b = 0; b < block_start_pc.size(); ++b)
@@ -219,19 +230,225 @@ fusedDynamicProfile(const isa::MachineProgram &prog,
     return d;
 }
 
-} // namespace
-
-StatisticalProfile
-profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
-                const ProfileOptions &opts)
+DynamicProfile
+observerDynamicProfile(const isa::MachineProgram &prog,
+                       const std::vector<int> &pc_to_block,
+                       const ProfileOptions &opts,
+                       const sim::SliceOptions &sopts,
+                       sim::SlicedCounters *slices)
 {
-    BSYN_ASSERT(!prog.code.empty(), "profiling an empty program");
+    sim::SliceRecorder rec(sopts, slices);
+    ProfileObserver obs(prog, pc_to_block, opts, rec);
+    DynamicProfile d;
+    d.exec = sim::execute(prog, &obs, opts.limits);
+    rec.finish(obs.counters);
+    d.mix = obs.mix;
+    statsFromCounters(obs.counters, prog.code.size(), d);
+    d.blockExec = std::move(obs.blockExec);
+    d.edges = std::move(obs.edges);
+    return d;
+}
 
-    // --- Static structure: contiguous (func, irBlock) runs are blocks.
-    std::vector<int> pc_to_block(prog.code.size(), -1);
-    Sfgl sfgl;
-    std::map<std::pair<int, int>, int> block_index;
+DynamicProfile
+fusedDynamicProfile(const isa::MachineProgram &prog,
+                    const std::vector<int> &pc_to_block,
+                    const std::vector<int> &block_start_pc,
+                    const ProfileOptions &opts,
+                    const sim::SliceOptions &sopts,
+                    sim::SlicedCounters *slices)
+{
+    sim::DecodedProgram decoded(prog);
+    sim::InstrumentedCounters c;
+    sim::ExecStats exec =
+        slices ? sim::executeInstrumentedSliced(
+                     decoded, opts.profilingCache, c, *slices, sopts,
+                     opts.limits)
+               : sim::executeInstrumented(decoded, opts.profilingCache,
+                                          c, opts.limits);
+    DynamicProfile d =
+        dynFromCounters(prog, pc_to_block, block_start_pc, c);
+    d.exec = exec;
+    return d;
+}
+
+/** Element-wise counter difference hi - lo (the events of one slice or
+ *  phase). The branch last-outcome flags carry over from @p hi; they
+ *  only exist for record() streaming and are ignored downstream. */
+sim::InstrumentedCounters
+counterDelta(const sim::InstrumentedCounters &hi,
+             const sim::InstrumentedCounters *lo)
+{
+    sim::InstrumentedCounters d = hi;
+    if (!lo)
+        return d;
+    size_t n = d.execCount.size();
+    for (size_t pc = 0; pc < n; ++pc) {
+        d.execCount[pc] -= lo->execCount[pc];
+        d.memAccesses[pc] -= lo->memAccesses[pc];
+        d.memMisses[pc] -= lo->memMisses[pc];
+        d.branch[pc].executions -= lo->branch[pc].executions;
+        d.branch[pc].taken -= lo->branch[pc].taken;
+        d.branch[pc].transitions -= lo->branch[pc].transitions;
+    }
+    return d;
+}
+
+/** Behaviour vector of one slice or phase, the space the boundary
+ *  detector measures distances in. */
+struct SliceFeatures
+{
+    double load = 0, store = 0, branch = 0, fp = 0, other = 0;
+    double missRate = 0, takenRate = 0;
+    uint64_t retired = 0;
+};
+
+SliceFeatures
+sliceFeatures(const sim::InstrumentedCounters &delta,
+              const std::vector<isa::MClass> &clsByPc, uint64_t retired)
+{
+    InstrMix mix;
+    uint64_t accesses = 0, misses = 0, branches = 0, taken = 0;
+    size_t n = delta.execCount.size();
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (delta.execCount[pc])
+            mix.add(clsByPc[pc], delta.execCount[pc]);
+        accesses += delta.memAccesses[pc];
+        misses += delta.memMisses[pc];
+        branches += delta.branch[pc].executions;
+        taken += delta.branch[pc].taken;
+    }
+    SliceFeatures f;
+    f.load = mix.loadFraction();
+    f.store = mix.storeFraction();
+    f.branch = mix.branchFraction();
+    f.fp = mix.fpFraction();
+    f.other = mix.otherFraction();
+    f.missRate = accesses ? double(misses) / double(accesses) : 0.0;
+    f.takenRate = branches ? double(taken) / double(branches) : 0.0;
+    f.retired = retired;
+    return f;
+}
+
+double
+featureDistance(const SliceFeatures &a, const SliceFeatures &b)
+{
+    return std::fabs(a.load - b.load) + std::fabs(a.store - b.store) +
+           std::fabs(a.branch - b.branch) + std::fabs(a.fp - b.fp) +
+           std::fabs(a.other - b.other) +
+           std::fabs(a.missRate - b.missRate) +
+           std::fabs(a.takenRate - b.takenRate);
+}
+
+/** One detected phase: slices [first, first + count). */
+struct PhaseSeg
+{
+    size_t first = 0;
+    size_t count = 0;
+};
+
+/**
+ * Greedy adjacent-slice merge: a slice extends the current phase while
+ * its behaviour vector stays within the threshold of the phase's
+ * running aggregate vector; otherwise it opens a new phase. A runt
+ * slice (the partial tail of the run, shorter than 1/8 of the
+ * interval) never opens a phase of its own — its features are noise.
+ */
+std::vector<PhaseSeg>
+detectPhases(const sim::SlicedCounters &slices,
+             const std::vector<isa::MClass> &clsByPc, double threshold,
+             double min_fraction)
+{
+    const auto &snaps = slices.snapshots;
+    std::vector<PhaseSeg> segs;
+    if (snaps.empty())
+        return segs;
+
+    auto segDelta = [&](size_t first, size_t last) {
+        return counterDelta(snaps[last].counters,
+                            first ? &snaps[first - 1].counters : nullptr);
+    };
+    auto segRetired = [&](size_t first, size_t last) {
+        return snaps[last].retired -
+               (first ? snaps[first - 1].retired : 0);
+    };
+    auto segFeatures = [&](const PhaseSeg &s) {
+        size_t last = s.first + s.count - 1;
+        return sliceFeatures(segDelta(s.first, last), clsByPc,
+                             segRetired(s.first, last));
+    };
+
+    segs.push_back({0, 1});
+    SliceFeatures cur = sliceFeatures(segDelta(0, 0), clsByPc,
+                                      segRetired(0, 0));
+    for (size_t i = 1; i < snaps.size(); ++i) {
+        uint64_t retired = segRetired(i, i);
+        SliceFeatures f =
+            sliceFeatures(segDelta(i, i), clsByPc, retired);
+        bool runt = retired < slices.sliceLength / 8;
+        if (runt || featureDistance(cur, f) <= threshold) {
+            ++segs.back().count;
+        } else {
+            segs.push_back({i, 1});
+        }
+        cur = segFeatures(segs.back());
+    }
+
+    // Undersized phases are transition artifacts: a slice straddling a
+    // real boundary blends both neighbours' behaviour, lands outside
+    // the threshold of either, and surfaces as a singleton phase.
+    // Repeatedly fold the smallest undersized phase into whichever
+    // neighbour is behaviourally closer.
+    uint64_t total = snaps.back().retired;
+    uint64_t min_retired = static_cast<uint64_t>(
+        min_fraction * static_cast<double>(total));
+    while (segs.size() > 1) {
+        size_t victim = segs.size();
+        uint64_t victim_retired = 0;
+        for (size_t i = 0; i < segs.size(); ++i) {
+            uint64_t r = segRetired(segs[i].first,
+                                    segs[i].first + segs[i].count - 1);
+            if (r < min_retired &&
+                (victim == segs.size() || r < victim_retired)) {
+                victim = i;
+                victim_retired = r;
+            }
+        }
+        if (victim == segs.size())
+            break;
+        size_t into;
+        if (victim == 0) {
+            into = 1;
+        } else if (victim + 1 == segs.size()) {
+            into = victim - 1;
+        } else {
+            SliceFeatures v = segFeatures(segs[victim]);
+            double dprev =
+                featureDistance(segFeatures(segs[victim - 1]), v);
+            double dnext =
+                featureDistance(segFeatures(segs[victim + 1]), v);
+            into = dprev <= dnext ? victim - 1 : victim + 1;
+        }
+        size_t lo = std::min(victim, into);
+        segs[lo].count += segs[lo + 1].count;
+        segs.erase(segs.begin() + static_cast<ptrdiff_t>(lo) + 1);
+    }
+    return segs;
+}
+
+/** Static structure shared by the aggregate and every phase. */
+struct StaticSfgl
+{
+    Sfgl sfgl; ///< blocks/code/term/funcNames/loops, no dynamic counts
+    std::vector<int> pc_to_block;
     std::vector<int> block_start_pc;
+};
+
+StaticSfgl
+buildStaticSfgl(const ir::Module &mod, const isa::MachineProgram &prog)
+{
+    StaticSfgl s;
+    s.pc_to_block.assign(prog.code.size(), -1);
+    std::map<std::pair<int, int>, int> block_index;
     for (size_t pc = 0; pc < prog.code.size(); ++pc) {
         const MInst &mi = prog.code[pc];
         bool new_block =
@@ -239,14 +456,14 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
             prog.code[pc - 1].irBlockId != mi.irBlockId;
         if (new_block) {
             SfglBlock b;
-            b.id = static_cast<int>(sfgl.blocks.size());
+            b.id = static_cast<int>(s.sfgl.blocks.size());
             b.funcId = mi.funcId;
             b.irBlockId = mi.irBlockId;
             block_index[{mi.funcId, mi.irBlockId}] = b.id;
-            sfgl.blocks.push_back(std::move(b));
-            block_start_pc.push_back(static_cast<int>(pc));
+            s.sfgl.blocks.push_back(std::move(b));
+            s.block_start_pc.push_back(static_cast<int>(pc));
         }
-        SfglBlock &b = sfgl.blocks.back();
+        SfglBlock &b = s.sfgl.blocks.back();
         InstrDescriptor d;
         d.op = mi.op;
         d.type = mi.type;
@@ -260,21 +477,57 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
             b.term = SfglTerm::Branch;
         else if (mi.kind == MKind::Ret)
             b.term = SfglTerm::Ret;
-        pc_to_block[pc] = b.id;
+        s.pc_to_block[pc] = b.id;
     }
     for (const auto &f : prog.funcs)
-        sfgl.funcNames.push_back(f.name);
+        s.sfgl.funcNames.push_back(f.name);
 
-    // --- Dynamic annotations, via either collection engine. The fused
-    // mode lives inside the predecoded engine, so explicitly selecting
-    // the reference interpreter implies the observer profiler.
-    bool fused = opts.engine == ProfileEngine::Fused &&
-                 opts.limits.engine == sim::ExecEngine::Predecoded;
-    DynamicProfile dyn =
-        fused ? fusedDynamicProfile(prog, pc_to_block, block_start_pc,
-                                    opts)
-              : observerDynamicProfile(prog, pc_to_block, opts);
+    // Loop structure from the IR CFG (headers, membership, nesting —
+    // the dynamic entry counts are per-profile annotations).
+    for (size_t fi = 0; fi < mod.functions.size(); ++fi) {
+        const ir::Function &fn = mod.functions[fi];
+        ir::Cfg cfg(fn);
+        ir::Dominators dom(fn, cfg);
+        ir::LoopForest loops(fn, cfg, dom);
+        int loop_base = static_cast<int>(s.sfgl.loops.size());
+        for (const auto &l : loops.loops()) {
+            SfglLoop sl;
+            sl.id = loop_base + l.id;
+            auto hit = block_index.find({static_cast<int>(fi), l.header});
+            if (hit == block_index.end())
+                continue; // header unreachable / not lowered
+            sl.header = hit->second;
+            for (int b : l.blocks) {
+                auto bit = block_index.find({static_cast<int>(fi), b});
+                if (bit != block_index.end())
+                    sl.blocks.push_back(bit->second);
+            }
+            sl.parent = l.parent >= 0 ? loop_base + l.parent : -1;
+            sl.depth = l.depth;
+            s.sfgl.loops.push_back(std::move(sl));
+        }
+    }
 
+    // Innermost loop per block (static: membership never changes).
+    for (auto &l : s.sfgl.loops) {
+        for (int b : l.blocks) {
+            SfglBlock &blk = s.sfgl.blocks[static_cast<size_t>(b)];
+            if (blk.loopId < 0 ||
+                s.sfgl.loops[static_cast<size_t>(blk.loopId)]
+                        .blocks.size() > l.blocks.size())
+                blk.loopId = l.id;
+        }
+    }
+    return s;
+}
+
+/** Apply one DynamicProfile's measurements to a copy of the static
+ *  SFGL — the per-phase and aggregate assemblies share this verbatim. */
+void
+annotateDynamic(Sfgl &sfgl, const DynamicProfile &dyn,
+                const StaticSfgl &st, const isa::MachineProgram &prog,
+                const ProfileOptions &opts)
+{
     for (size_t b = 0; b < sfgl.blocks.size(); ++b)
         sfgl.blocks[b].execCount = dyn.blockExec[b];
     for (const auto &[edge, count] : dyn.edges)
@@ -286,7 +539,7 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
     // block-level rates summarize the first executed one.
     for (size_t b = 0; b < sfgl.blocks.size(); ++b) {
         SfglBlock &blk = sfgl.blocks[b];
-        int start = block_start_pc[b];
+        int start = st.block_start_pc[b];
         bool block_annotated = false;
         for (size_t i = 0; i < blk.code.size(); ++i) {
             int pc = start + static_cast<int>(i);
@@ -312,7 +565,7 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
     // Memory annotations.
     for (size_t b = 0; b < sfgl.blocks.size(); ++b) {
         SfglBlock &blk = sfgl.blocks[b];
-        int start = block_start_pc[b];
+        int start = st.block_start_pc[b];
         for (size_t i = 0; i < blk.code.size(); ++i) {
             InstrDescriptor &d = blk.code[i];
             if (!d.readsMem && !d.writesMem)
@@ -320,31 +573,6 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
             const MemAccessStats &ms =
                 dyn.memStats[static_cast<size_t>(start) + i];
             d.missClass = ms.accesses ? ms.missClass() : 0;
-        }
-    }
-
-    // --- Loop annotation from the IR CFG.
-    for (size_t fi = 0; fi < mod.functions.size(); ++fi) {
-        const ir::Function &fn = mod.functions[fi];
-        ir::Cfg cfg(fn);
-        ir::Dominators dom(fn, cfg);
-        ir::LoopForest loops(fn, cfg, dom);
-        int loop_base = static_cast<int>(sfgl.loops.size());
-        for (const auto &l : loops.loops()) {
-            SfglLoop sl;
-            sl.id = loop_base + l.id;
-            auto hit = block_index.find({static_cast<int>(fi), l.header});
-            if (hit == block_index.end())
-                continue; // header unreachable / not lowered
-            sl.header = hit->second;
-            for (int b : l.blocks) {
-                auto bit = block_index.find({static_cast<int>(fi), b});
-                if (bit != block_index.end())
-                    sl.blocks.push_back(bit->second);
-            }
-            sl.parent = l.parent >= 0 ? loop_base + l.parent : -1;
-            sl.depth = l.depth;
-            sfgl.loops.push_back(std::move(sl));
         }
     }
 
@@ -367,23 +595,99 @@ profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
         l.avgIterations =
             entries ? double(header_exec) / double(entries) : 0.0;
     }
+}
 
-    // Innermost loop per block.
-    for (auto &l : sfgl.loops) {
-        for (int b : l.blocks) {
-            SfglBlock &blk = sfgl.blocks[static_cast<size_t>(b)];
-            if (blk.loopId < 0 ||
-                sfgl.loops[static_cast<size_t>(blk.loopId)].blocks.size() >
-                    l.blocks.size())
-                blk.loopId = l.id;
-        }
-    }
+} // namespace
+
+StatisticalProfile
+profileWorkload(const ir::Module &mod, const isa::MachineProgram &prog,
+                const ProfileOptions &opts)
+{
+    BSYN_ASSERT(!prog.code.empty(), "profiling an empty program");
+
+    StaticSfgl st = buildStaticSfgl(mod, prog);
+
+    // --- Dynamic annotations, via either collection engine. The fused
+    // mode lives inside the predecoded engine, so explicitly selecting
+    // the reference interpreter implies the observer profiler.
+    bool fused = opts.engine == ProfileEngine::Fused &&
+                 opts.limits.engine == sim::ExecEngine::Predecoded;
+    bool slicing =
+        opts.sliceBaseLength > 0 && opts.maxSliceCheckpoints >= 2;
+    sim::SliceOptions sopts;
+    sopts.baseSliceLength = opts.sliceBaseLength;
+    sopts.maxSlices = opts.maxSliceCheckpoints;
+    sim::SlicedCounters slices;
+    sim::SlicedCounters *sl = slicing ? &slices : nullptr;
+    DynamicProfile dyn =
+        fused ? fusedDynamicProfile(prog, st.pc_to_block,
+                                    st.block_start_pc, opts, sopts, sl)
+              : observerDynamicProfile(prog, st.pc_to_block, opts,
+                                       sopts, sl);
 
     StatisticalProfile profile;
     profile.workloadName = prog.name;
     profile.dynamicInstructions = dyn.exec.instructions;
     profile.mix = dyn.mix;
-    profile.sfgl = std::move(sfgl);
+    profile.sfgl = st.sfgl;
+    annotateDynamic(profile.sfgl, dyn, st, prog, opts);
+
+    // --- Phase detection over the slice stream. Both engines produce
+    // the same snapshots at the same boundaries, and each phase's
+    // sub-profile is reconstructed from snapshot deltas through one
+    // shared code path, so per-phase profiles are byte-identical
+    // across engines by construction.
+    if (slicing && !slices.snapshots.empty()) {
+        profile.sliceLength = slices.sliceLength;
+        profile.sliceCount = slices.snapshots.size();
+
+        std::vector<isa::MClass> clsByPc;
+        clsByPc.reserve(prog.code.size());
+        for (const MInst &mi : prog.code)
+            clsByPc.push_back(mi.cls());
+
+        std::vector<PhaseSeg> segs =
+            detectPhases(slices, clsByPc, opts.phaseThreshold,
+                         opts.minPhaseFraction);
+        if (segs.size() > 1) {
+            for (const PhaseSeg &seg : segs) {
+                size_t last = seg.first + seg.count - 1;
+                const sim::InstrumentedCounters *lo =
+                    seg.first
+                        ? &slices.snapshots[seg.first - 1].counters
+                        : nullptr;
+                sim::InstrumentedCounters delta = counterDelta(
+                    slices.snapshots[last].counters, lo);
+                DynamicProfile pd = dynFromCounters(
+                    prog, st.pc_to_block, st.block_start_pc, delta);
+
+                PhaseProfile ph;
+                ph.dynamicInstructions =
+                    slices.snapshots[last].retired -
+                    (seg.first
+                         ? slices.snapshots[seg.first - 1].retired
+                         : 0);
+                ph.firstSlice = seg.first;
+                ph.sliceCount = seg.count;
+                ph.mix = pd.mix;
+                ph.sfgl = st.sfgl;
+                annotateDynamic(ph.sfgl, pd, st, prog, opts);
+                profile.phases.push_back(std::move(ph));
+            }
+        }
+    }
+
+    // A single phase always mirrors the aggregate exactly (matching
+    // what deserializing the compact single-phase JSON materializes).
+    if (profile.phases.empty()) {
+        PhaseProfile only;
+        only.dynamicInstructions = profile.dynamicInstructions;
+        only.firstSlice = 0;
+        only.sliceCount = profile.sliceCount ? profile.sliceCount : 1;
+        only.mix = profile.mix;
+        only.sfgl = profile.sfgl;
+        profile.phases.push_back(std::move(only));
+    }
     return profile;
 }
 

@@ -53,6 +53,30 @@ struct ProfileOptions
      *  interpreter via limits.engine implies the Observer profiler
      *  (the fused mode only exists inside the predecoded engine). */
     ProfileEngine engine = ProfileEngine::Fused;
+
+    /** Slice checkpoint interval in retired instructions; the interval
+     *  doubles whenever maxSliceCheckpoints checkpoints accumulate
+     *  (sim::SliceOptions), so the effective slice length is derived
+     *  from the run's total instruction count — no wall-clock input.
+     *  0 disables slicing: the profile is single-phase. */
+    uint64_t sliceBaseLength = 4096;
+
+    /** Checkpoint budget before adjacent slice pairs coalesce. */
+    uint32_t maxSliceCheckpoints = 64;
+
+    /** Phase boundary threshold: adjacent slices merge into one phase
+     *  while the L1 distance between their behaviour vectors (load /
+     *  store / branch / fp / other mix fractions, miss rate, taken
+     *  rate) stays within this value. Within-phase slice noise is
+     *  typically < 0.01 and genuine mix shifts > 0.2, so the default
+     *  sits an order of magnitude above the noise floor. */
+    double phaseThreshold = 0.10;
+
+    /** Minimum phase weight: a detected phase smaller than this
+     *  fraction of the run merges into its nearer neighbour. Absorbs
+     *  the transition slices that straddle a real boundary (their
+     *  blended features otherwise surface as singleton phases). */
+    double minPhaseFraction = 0.05;
 };
 
 /**

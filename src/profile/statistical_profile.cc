@@ -6,13 +6,50 @@ namespace bsyn::profile
 {
 
 Json
+PhaseProfile::toJson() const
+{
+    Json root = Json::object();
+    root.set("dynamicInstructions", Json(dynamicInstructions));
+    root.set("firstSlice", Json(firstSlice));
+    root.set("sliceCount", Json(sliceCount));
+    root.set("mix", mix.toJson());
+    root.set("sfgl", sfgl.toJson());
+    return root;
+}
+
+PhaseProfile
+PhaseProfile::fromJson(const Json &j)
+{
+    PhaseProfile p;
+    p.dynamicInstructions =
+        static_cast<uint64_t>(j.get("dynamicInstructions").asNumber());
+    p.firstSlice = static_cast<uint64_t>(j.get("firstSlice").asNumber());
+    p.sliceCount = static_cast<uint64_t>(j.get("sliceCount").asNumber());
+    p.mix = InstrMix::fromJson(j.get("mix"));
+    p.sfgl = Sfgl::fromJson(j.get("sfgl"));
+    return p;
+}
+
+Json
 StatisticalProfile::toJson() const
 {
     Json root = Json::object();
+    root.set("version", Json(3));
     root.set("workload", Json(workloadName));
     root.set("dynamicInstructions", Json(dynamicInstructions));
     root.set("mix", mix.toJson());
     root.set("sfgl", sfgl.toJson());
+    root.set("sliceLength", Json(sliceLength));
+    root.set("sliceCount", Json(sliceCount));
+    // A single phase always mirrors the aggregate, so only genuinely
+    // multi-phase profiles pay for the phase list on disk; loading
+    // materializes the implicit phase back (see fromJson).
+    if (phases.size() > 1) {
+        Json jphases = Json::array();
+        for (const auto &p : phases)
+            jphases.push(p.toJson());
+        root.set("phases", std::move(jphases));
+    }
     return root;
 }
 
@@ -25,6 +62,28 @@ StatisticalProfile::fromJson(const Json &j)
         static_cast<uint64_t>(j.get("dynamicInstructions").asNumber());
     p.mix = InstrMix::fromJson(j.get("mix"));
     p.sfgl = Sfgl::fromJson(j.get("sfgl"));
+    // v1/v2 files predate the version field and the slice stream; they
+    // load as single-phase v3 profiles with identical aggregates.
+    if (j.has("sliceLength"))
+        p.sliceLength =
+            static_cast<uint64_t>(j.get("sliceLength").asNumber());
+    if (j.has("sliceCount"))
+        p.sliceCount =
+            static_cast<uint64_t>(j.get("sliceCount").asNumber());
+    if (j.has("phases")) {
+        const Json &jphases = j.get("phases");
+        for (size_t i = 0; i < jphases.size(); ++i)
+            p.phases.push_back(PhaseProfile::fromJson(jphases.at(i)));
+    }
+    if (p.phases.empty()) {
+        PhaseProfile only;
+        only.dynamicInstructions = p.dynamicInstructions;
+        only.firstSlice = 0;
+        only.sliceCount = p.sliceCount ? p.sliceCount : 1;
+        only.mix = p.mix;
+        only.sfgl = p.sfgl;
+        p.phases.push_back(std::move(only));
+    }
     return p;
 }
 

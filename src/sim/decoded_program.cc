@@ -1,5 +1,6 @@
 #include "sim/decoded_program.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -398,6 +399,25 @@ struct ProfileHooks
         ++c.memAccesses[static_cast<size_t>(pc)];
         if (!cache.access(addr, size))
             ++c.memMisses[static_cast<size_t>(pc)];
+    }
+};
+
+/** The fused profiling mode with slice checkpointing: ProfileHooks
+ *  plus one compare per retired instruction (the cut itself is cold). */
+struct SlicedProfileHooks : ProfileHooks
+{
+    SliceRecorder &rec;
+
+    SlicedProfileHooks(InstrumentedCounters &counters, Cache c,
+                       SliceRecorder &r)
+        : ProfileHooks{counters, std::move(c)}, rec(r)
+    {}
+
+    void
+    onInstruction(int pc)
+    {
+        rec.beforeRetire(c);
+        ProfileHooks::onInstruction(pc);
     }
 };
 
@@ -959,6 +979,72 @@ executeInstrumented(const DecodedProgram &prog,
     out.branch.assign(prog.size(), InstrumentedCounters::Branch());
     ProfileHooks hooks{out, Cache(profiling_cache)};
     return Engine<ProfileHooks>(prog, hooks, limits).run();
+}
+
+SliceRecorder::SliceRecorder(const SliceOptions &opts, SlicedCounters *out)
+    : out_(opts.baseSliceLength > 0 ? out : nullptr),
+      sliceLen_(opts.baseSliceLength),
+      maxSlices_(std::max(2u, opts.maxSlices & ~1u))
+{
+    if (out_) {
+        out_->snapshots.clear();
+        out_->sliceLength = sliceLen_;
+        nextBoundary_ = sliceLen_;
+    } else if (out) {
+        out->snapshots.clear();
+        out->sliceLength = 0;
+    }
+}
+
+void
+SliceRecorder::cut(const InstrumentedCounters &c)
+{
+    out_->snapshots.push_back({retired_, c});
+    if (out_->snapshots.size() >= maxSlices_) {
+        // Coalesce adjacent slice pairs: boundary k*sliceLen survives
+        // iff k is even, which is exactly every second snapshot. The
+        // interval doubles, so the stream always describes the whole
+        // run in at most maxSlices slices of a power-of-two multiple
+        // of the base length.
+        std::vector<CounterSlice> kept;
+        kept.reserve(out_->snapshots.size() / 2);
+        for (size_t i = 1; i < out_->snapshots.size(); i += 2)
+            kept.push_back(std::move(out_->snapshots[i]));
+        out_->snapshots = std::move(kept);
+        sliceLen_ *= 2;
+        out_->sliceLength = sliceLen_;
+    }
+    nextBoundary_ = retired_ + sliceLen_;
+}
+
+void
+SliceRecorder::finish(const InstrumentedCounters &c)
+{
+    if (!out_)
+        return;
+    if (out_->snapshots.empty() ||
+        out_->snapshots.back().retired < retired_)
+        out_->snapshots.push_back({retired_, c});
+    out_->sliceLength = sliceLen_;
+}
+
+ExecStats
+executeInstrumentedSliced(const DecodedProgram &prog,
+                          const CacheConfig &profiling_cache,
+                          InstrumentedCounters &out,
+                          SlicedCounters &slices,
+                          const SliceOptions &slice_opts,
+                          const ExecLimits &limits)
+{
+    out.execCount.assign(prog.size(), 0);
+    out.memAccesses.assign(prog.size(), 0);
+    out.memMisses.assign(prog.size(), 0);
+    out.branch.assign(prog.size(), InstrumentedCounters::Branch());
+    SliceRecorder rec(slice_opts, &slices);
+    SlicedProfileHooks hooks(out, Cache(profiling_cache), rec);
+    ExecStats stats = Engine<SlicedProfileHooks>(prog, hooks, limits).run();
+    rec.finish(out);
+    return stats;
 }
 
 ExecStats

@@ -195,6 +195,88 @@ ExecStats executeInstrumented(const DecodedProgram &prog,
                               const ExecLimits &limits = {});
 
 /**
+ * Slice checkpointing parameters. The counter arrays are checkpointed
+ * every baseSliceLength retired instructions; once maxSlices
+ * checkpoints accumulate, adjacent slice pairs coalesce (every second
+ * boundary is kept and the interval doubles), so the final interval is
+ * baseSliceLength * 2^k — derived from the run's total retired count
+ * with no wall-clock input, hence fully deterministic.
+ */
+struct SliceOptions
+{
+    uint64_t baseSliceLength = 4096;
+    uint32_t maxSlices = 64; ///< rounded down to an even count, >= 2
+};
+
+/** One cumulative counter checkpoint at a retired-instruction boundary
+ *  (the per-slice deltas are differences of consecutive snapshots). */
+struct CounterSlice
+{
+    uint64_t retired = 0; ///< instructions retired at the boundary
+    InstrumentedCounters counters;
+};
+
+/** The slice stream of one instrumented run. */
+struct SlicedCounters
+{
+    /** Final (possibly doubled) checkpoint interval. */
+    uint64_t sliceLength = 0;
+
+    /** Cumulative snapshots in boundary order; the last one is taken
+     *  at end of run, so its counters equal the aggregate counters and
+     *  its retired count is the run's total. */
+    std::vector<CounterSlice> snapshots;
+};
+
+/**
+ * The slice checkpointing policy, shared verbatim by the instrumented
+ * engine hooks and the observer-based profiler so both produce the
+ * same boundaries on the same retired-instruction stream (the
+ * differential-profile suite depends on it). beforeRetire() must be
+ * called before each instruction's counters are bumped: a boundary cut
+ * therefore lands between instructions, never splitting one
+ * instruction's retire/memory/branch events across two slices.
+ */
+class SliceRecorder
+{
+  public:
+    SliceRecorder(const SliceOptions &opts, SlicedCounters *out);
+
+    void
+    beforeRetire(const InstrumentedCounters &c)
+    {
+        if (out_ && retired_ == nextBoundary_)
+            cut(c);
+        ++retired_;
+    }
+
+    /** Record the end-of-run snapshot (cumulative == aggregate). */
+    void finish(const InstrumentedCounters &c);
+
+  private:
+    void cut(const InstrumentedCounters &c); // cold: out of line
+
+    SlicedCounters *out_;
+    uint64_t retired_ = 0;
+    uint64_t sliceLen_ = 0;
+    uint64_t nextBoundary_ = 0;
+    uint32_t maxSlices_ = 0;
+};
+
+/**
+ * executeInstrumented() plus the deterministic slice stream: identical
+ * semantics, ExecStats and aggregate counters, with @p slices filled
+ * with cumulative checkpoints under @p slice_opts. The plain
+ * instrumented path is untouched — slicing costs it nothing.
+ */
+ExecStats executeInstrumentedSliced(const DecodedProgram &prog,
+                                    const CacheConfig &profiling_cache,
+                                    InstrumentedCounters &out,
+                                    SlicedCounters &slices,
+                                    const SliceOptions &slice_opts = {},
+                                    const ExecLimits &limits = {});
+
+/**
  * Execute under @p model (timing) on the non-virtual timed dispatch
  * mode: the model must have been prepared for this program
  * (CoreModel::prepare), so each step consumes precomputed per-PC

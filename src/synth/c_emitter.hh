@@ -11,6 +11,7 @@
 #define BSYN_SYNTH_C_EMITTER_HH
 
 #include <string>
+#include <vector>
 
 #include "synth/pattern.hh"
 #include "synth/skeleton.hh"
@@ -46,6 +47,24 @@ struct EmitterOptions
  */
 EmitResult emitC(const profile::Sfgl &sfgl, const Skeleton &skeleton,
                  Rng &rng, const EmitterOptions &opts = {});
+
+/** One phase's inputs to the stitched emitter. Pointees must outlive
+ *  the emitC call. */
+struct EmitPhase
+{
+    const profile::Sfgl *sfgl = nullptr;
+    const Skeleton *skeleton = nullptr;
+};
+
+/**
+ * Render a phase-aware benchmark: one skeleton per phase, stitched into
+ * a single file behind one main() that drives the phases in profile
+ * order. All phases share one stream plan, one pattern generator and
+ * one rng, so memory behaviour stays consistent across the file and a
+ * one-phase call is byte-identical to emitC.
+ */
+EmitResult emitCPhases(const std::vector<EmitPhase> &phases, Rng &rng,
+                       const EmitterOptions &opts = {});
 
 } // namespace bsyn::synth
 

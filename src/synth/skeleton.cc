@@ -318,7 +318,7 @@ class SkeletonBuilder
     {
         Skeleton sk;
         if (segments.empty()) {
-            sk.funcs.push_back({"f0", {}});
+            sk.funcs.push_back({opts.funcPrefix + "0", {}});
             return sk;
         }
         size_t nfuncs = std::min<size_t>(
@@ -338,14 +338,14 @@ class SkeletonBuilder
         size_t fi = 0;
         for (size_t c = 0; c + 1 < cuts.size(); ++c) {
             SynFunction fn;
-            fn.name = "f" + std::to_string(fi++);
+            fn.name = opts.funcPrefix + std::to_string(fi++);
             for (size_t s = cuts[c]; s < cuts[c + 1]; ++s)
                 fn.roots.push_back(std::move(segments[s]));
             if (!fn.roots.empty())
                 sk.funcs.push_back(std::move(fn));
         }
         if (sk.funcs.empty())
-            sk.funcs.push_back({"f0", {}});
+            sk.funcs.push_back({opts.funcPrefix + "0", {}});
         return sk;
     }
 

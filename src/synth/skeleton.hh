@@ -69,6 +69,11 @@ struct SkeletonOptions
      *  randomized, not mirrored from the original). */
     int maxFunctions = 8;
 
+    /** Synthetic function name prefix. Phase-aware synthesis stitches
+     *  one skeleton per phase into a single file, so each phase gets a
+     *  distinct prefix ("p0f", "p1f", ...) to keep names unique. */
+    std::string funcPrefix = "f";
+
     /** Use the loop annotation (the "L" in SFGL). When false, loops are
      *  flattened into Repeat wrappers — the prior-work baseline the
      *  paper compares against (ablation). */

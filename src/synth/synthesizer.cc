@@ -13,18 +13,16 @@ namespace bsyn::synth
 namespace
 {
 
-SyntheticBenchmark
-generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
-             const SynthesisOptions &opts)
+/** Skeleton knobs for one (possibly phase-scoped) scaled SFGL. Big
+ *  (consolidated) profiles must split across more functions:
+ *  recompiling the clone is part of its job description, and a
+ *  compiler's per-function analyses scale super-linearly, so a
+ *  100k-instruction main() would be as unusable for compiler teams as
+ *  it would be unrealistic. */
+SkeletonOptions
+skeletonOptionsFor(const profile::Sfgl &scaled,
+                   const SynthesisOptions &opts)
 {
-    Rng rng(opts.seed ^ (r * 0x9e3779b97f4a7c15ULL));
-    profile::Sfgl scaled = scaleDown(prof.sfgl, r);
-
-    // Big (consolidated) profiles must split across more functions:
-    // recompiling the clone is part of its job description, and a
-    // compiler's per-function analyses scale super-linearly, so a
-    // 100k-instruction main() would be as unusable for compiler teams
-    // as it would be unrealistic.
     SkeletonOptions sk = opts.skeleton;
     size_t live_blocks = 0;
     for (const auto &b : scaled.blocks)
@@ -33,14 +31,59 @@ generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
     int adaptive =
         static_cast<int>(std::min<size_t>(64, live_blocks / 12));
     sk.maxFunctions = std::max(sk.maxFunctions, adaptive);
+    return sk;
+}
 
-    Skeleton skeleton = buildSkeleton(scaled, rng, sk);
-    EmitResult emitted = emitC(scaled, skeleton, rng, opts.emitter);
+SyntheticBenchmark
+generateOnce(const profile::StatisticalProfile &prof, uint64_t r,
+             const SynthesisOptions &opts)
+{
+    Rng rng(opts.seed ^ (r * 0x9e3779b97f4a7c15ULL));
 
     SyntheticBenchmark syn;
     syn.name = prof.workloadName + "_syn";
-    syn.cSource = std::move(emitted.source);
     syn.reductionFactor = r;
+
+    bool multi = opts.phaseAware && prof.multiPhase() &&
+                 prof.phases.size() <=
+                     static_cast<size_t>(std::max(1, opts.maxPhases));
+    if (!multi) {
+        // Aggregate path — code-identical to pre-phase synthesis, so
+        // single-phase workloads keep producing byte-identical clones.
+        profile::Sfgl scaled = scaleDown(prof.sfgl, r);
+        Skeleton skeleton =
+            buildSkeleton(scaled, rng, skeletonOptionsFor(scaled, opts));
+        EmitResult emitted = emitC(scaled, skeleton, rng, opts.emitter);
+        syn.cSource = std::move(emitted.source);
+        syn.patternStats = emitted.patternStats;
+        return syn;
+    }
+
+    // Phase-aware path: every phase is scaled by the same global R (the
+    // phase instruction counts sum to the aggregate, so the clone's
+    // total budget — and the calibration ladder tuning it — is
+    // unchanged), then gets its own skeleton, stitched into one file
+    // behind a main() that drives the phases in profile order.
+    std::vector<profile::Sfgl> scaled;
+    scaled.reserve(prof.phases.size());
+    for (const auto &ph : prof.phases)
+        scaled.push_back(scaleDown(ph.sfgl, r));
+
+    std::vector<Skeleton> skeletons;
+    skeletons.reserve(scaled.size());
+    for (size_t i = 0; i < scaled.size(); ++i) {
+        SkeletonOptions sk = skeletonOptionsFor(scaled[i], opts);
+        sk.funcPrefix = "p" + std::to_string(i) + "f";
+        skeletons.push_back(buildSkeleton(scaled[i], rng, sk));
+    }
+
+    std::vector<EmitPhase> phases(scaled.size());
+    for (size_t i = 0; i < scaled.size(); ++i)
+        phases[i] = {&scaled[i], &skeletons[i]};
+    EmitResult emitted = emitCPhases(phases, rng, opts.emitter);
+
+    syn.cSource = std::move(emitted.source);
+    syn.phases = static_cast<uint32_t>(prof.phases.size());
     syn.patternStats = emitted.patternStats;
     return syn;
 }

@@ -37,6 +37,18 @@ struct SynthesisOptions
      *  estimate). Requires a measurement callback, see synthesize(). */
     int calibrationRounds = 2;
 
+    /** Stitch one skeleton per profile phase (v3 profiles). When off —
+     *  or when the profile is single-phase — the clone is generated
+     *  from the aggregate exactly as before. */
+    bool phaseAware = true;
+
+    /** Profiles with more phases than this synthesize from the
+     *  aggregate. Each phase gets its own skeleton, so the clone's
+     *  static footprint grows with the phase count — and a profile
+     *  cut into that many phases is usually oscillation noise, not
+     *  macro structure worth duplicating code for. */
+    int maxPhases = 8;
+
     SkeletonOptions skeleton;
     EmitterOptions emitter;
 };
@@ -47,6 +59,8 @@ struct SyntheticBenchmark
     std::string name;
     std::string cSource;
     uint64_t reductionFactor = 1;
+    /** Profile phases the clone was stitched from (1 = aggregate). */
+    uint32_t phases = 1;
     PatternStats patternStats;
 };
 

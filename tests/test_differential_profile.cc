@@ -11,9 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <unistd.h>
+
+#include "gen/registry.hh"
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
 #include "opt/pipeline.hh"
+#include "pipeline/session.hh"
 #include "profile/profiler.hh"
 #include "sim/decoded_program.hh"
 #include "workloads/suite.hh"
@@ -161,6 +166,86 @@ TEST_P(FuzzProfileDifferential, ProfileJsonIdenticalAtO0AndO2)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProfileDifferential,
                          ::testing::Range<uint64_t>(1, 41));
+
+// ------------------------------------------------- slice determinism
+//
+// The slice stream is cut at retired-instruction checkpoints, never
+// wall-clock, so the v3 phase list must be a pure function of the
+// program: identical bytes whatever the session's thread count and
+// whether the profile comes from a cold run or a warm artifact cache.
+
+workloads::Workload
+multiPhaseInstance()
+{
+    return gen::Registry::global().require("phase_shift").make(
+        {{"phases", 3}, {"rounds", 1}, {"work", 20000}}, 7);
+}
+
+TEST(SliceDeterminism, FusedAndObserverAgreeOnMultiPhaseProfiles)
+{
+    ir::Module m = workloads::compileWorkload(multiPhaseInstance());
+    auto fused = profile::profileModule(m);
+    ASSERT_TRUE(fused.multiPhase());
+    auto ref = profile::profileModule(m, observerOptions());
+    EXPECT_EQ(ref.serialize(), fused.serialize());
+}
+
+TEST(SliceDeterminism, PhaseProfileBytesIdenticalAcrossThreadCounts)
+{
+    std::vector<workloads::Workload> batch = {
+        multiPhaseInstance(),
+        workloads::findWorkload("crc32/small"),
+        workloads::findWorkload("bitcount/small"),
+    };
+    std::vector<std::string> ref;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        pipeline::SessionOptions so;
+        so.threads = threads;
+        pipeline::Session session(std::move(so));
+        std::vector<std::string> got(batch.size());
+        session.parallelFor(batch.size(), [&](size_t i) {
+            got[i] = session.profile(batch[i]).serialize();
+        });
+        if (ref.empty()) {
+            ref = got;
+            // The determinism claim must cover a real phase list.
+            EXPECT_TRUE(profile::StatisticalProfile::deserialize(got[0])
+                            .multiPhase());
+            continue;
+        }
+        for (size_t i = 0; i < batch.size(); ++i)
+            EXPECT_EQ(got[i], ref[i])
+                << batch[i].name() << " at " << threads << " threads";
+    }
+}
+
+TEST(SliceDeterminism, WarmCacheReplaysColdPhaseProfileBytes)
+{
+    char dir[] = "/tmp/bsyn_phase_cache_XXXXXX";
+    ASSERT_NE(mkdtemp(dir), nullptr);
+    auto w = multiPhaseInstance();
+
+    std::string cold, warm;
+    bool coldHit = true, warmHit = false;
+    {
+        pipeline::SessionOptions so;
+        so.cacheDir = dir;
+        pipeline::Session session(std::move(so));
+        cold = session.profile(w, &coldHit).serialize();
+    }
+    {
+        pipeline::SessionOptions so;
+        so.cacheDir = dir;
+        pipeline::Session session(std::move(so));
+        warm = session.profile(w, &warmHit).serialize();
+    }
+    EXPECT_FALSE(coldHit);
+    EXPECT_TRUE(warmHit);
+    EXPECT_EQ(cold, warm);
+    EXPECT_TRUE(
+        profile::StatisticalProfile::deserialize(warm).multiPhase());
+    std::filesystem::remove_all(dir);
+}
 
 /** CI smoke check: fused and reference must agree on one real
  *  workload (filtered as ProfileSmoke.* by the workflow). */

@@ -47,7 +47,7 @@ TEST(Fidelity, ScoresEveryMetricWithFiniteErrors)
         "mix.fp",            "sfgl.blocks",
         "sfgl.edges",        "branch.takenRate",
         "branch.transitionRate", "mem.missRate",
-        "timing.cpi",
+        "phase.count",       "timing.cpi",
     };
     for (const auto &inst : report.instances) {
         EXPECT_TRUE(inst.ok) << inst.workload << ": " << inst.error;
@@ -62,7 +62,12 @@ TEST(Fidelity, ScoresEveryMetricWithFiniteErrors)
         EXPECT_GE(inst.maxError, inst.meanError);
         // Original-side values describe a real profile.
         EXPECT_GT(inst.metrics[0].original, 0.0) << "no loads?";
-        EXPECT_GT(inst.metrics[10].original, 0.0) << "no CPI?";
+        EXPECT_GT(inst.metrics[11].original, 0.0) << "no CPI?";
+        // Phase half: counts at least 1, per-phase scores aligned.
+        EXPECT_GE(inst.originalPhases, 1u);
+        EXPECT_GE(inst.clonePhases, 1u);
+        EXPECT_EQ(inst.phaseScores.size(), inst.originalPhases);
+        EXPECT_GE(inst.phaseWorstMixError, inst.phaseMeanMixError);
     }
 
     // Family attribution: suite instance bare, generated tagged.
@@ -81,7 +86,7 @@ TEST(Fidelity, NoTimingSkipsTheCpiMetric)
     ASSERT_EQ(report.instances.size(), 1u);
     for (const auto &m : report.instances[0].metrics)
         EXPECT_NE(m.metric, "timing.cpi");
-    EXPECT_EQ(report.instances[0].metrics.size(), 10u);
+    EXPECT_EQ(report.instances[0].metrics.size(), 11u);
 }
 
 TEST(Fidelity, ResultsJsonIsDeterministicAcrossThreadCounts)
@@ -112,13 +117,25 @@ TEST(Fidelity, JsonShapeAndSummary)
     report.generationSecs = 0.25;
 
     Json full = report.toJson();
-    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v1");
+    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v2");
     EXPECT_EQ(full.get("instances").size(), 2u);
     EXPECT_EQ(full.get("scored").asInt(), 2);
     EXPECT_EQ(full.get("failed").asInt(), 0);
     ASSERT_TRUE(full.has("summary"));
     const Json &load = full.get("summary").get("mix.load");
     EXPECT_GE(load.get("max").asNumber(), load.get("mean").asNumber());
+
+    // Phase half (v2): per-instance phase block and batch summary.
+    const Json &inst0 = full.get("instances").at(0);
+    ASSERT_TRUE(inst0.has("phases"));
+    EXPECT_GE(inst0.get("phases").get("original").asInt(), 1);
+    EXPECT_GE(inst0.get("phases").get("clone").asInt(), 1);
+    EXPECT_EQ(inst0.get("phases").get("perPhase").size(),
+              static_cast<size_t>(
+                  inst0.get("phases").get("original").asInt()));
+    ASSERT_TRUE(full.get("summary").has("phaseWorstMix"));
+    const Json &pw = full.get("summary").get("phaseWorstMix");
+    EXPECT_GE(pw.get("max").asNumber(), pw.get("mean").asNumber());
 
     // Bench half present in the full report, absent from results.
     ASSERT_TRUE(full.has("bench"));

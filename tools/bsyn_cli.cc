@@ -76,6 +76,13 @@ struct Args
     bool levelSet = false; ///< an explicit -O flag was passed
     bool noTiming = false; ///< fidelity: skip the timing CPI metric
 
+    /** Base slice checkpoint interval for profiling (retired
+     *  instructions); 0 disables slicing (single-phase profiles). */
+    uint64_t phaseSlices = 4096;
+    bool showPhases = false;    ///< profile/fidelity: per-phase detail
+    bool noPhaseSynth = false;  ///< synthesize from the aggregate only
+    bool onlyFamilies = false;  ///< fidelity: skip the Figure-4 suite
+
     /** Generated-workload selection: each --family value, in order
      *  ("all" or "family[,knob=v...][,seed=S]"). */
     std::vector<std::string> families;
@@ -151,6 +158,15 @@ parseArgs(int argc, char **argv, int first)
             args.genCount = n;
         } else if (a == "--no-timing") {
             args.noTiming = true;
+        } else if (a == "--phase-slices") {
+            args.phaseSlices =
+                parseU64(next("--phase-slices"), "--phase-slices");
+        } else if (a == "--phases") {
+            args.showPhases = true;
+        } else if (a == "--no-phase-synth") {
+            args.noPhaseSynth = true;
+        } else if (a == "--only-families") {
+            args.onlyFamilies = true;
         } else if (a == "--threads" || a == "-j") {
             uint64_t n = parseU64(next(a.c_str()), a.c_str());
             if (n > 4096)
@@ -225,9 +241,11 @@ cmdProfile(const Args &args)
 {
     if (args.positional.empty() || args.output.empty())
         fatal("usage: bsyn profile <prog.c> -o <profile.json> "
-              "[--cache-dir D] [--no-cache]");
+              "[--phase-slices N] [--phases] [--cache-dir D] "
+              "[--no-cache]");
     pipeline::SessionOptions so;
     so.cacheDir = args.effectiveCacheDir();
+    so.profiling.sliceBaseLength = args.phaseSlices;
     pipeline::Session session(so);
 
     bool cached = false;
@@ -236,11 +254,32 @@ cmdProfile(const Args &args)
     prof.saveTo(args.output);
     std::fprintf(stderr,
                  "[bsyn] wrote %s%s: %llu dynamic instructions, %zu "
-                 "blocks, %zu loops\n",
+                 "blocks, %zu loops, %zu phase%s (%llu slices of "
+                 "%llu)\n",
                  args.output.c_str(), cached ? " (from cache)" : "",
                  static_cast<unsigned long long>(
                      prof.dynamicInstructions),
-                 prof.sfgl.blocks.size(), prof.sfgl.loops.size());
+                 prof.sfgl.blocks.size(), prof.sfgl.loops.size(),
+                 prof.phaseCount(), prof.phaseCount() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(prof.sliceCount),
+                 static_cast<unsigned long long>(prof.sliceLength));
+    if (args.showPhases) {
+        TextTable table("profile phases");
+        table.setHeader({"phase", "instr", "slices", "load", "store",
+                         "branch", "fp"});
+        for (size_t i = 0; i < prof.phases.size(); ++i) {
+            const auto &ph = prof.phases[i];
+            table.addRow(
+                {std::to_string(i),
+                 std::to_string(ph.dynamicInstructions),
+                 std::to_string(ph.sliceCount),
+                 TextTable::pct(ph.mix.loadFraction()),
+                 TextTable::pct(ph.mix.storeFraction()),
+                 TextTable::pct(ph.mix.branchFraction()),
+                 TextTable::pct(ph.mix.fpFraction())});
+        }
+        table.print(std::cout);
+    }
     return 0;
 }
 
@@ -259,25 +298,26 @@ cmdSynth(const Args &args)
     synth::SynthesisOptions opts;
     opts.targetInstructions = args.targetInstr;
     opts.seed = args.seed;
+    opts.phaseAware = !args.noPhaseSynth;
     bool cached = false;
     auto syn = session.synthesize(prof, opts, &cached);
     writeFile(args.output, syn.cSource);
     if (cached) {
         // Skip the measurement run: a warm synth must compute nothing.
         std::fprintf(stderr,
-                     "[bsyn] wrote %s (from cache): R=%llu, coverage "
-                     "%.1f%%\n",
+                     "[bsyn] wrote %s (from cache): R=%llu, %u "
+                     "phase(s), coverage %.1f%%\n",
                      args.output.c_str(),
                      static_cast<unsigned long long>(syn.reductionFactor),
-                     100.0 * syn.patternStats.coverage());
+                     syn.phases, 100.0 * syn.patternStats.coverage());
         return 0;
     }
     std::fprintf(stderr,
-                 "[bsyn] wrote %s: R=%llu, coverage %.1f%%, clone "
-                 "runs %llu instructions\n",
+                 "[bsyn] wrote %s: R=%llu, %u phase(s), coverage "
+                 "%.1f%%, clone runs %llu instructions\n",
                  args.output.c_str(),
                  static_cast<unsigned long long>(syn.reductionFactor),
-                 100.0 * syn.patternStats.coverage(),
+                 syn.phases, 100.0 * syn.patternStats.coverage(),
                  static_cast<unsigned long long>(
                      pipeline::measureInstructions(syn.cSource)));
     return 0;
@@ -482,20 +522,26 @@ cmdFidelity(const Args &args)
 {
     if (!args.positional.empty())
         fatal("usage: bsyn fidelity [-o report.json] [--family <spec>] "
-              "[--gen-count N] [--seed S] [--target-instr N] "
-              "[-O0..-O3] [--no-timing] [--threads N] [--cache-dir D] "
-              "[--no-cache] — unexpected argument '%s'",
+              "[--gen-count N] [--only-families] [--seed S] "
+              "[--target-instr N] [-O0..-O3] [--no-timing] "
+              "[--phase-slices N] [--no-phase-synth] [--threads N] "
+              "[--cache-dir D] [--no-cache] — unexpected argument '%s'",
               args.positional[0].c_str());
 
-    // Scope: every Figure-4 instance, plus every generated instance
-    // the --family selection adds.
+    // Scope: every Figure-4 instance (unless --only-families), plus
+    // every generated instance the --family selection adds.
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<workloads::Workload> batch = workloads::mibenchSuite();
+    std::vector<workloads::Workload> batch;
+    if (!args.onlyFamilies)
+        batch = workloads::mibenchSuite();
     auto generated = generatedSelection(args);
     batch.insert(batch.end(), generated.begin(), generated.end());
     double genSecs = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+    if (batch.empty())
+        fatal("fidelity: no instances to score — --only-families "
+              "without any --family <spec> selects nothing");
 
     pipeline::SessionOptions so;
     so.threads = pipeline::resolveSuiteThreads(args.threads,
@@ -503,6 +549,8 @@ cmdFidelity(const Args &args)
     so.cacheDir = args.effectiveCacheDir();
     so.synthesis.targetInstructions = args.targetInstr;
     so.synthesis.seed = args.seed;
+    so.synthesis.phaseAware = !args.noPhaseSynth;
+    so.profiling.sliceBaseLength = args.phaseSlices;
     pipeline::Session session(std::move(so));
 
     gen::FidelityOptions fo;
@@ -522,7 +570,8 @@ cmdFidelity(const Args &args)
 
     size_t failed = 0;
     TextTable table("clone fidelity (relative error per instance)");
-    table.setHeader({"workload", "mean", "max", "worst metric"});
+    table.setHeader({"workload", "mean", "max", "phases",
+                     "ph.worst", "worst metric"});
     for (const auto &inst : report.instances) {
         if (!inst.ok) {
             ++failed;
@@ -534,10 +583,26 @@ cmdFidelity(const Args &args)
         for (const auto &m : inst.metrics)
             if (!worst || m.error > worst->error)
                 worst = &m;
-        table.addRow({inst.workload,
-                      strprintf("%.3f", inst.meanError),
-                      strprintf("%.3f", inst.maxError),
-                      worst ? worst->metric : "-"});
+        table.addRow(
+            {inst.workload, strprintf("%.3f", inst.meanError),
+             strprintf("%.3f", inst.maxError),
+             strprintf("%llu/%llu",
+                       static_cast<unsigned long long>(
+                           inst.originalPhases),
+                       static_cast<unsigned long long>(
+                           inst.clonePhases)),
+             strprintf("%.3f", inst.phaseWorstMixError),
+             worst ? worst->metric : "-"});
+        if (args.showPhases) {
+            for (const auto &ps : inst.phaseScores)
+                std::fprintf(
+                    stderr,
+                    "[bsyn]   %-22s phase %zu -> clone %zu: mix "
+                    "%.3f, miss %.3f, taken %.3f\n",
+                    inst.workload.c_str(), ps.original, ps.clone,
+                    ps.mixError, ps.missRateError,
+                    ps.takenRateError);
+        }
     }
     table.print(std::cout);
     std::fprintf(stderr,
@@ -569,8 +634,14 @@ usage()
         "  bsyn gen <family>[,knob=v...][,seed=S] [-o prog.c]\n"
         "  bsyn fidelity [-o report.json] [--family <spec>] "
         "[--gen-count N]\n"
-        "                [-O0..-O3] [--no-timing]\n"
+        "                [--only-families] [-O0..-O3] [--no-timing]\n"
+        "                [--phase-slices N] [--no-phase-synth] "
+        "[--phases]\n"
         "\n"
+        "profile and fidelity slice the run every --phase-slices "
+        "retired\ninstructions (0 disables) and detect program phases; "
+        "--phases prints\nthe per-phase detail and --no-phase-synth "
+        "clones from the aggregate\nprofile only.\n"
         "a --family <spec> is 'all' or 'name[,knob=value...][,seed=S]' "
         "(repeatable);\nbsyn list prints the registered families and "
         "their knobs.\n"
