@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the shard-and-serve control
+ * plane: spool submit/claim/finish round-trips (the per-job protocol
+ * overhead a serve worker adds on top of the pipeline work itself) and
+ * the shard partition hash (paid once per workload per suite
+ * resolution). Both must stay far below the cost of even the smallest
+ * profile/synthesis job for the control plane to be "free".
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "serve/shard.hh"
+#include "serve/spool.hh"
+#include "workloads/suite.hh"
+
+using namespace bsyn;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scratch spool root under the system temp dir, wiped per benchmark. */
+class ScratchSpool
+{
+  public:
+    ScratchSpool()
+        : root_(fs::temp_directory_path() /
+                ("bsyn_bench_spool_" + std::to_string(::getpid())))
+    {
+        fs::remove_all(root_);
+    }
+    ~ScratchSpool() { fs::remove_all(root_); }
+    std::string str() const { return root_.string(); }
+
+  private:
+    fs::path root_;
+};
+
+void
+BM_SpoolSubmitClaimFinish(benchmark::State &state)
+{
+    ScratchSpool scratch;
+    serve::Spool spool(scratch.str());
+    Json status = Json::object();
+    status.set("ok", Json(true));
+    uint64_t n = 0;
+    for (auto _ : state) {
+        serve::Job job;
+        job.id = "job-" + std::to_string(n++);
+        job.kind = "synth";
+        job.workload = "crc32/small";
+        spool.submit(job);
+        bool claimed = spool.claim(job.id);
+        benchmark::DoNotOptimize(claimed);
+        spool.finish(job.id, status);
+    }
+    state.counters["jobs/s"] =
+        benchmark::Counter(double(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpoolSubmitClaimFinish);
+
+void
+BM_SpoolPendingScan(benchmark::State &state)
+{
+    // Worker idle-loop cost: scanning new/ with a backlog waiting.
+    ScratchSpool scratch;
+    serve::Spool spool(scratch.str());
+    for (int i = 0; i < state.range(0); ++i) {
+        serve::Job job;
+        job.id = "job-" + std::to_string(i);
+        job.kind = "profile";
+        job.workload = "crc32/small";
+        spool.submit(job);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spool.pending());
+}
+BENCHMARK(BM_SpoolPendingScan)->Arg(16)->Arg(256);
+
+void
+BM_ShardPartition(benchmark::State &state)
+{
+    // Full-suite shard resolution: hash every canonical name and
+    // filter — what every sharded invocation pays up front.
+    auto suite = workloads::mibenchSuite();
+    const unsigned count = static_cast<unsigned>(state.range(0));
+    uint64_t kept = 0;
+    for (auto _ : state) {
+        auto batch = serve::filterShard(suite, {1, count});
+        kept += batch.workloads.size();
+        benchmark::DoNotOptimize(batch.suiteHash.data());
+    }
+    state.counters["workloads/s"] = benchmark::Counter(
+        double(state.iterations() * suite.size()),
+        benchmark::Counter::kIsRate);
+    benchmark::DoNotOptimize(kept);
+}
+BENCHMARK(BM_ShardPartition)->Arg(1)->Arg(3)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -286,6 +286,7 @@ scoreFidelity(pipeline::Session &session,
             bad.error = e.what();
             report.instances[i] = std::move(bad);
         }
+        report.instances[i].index = i;
     });
     report.totalSecs = secondsSince(t0);
     return report;
@@ -295,7 +296,9 @@ Json
 FidelityReport::resultsJson() const
 {
     Json root = Json::object();
-    root.set("schema", Json("bsyn.fidelity.v2"));
+    // v3: instances carry their batch index, so sharded reports can be
+    // merged back into full-batch order (serve/merge.hh).
+    root.set("schema", Json("bsyn.fidelity.v3"));
 
     Json list = Json::array();
     // Per-metric accumulation across ok instances, in first-seen
@@ -308,6 +311,7 @@ FidelityReport::resultsJson() const
     for (const auto &inst : instances) {
         Json j = Json::object();
         j.set("workload", Json(inst.workload));
+        j.set("index", Json(inst.index));
         j.set("family", Json(inst.family));
         j.set("ok", Json(inst.ok));
         if (!inst.ok) {

@@ -73,6 +73,12 @@ struct PhaseScore
 struct InstanceFidelity
 {
     std::string workload;       ///< "crc32/small" or generated name
+
+    /** Position in the full scored batch. scoreFidelity fills the
+     *  local batch index; a sharded run remaps it to the global index
+     *  so `bsyn merge` can restore full-batch order. */
+    uint64_t index = 0;
+
     std::string family;         ///< registered family name, or ""
     bool ok = true;
     std::string error;          ///< failure description when !ok

@@ -9,6 +9,32 @@
 namespace bsyn::pipeline
 {
 
+// ----------------------------------------------------------------- Status
+
+Json
+runStatusToJson(const RunStatus &st)
+{
+    Json j = Json::object();
+    j.set("index", Json(static_cast<uint64_t>(st.index)));
+    j.set("workload", Json(st.workload));
+    j.set("ok", Json(st.ok));
+    if (!st.ok)
+        j.set("error", Json(st.error));
+    return j;
+}
+
+RunStatus
+runStatusFromJson(const Json &j)
+{
+    RunStatus st;
+    st.index = static_cast<size_t>(j.get("index").asInt());
+    st.workload = j.get("workload").asString();
+    st.ok = j.get("ok").asBool();
+    if (j.has("error"))
+        st.error = j.get("error").asString();
+    return st;
+}
+
 // ---------------------------------------------------------------- Collect
 
 void

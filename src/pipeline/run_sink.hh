@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pipeline/pipeline.hh"
+#include "support/json.hh"
 
 namespace bsyn::pipeline
 {
@@ -35,6 +36,17 @@ struct RunStatus
     bool profileCached = false;
     bool synthCached = false;
 };
+
+/**
+ * Deterministic JSON of one status: index, workload, ok and (when !ok)
+ * error. Cache provenance is deliberately excluded so a cold and a warm
+ * run of the same batch serialize identically — this is what the suite
+ * status artifact and shard merging compare byte-for-byte.
+ */
+Json runStatusToJson(const RunStatus &st);
+
+/** Inverse of runStatusToJson (cache provenance stays defaulted). */
+RunStatus runStatusFromJson(const Json &j);
 
 /**
  * Consumer of batch results. consume() is called exactly once per

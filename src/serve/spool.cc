@@ -1,0 +1,258 @@
+#include "serve/spool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace fs = std::filesystem;
+
+namespace bsyn::serve
+{
+
+namespace
+{
+
+/** Write @p text to @p path atomically (unique temp + rename), so a
+ *  concurrent reader sees either nothing or the whole file. */
+void
+atomicWrite(const std::string &path, const std::string &text)
+{
+    static std::atomic<uint64_t> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write spool file '%s'", tmp.c_str());
+        out << text;
+        if (!out.good())
+            fatal("short write to spool file '%s'", tmp.c_str());
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        fatal("cannot finalize spool file '%s'", path.c_str());
+    }
+}
+
+/** Sorted job ids of the "<id>.json" files directly under @p dir. */
+std::vector<std::string>
+listIds(const std::string &dir)
+{
+    std::vector<std::string> ids;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        std::string name = it->path().filename().string();
+        // In-flight ".tmp." files are not yet submitted jobs.
+        if (name.size() <= 5 || name.substr(name.size() - 5) != ".json")
+            continue;
+        if (name.find(".tmp.") != std::string::npos)
+            continue;
+        ids.push_back(name.substr(0, name.size() - 5));
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // namespace
+
+bool
+validJobId(const std::string &id)
+{
+    if (id.empty() || id.size() > 200)
+        return false;
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+Json
+Job::toJson() const
+{
+    Json j = Json::object();
+    j.set("schema", Json("bsyn.job.v1"));
+    j.set("id", Json(id));
+    j.set("kind", Json(kind));
+    j.set("workload", Json(workload));
+    j.set("seed", Json(seed));
+    j.set("targetInstr", Json(targetInstr));
+    j.set("timing", Json(timing));
+    return j;
+}
+
+Job
+Job::fromJson(const Json &j)
+{
+    if (j.get("schema").asString() != "bsyn.job.v1")
+        fatal("job: unknown schema '%s'",
+              j.get("schema").asString().c_str());
+    Job job;
+    job.id = j.get("id").asString();
+    job.kind = j.get("kind").asString();
+    job.workload = j.get("workload").asString();
+    job.seed = static_cast<uint64_t>(j.get("seed").asNumber());
+    job.targetInstr =
+        static_cast<uint64_t>(j.get("targetInstr").asNumber());
+    if (j.has("timing"))
+        job.timing = j.get("timing").asBool();
+    job.validate();
+    return job;
+}
+
+void
+Job::validate() const
+{
+    if (!validJobId(id))
+        fatal("job id '%s' is invalid (need 1..200 chars of "
+              "[A-Za-z0-9._-])",
+              id.c_str());
+    if (kind != "profile" && kind != "synth" && kind != "fidelity")
+        fatal("job kind '%s' is invalid (profile|synth|fidelity)",
+              kind.c_str());
+    if (workload.empty())
+        fatal("job '%s' names no workload", id.c_str());
+}
+
+Spool::Spool(std::string root) : root_(std::move(root))
+{
+    if (root_.empty())
+        fatal("spool directory must not be empty");
+    for (const char *sub : {"new", "claimed", "done", "out"}) {
+        std::error_code ec;
+        fs::create_directories(root_ + "/" + sub, ec);
+        if (ec)
+            fatal("cannot create spool directory '%s/%s': %s",
+                  root_.c_str(), sub, ec.message().c_str());
+    }
+}
+
+std::string
+Spool::newPath(const std::string &id) const
+{
+    return root_ + "/new/" + id + ".json";
+}
+
+std::string
+Spool::claimedPath(const std::string &id) const
+{
+    return root_ + "/claimed/" + id + ".json";
+}
+
+std::string
+Spool::donePath(const std::string &id) const
+{
+    return root_ + "/done/" + id + ".json";
+}
+
+std::string
+Spool::outPath(const std::string &id, const std::string &suffix) const
+{
+    return root_ + "/out/" + id + suffix;
+}
+
+bool
+Spool::idExists(const std::string &id) const
+{
+    std::error_code ec;
+    return fs::exists(newPath(id), ec) || fs::exists(claimedPath(id), ec) ||
+           fs::exists(donePath(id), ec);
+}
+
+void
+Spool::submit(const Job &job) const
+{
+    job.validate();
+    if (idExists(job.id))
+        fatal("job id '%s' already exists in spool '%s'", job.id.c_str(),
+              root_.c_str());
+    atomicWrite(newPath(job.id), job.toJson().dump(2) + "\n");
+}
+
+std::vector<std::string>
+Spool::pending() const
+{
+    return listIds(root_ + "/new");
+}
+
+std::vector<std::string>
+Spool::finished() const
+{
+    return listIds(root_ + "/done");
+}
+
+bool
+Spool::claim(const std::string &id) const
+{
+    // rename(2) is atomic: of any number of workers racing for one
+    // job, exactly one rename succeeds and the rest see ENOENT.
+    std::error_code ec;
+    fs::rename(newPath(id), claimedPath(id), ec);
+    return !ec;
+}
+
+void
+Spool::finish(const std::string &id, const Json &status) const
+{
+    // Status first, then retire the claim: a crash between the two
+    // leaves a claimed file with a status — visibly done — rather than
+    // a result that vanished.
+    atomicWrite(donePath(id), status.dump(2) + "\n");
+    std::error_code ec;
+    fs::remove(claimedPath(id), ec);
+}
+
+bool
+Spool::result(const std::string &id, Json &out) const
+{
+    std::error_code ec;
+    if (!fs::exists(donePath(id), ec))
+        return false;
+    out = Json::parse(readFile(donePath(id)));
+    return true;
+}
+
+std::string
+Spool::freeId(const std::string &base) const
+{
+    if (!idExists(base))
+        return base;
+    for (uint64_t n = 2;; ++n) {
+        std::string candidate = base + "-" + std::to_string(n);
+        if (!idExists(candidate))
+            return candidate;
+    }
+}
+
+void
+Spool::requestStop() const
+{
+    atomicWrite(root_ + "/stop", "stop\n");
+}
+
+bool
+Spool::stopRequested() const
+{
+    std::error_code ec;
+    return fs::exists(root_ + "/stop", ec);
+}
+
+void
+Spool::clearStop() const
+{
+    std::error_code ec;
+    fs::remove(root_ + "/stop", ec);
+}
+
+} // namespace bsyn::serve

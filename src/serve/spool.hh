@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The job-spool protocol behind `bsyn serve`: a plain directory is the
+ * whole control plane, so any number of clients and workers — possibly
+ * on different machines sharing a filesystem — coordinate without
+ * sockets or locks. Life of a job:
+ *
+ *   new/<id>.json       submitted by a client (write-temp + rename)
+ *   claimed/<id>.json   a worker claimed it (atomic rename: exactly
+ *                       one worker wins a duplicate-claim race)
+ *   out/<id>.*          result artifacts the worker produced
+ *   done/<id>.json      terminal status (ok or structured error)
+ *   stop                drain flag: workers finish the current job,
+ *                       claim nothing more, and exit
+ *
+ * Every state transition is a single atomic rename or
+ * write-temp-then-rename, so observers never see torn files and two
+ * workers can never both own one job.
+ */
+
+#ifndef BSYN_SERVE_SPOOL_HH
+#define BSYN_SERVE_SPOOL_HH
+
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace bsyn::serve
+{
+
+/** One unit of work a client drops into the spool. */
+struct Job
+{
+    /** Unique, filename-safe ([A-Za-z0-9._-]) identifier. */
+    std::string id;
+
+    /** "profile" (profile only), "synth" (profile + synthesize), or
+     *  "fidelity" (profile, synthesize, score the clone). */
+    std::string kind;
+
+    /** Canonical workload name — a suite instance ("crc32/small") or
+     *  a generated-family spec ("pointer_chase/nodes=1024,seed=3"). */
+    std::string workload;
+
+    /** Batch base seed; the worker applies deriveWorkloadSeed exactly
+     *  like `bsyn suite`, so a job's artifacts are byte-identical to
+     *  (and cache-shared with) a suite run at the same seed. */
+    uint64_t seed = 0xb5e9c0de;
+
+    /** Synthesis instruction budget. */
+    uint64_t targetInstr = 120000;
+
+    /** fidelity jobs: include the (slow) timing-model CPI metric. */
+    bool timing = false;
+
+    Json toJson() const;
+    static Job fromJson(const Json &j);
+
+    /** fatal() unless id/kind/workload are well-formed. */
+    void validate() const;
+};
+
+/** True if @p id is non-empty and uses only [A-Za-z0-9._-]. */
+bool validJobId(const std::string &id);
+
+/** A job spool rooted at a directory (subdirectories created on
+ *  construction). All operations are safe against concurrent clients
+ *  and workers sharing the root. */
+class Spool
+{
+  public:
+    explicit Spool(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    std::string newPath(const std::string &id) const;
+    std::string claimedPath(const std::string &id) const;
+    std::string donePath(const std::string &id) const;
+
+    /** Result-artifact path for a job: `<root>/out/<id><suffix>`. */
+    std::string outPath(const std::string &id,
+                        const std::string &suffix) const;
+
+    /** Atomically submit @p job. fatal() on an invalid job or if the
+     *  id already exists anywhere in the spool. */
+    void submit(const Job &job) const;
+
+    /** Ids waiting in new/, sorted (deterministic claim order). */
+    std::vector<std::string> pending() const;
+
+    /** Ids with a terminal status in done/, sorted. */
+    std::vector<std::string> finished() const;
+
+    /** Try to claim a pending job: atomic rename new/ -> claimed/.
+     *  @return false if another worker won the race (or the job
+     *  vanished). */
+    bool claim(const std::string &id) const;
+
+    /** Publish the terminal @p status (atomic) and retire the claimed
+     *  job file. */
+    void finish(const std::string &id, const Json &status) const;
+
+    /** Load done/<id>.json into @p out if present. */
+    bool result(const std::string &id, Json &out) const;
+
+    /** First free id derived from @p base: @p base itself, then
+     *  "<base>-2", "<base>-3", ... — deterministic, no clocks. */
+    std::string freeId(const std::string &base) const;
+
+    /** Drain flag (`<root>/stop`): ask every worker on this spool to
+     *  finish its current job and exit. */
+    void requestStop() const;
+    bool stopRequested() const;
+    void clearStop() const;
+
+  private:
+    bool idExists(const std::string &id) const;
+
+    std::string root_;
+};
+
+} // namespace bsyn::serve
+
+#endif // BSYN_SERVE_SPOOL_HH

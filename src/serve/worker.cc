@@ -1,0 +1,159 @@
+#include "serve/worker.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "gen/fidelity.hh"
+#include "support/error.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::serve
+{
+
+namespace
+{
+
+pipeline::SessionOptions
+sessionOptionsFor(const WorkerOptions &opts)
+{
+    pipeline::SessionOptions so;
+    so.cacheDir = opts.cacheDir;
+    so.threads = opts.threads;
+    return so;
+}
+
+} // namespace
+
+Worker::Worker(WorkerOptions opts)
+    : opts_(std::move(opts)), spool_(opts_.spoolDir),
+      session_(sessionOptionsFor(opts_))
+{
+}
+
+bool
+Worker::stopping() const
+{
+    return stop_.load() || spool_.stopRequested();
+}
+
+Json
+Worker::processClaimed(const std::string &id)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::string kind, workload, error;
+    bool ok = true;
+    bool profileCached = false, synthCached = false;
+    Json outputs = Json::array();
+
+    try {
+        Job job =
+            Job::fromJson(Json::parse(readFile(spool_.claimedPath(id))));
+        if (job.id != id)
+            fatal("job file '%s' carries mismatched id '%s'", id.c_str(),
+                  job.id.c_str());
+        kind = job.kind;
+        workload = job.workload;
+        const workloads::Workload &w =
+            workloads::findWorkload(job.workload);
+
+        if (job.kind == "profile") {
+            auto prof = session_.profile(w, &profileCached);
+            prof.saveTo(spool_.outPath(id, ".profile.json"));
+            outputs.push(Json("out/" + id + ".profile.json"));
+        } else if (job.kind == "synth") {
+            // Same per-workload seed derivation as `bsyn suite`, so a
+            // job's clone is byte-identical to — and cache-shared
+            // with — a suite run at the same base seed.
+            synth::SynthesisOptions so = session_.options().synthesis;
+            so.targetInstructions = job.targetInstr;
+            so.seed = pipeline::deriveWorkloadSeed(job.seed, w.name());
+            pipeline::RunStatus rst;
+            auto run = session_.process(w, so, &rst);
+            profileCached = rst.profileCached;
+            synthCached = rst.synthCached;
+            writeFile(spool_.outPath(id, ".c"), run.synthetic.cSource);
+            run.profile.saveTo(spool_.outPath(id, ".profile.json"));
+            outputs.push(Json("out/" + id + ".c"));
+            outputs.push(Json("out/" + id + ".profile.json"));
+        } else { // "fidelity" (Job::validate admits nothing else)
+            gen::FidelityOptions fo;
+            fo.synthesis = session_.options().synthesis;
+            fo.synthesis.targetInstructions = job.targetInstr;
+            fo.synthesis.seed = job.seed;
+            fo.timing = job.timing;
+            auto report = gen::scoreFidelity(session_, {w}, fo);
+            writeFile(spool_.outPath(id, ".fidelity.json"),
+                      report.resultsJson().dump(2) + "\n");
+            outputs.push(Json("out/" + id + ".fidelity.json"));
+            if (!report.instances.empty() && !report.instances[0].ok) {
+                ok = false;
+                error = report.instances[0].error;
+            }
+        }
+    } catch (const std::exception &e) {
+        ok = false;
+        error = e.what();
+    }
+
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    Json status = Json::object();
+    status.set("schema", Json("bsyn.result.v1"));
+    status.set("id", Json(id));
+    status.set("kind", Json(kind));
+    status.set("workload", Json(workload));
+    status.set("ok", Json(ok));
+    if (!ok)
+        status.set("error", Json(error));
+    status.set("profileCached", Json(profileCached));
+    status.set("synthCached", Json(synthCached));
+    status.set("secs", Json(secs));
+    status.set("outputs", std::move(outputs));
+    return status;
+}
+
+WorkerStats
+Worker::run()
+{
+    WorkerStats stats;
+    while (!stopping()) {
+        bool progressed = false;
+        for (const auto &id : spool_.pending()) {
+            if (stopping())
+                break;
+            if (!spool_.claim(id)) {
+                // Another worker on this spool won the rename race.
+                ++stats.lostClaims;
+                continue;
+            }
+            Json status = processClaimed(id);
+            spool_.finish(id, status);
+            progressed = true;
+            ++stats.processed;
+            bool ok = status.get("ok").asBool();
+            ok ? ++stats.succeeded : ++stats.failed;
+            if (opts_.verbose)
+                std::fprintf(stderr, "[bsyn] job %-24s %s (%.2fs)%s\n",
+                             id.c_str(), ok ? "ok" : "FAILED",
+                             status.get("secs").asNumber(),
+                             status.get("profileCached").asBool() &&
+                                     status.get("synthCached").asBool()
+                                 ? " (cached)"
+                                 : "");
+            if (opts_.maxJobs && stats.processed >= opts_.maxJobs)
+                return stats;
+        }
+        if (stopping())
+            break;
+        if (!progressed) {
+            if (opts_.drain)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.pollMs));
+        }
+    }
+    return stats;
+}
+
+} // namespace bsyn::serve

@@ -111,6 +111,18 @@ Json::get(const std::string &key) const
     fatal("json: missing key '%s'", key.c_str());
 }
 
+std::vector<std::string>
+Json::keys() const
+{
+    std::vector<std::string> out;
+    if (kind_ != Kind::Object)
+        return out;
+    out.reserve(fields.size());
+    for (const auto &kv : fields)
+        out.push_back(kv.first);
+    return out;
+}
+
 namespace
 {
 

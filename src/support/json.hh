@@ -60,6 +60,11 @@ class Json
     bool has(const std::string &key) const;
     const Json &get(const std::string &key) const;
 
+    /** Object keys in insertion order (empty for non-objects) — lets
+     *  consumers walk fields in the exact order a writer emitted them,
+     *  which reproducible re-serialization (e.g. shard merging) needs. */
+    std::vector<std::string> keys() const;
+
     /** Serialize; @p indent < 0 means compact. */
     std::string dump(int indent = 2) const;
 

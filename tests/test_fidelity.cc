@@ -117,7 +117,7 @@ TEST(Fidelity, JsonShapeAndSummary)
     report.generationSecs = 0.25;
 
     Json full = report.toJson();
-    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v2");
+    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v3");
     EXPECT_EQ(full.get("instances").size(), 2u);
     EXPECT_EQ(full.get("scored").asInt(), 2);
     EXPECT_EQ(full.get("failed").asInt(), 0);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "pipeline/artifact_cache.hh"
@@ -371,6 +372,136 @@ TEST(Session, CallbackSinkObservesEveryRun)
     for (const auto &w : ws)
         EXPECT_NE(std::find(seen.begin(), seen.end(), w.name()),
                   seen.end());
+}
+
+/** A payload whose integrity is self-evident: a one-byte tag repeated,
+ *  so any torn read (half old inode, half new) is detectable. */
+std::string
+taggedPayload(char tag, size_t len)
+{
+    return std::string(len, tag);
+}
+
+bool
+isUntorn(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    for (char c : text)
+        if (c != text[0])
+            return false;
+    return true;
+}
+
+TEST(ArtifactCache, ConcurrentProcessesNeverTearEntries)
+{
+    // Two real processes hammer the same keys through the same cache
+    // directory: one stores ever-changing payloads, the other loads.
+    // The atomic temp-file + rename store means every load must see a
+    // complete payload from *some* writer — never a mix, never a
+    // partial file. This is the property multi-process sharding and
+    // serve workers stand on.
+    ScratchDir dir("cache_mp");
+    const size_t kKeys = 4;
+    const size_t kRounds = 400;
+    const size_t kLen = 64 * 1024; // spans many write() granularities
+
+    std::vector<std::string> keys;
+    for (size_t k = 0; k < kKeys; ++k)
+        keys.push_back(pipeline::ArtifactCache::key(
+            "mp-stress", {std::to_string(k)}));
+
+    pid_t child = ::fork();
+    ASSERT_NE(child, -1);
+    if (child == 0) {
+        // Writer process: rewrite every key kRounds times with a
+        // round-tagged payload.
+        pipeline::ArtifactCache cache(dir.str());
+        for (size_t r = 0; r < kRounds; ++r)
+            for (size_t k = 0; k < kKeys; ++k)
+                cache.store(keys[k],
+                            taggedPayload('a' + (r + k) % 26, kLen));
+        ::_exit(0);
+    }
+
+    // Reader (parent) process: concurrent loads plus its own stores —
+    // both sides of the last-writer-wins race.
+    pipeline::ArtifactCache cache(dir.str());
+    size_t loads = 0, hits = 0;
+    for (size_t r = 0; r < kRounds; ++r) {
+        for (size_t k = 0; k < kKeys; ++k) {
+            std::string text;
+            ++loads;
+            if (cache.load(keys[k], text)) {
+                ++hits;
+                EXPECT_EQ(text.size(), kLen);
+                EXPECT_TRUE(isUntorn(text))
+                    << "torn read on key " << k << " round " << r;
+            }
+            if (r % 16 == 0)
+                cache.store(keys[k], taggedPayload('Z', kLen));
+        }
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    // By the end every key must be loadable and complete, and the
+    // cache directory must hold no leftover temp files (every store
+    // either renamed into place or was itself renamed over).
+    for (size_t k = 0; k < kKeys; ++k) {
+        std::string text;
+        ASSERT_TRUE(cache.load(keys[k], text));
+        EXPECT_TRUE(isUntorn(text));
+    }
+    size_t tmpFiles = 0;
+    for (const auto &e : fs::recursive_directory_iterator(dir.str()))
+        if (e.is_regular_file() &&
+            e.path().filename().string().find(".tmp.") !=
+                std::string::npos)
+            ++tmpFiles;
+    EXPECT_EQ(tmpFiles, 0u);
+    EXPECT_GT(hits, 0u) << "stress never overlapped (" << loads
+                        << " loads)";
+}
+
+TEST(Session, CacheCountersAreScopedPerProcess)
+{
+    // Two sessions sharing one cache directory: the second session's
+    // warm hits must show up in *its* counters, and the first
+    // session's counters must not move — per-process accounting over
+    // a shared on-disk cache (what the warm-shard CI check greps).
+    auto ws = smallBatch();
+    ScratchDir cacheDir("cache_scope");
+
+    pipeline::SessionOptions so;
+    so.threads = 2;
+    so.cacheDir = cacheDir.str();
+    so.synthesis = fastOptions();
+    pipeline::Session first(so);
+    first.processSuite(ws);
+    auto coldStats = first.cacheStats();
+    EXPECT_EQ(coldStats.profileMisses, ws.size());
+    EXPECT_EQ(coldStats.synthMisses, ws.size());
+    EXPECT_EQ(coldStats.profileHits, 0u);
+
+    pipeline::SessionOptions so2;
+    so2.threads = 2;
+    so2.cacheDir = cacheDir.str();
+    so2.synthesis = fastOptions();
+    pipeline::Session second(so2);
+    second.processSuite(ws);
+    auto warmStats = second.cacheStats();
+    EXPECT_EQ(warmStats.profileHits, ws.size());
+    EXPECT_EQ(warmStats.synthHits, ws.size());
+    EXPECT_EQ(warmStats.profileMisses, 0u);
+    EXPECT_EQ(warmStats.synthMisses, 0u);
+
+    // The first session's view is unchanged by the second's traffic.
+    auto after = first.cacheStats();
+    EXPECT_EQ(after.profileHits, coldStats.profileHits);
+    EXPECT_EQ(after.profileMisses, coldStats.profileMisses);
+    EXPECT_EQ(after.synthMisses, coldStats.synthMisses);
 }
 
 } // namespace

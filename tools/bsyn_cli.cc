@@ -27,6 +27,23 @@
  *   bsyn fidelity [-o report.json] [--family <spec>] [--gen-count N]
  *       score clone-vs-original profile agreement per metric across
  *       the Figure-4 suite plus any generated instances, as JSON
+ *   bsyn merge -o <out> <in>... [--fidelity]
+ *       reunify per-shard suite output directories (or, with
+ *       --fidelity, sharded fidelity reports) into the artifact an
+ *       unsharded run would have produced, byte-identical
+ *   bsyn serve --spool <dir>
+ *       long-running worker: claim jobs from the spool directory,
+ *       execute them against one warm session, write results, survive
+ *       failing workloads; drains gracefully on SIGINT/SIGTERM or the
+ *       spool's stop flag
+ *   bsyn submit <kind> <workload> --spool <dir>
+ *       drop a profile/synth/fidelity job into a spool (optionally
+ *       --wait for its result)
+ *
+ * suite and fidelity accept --shard i/N: the resolved batch is
+ * partitioned by a stable hash of each workload's canonical name, so N
+ * processes (or machines) sharing a cache directory each compute a
+ * disjoint subset, and `bsyn merge` reassembles the unsharded artifact.
  *
  * profile, synth, suite and fidelity run through a pipeline::Session
  * and accept
@@ -38,12 +55,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/fidelity.hh"
@@ -52,6 +71,10 @@
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
 #include "pipeline/session.hh"
+#include "serve/merge.hh"
+#include "serve/shard.hh"
+#include "serve/spool.hh"
+#include "serve/worker.hh"
 #include "similarity/report.hh"
 #include "support/error.hh"
 #include "support/string_util.hh"
@@ -87,6 +110,22 @@ struct Args
      *  ("all" or "family[,knob=v...][,seed=S]"). */
     std::vector<std::string> families;
     uint64_t genCount = 1; ///< instances per family for "all"/seedless
+
+    /** suite/fidelity: which shard of the resolved batch to run
+     *  (validated eagerly at parse time; 1/1 = everything). */
+    serve::ShardSpec shard;
+
+    bool resultsOnly = false; ///< fidelity: deterministic half only
+    bool mergeFidelity = false; ///< merge: inputs are fidelity reports
+
+    std::string spool;     ///< serve/submit: spool directory
+    std::string jobId;     ///< submit: explicit job id
+    bool timing = false;   ///< submit: fidelity jobs score timing CPI
+    bool wait = false;     ///< submit: block until the result lands
+    uint64_t timeoutS = 300; ///< submit --wait: give up after this
+    bool drain = false;    ///< serve: exit once the spool is empty
+    uint64_t maxJobs = 0;  ///< serve: exit after N jobs (0 = no limit)
+    uint64_t pollMs = 50;  ///< serve: idle poll interval
 
     /** Cache directory after --no-cache is applied. */
     std::string
@@ -158,6 +197,37 @@ parseArgs(int argc, char **argv, int first)
             args.genCount = n;
         } else if (a == "--no-timing") {
             args.noTiming = true;
+        } else if (a == "--shard") {
+            // Validated here so a malformed spec ("0/3", "4/3", "x/y",
+            // "1/0") is an argument error: usage + exit 2.
+            args.shard = serve::parseShardSpec(next("--shard"));
+        } else if (a == "--results-only") {
+            args.resultsOnly = true;
+        } else if (a == "--fidelity") {
+            args.mergeFidelity = true;
+        } else if (a == "--spool") {
+            args.spool = next("--spool");
+        } else if (a == "--id") {
+            args.jobId = next("--id");
+            if (!serve::validJobId(args.jobId))
+                fatal("--id '%s' is invalid (need 1..200 chars of "
+                      "[A-Za-z0-9._-])",
+                      args.jobId.c_str());
+        } else if (a == "--timing") {
+            args.timing = true;
+        } else if (a == "--wait") {
+            args.wait = true;
+        } else if (a == "--timeout") {
+            args.timeoutS = parseU64(next("--timeout"), "--timeout");
+        } else if (a == "--drain") {
+            args.drain = true;
+        } else if (a == "--max-jobs") {
+            args.maxJobs = parseU64(next("--max-jobs"), "--max-jobs");
+        } else if (a == "--poll-ms") {
+            args.pollMs = parseU64(next("--poll-ms"), "--poll-ms");
+            if (args.pollMs < 1 || args.pollMs > 60000)
+                fatal("--poll-ms %llu is out of range (1..60000)",
+                      static_cast<unsigned long long>(args.pollMs));
         } else if (a == "--phase-slices") {
             args.phaseSlices =
                 parseU64(next("--phase-slices"), "--phase-slices");
@@ -365,15 +435,27 @@ cmdSuite(const Args &args)
     if (!args.positional.empty())
         fatal("usage: bsyn suite [-o <dir>] [--threads N] [--seed S] "
               "[--target-instr N] [--family <spec>] [--gen-count N] "
-              "[--cache-dir D] [--no-cache] — unexpected argument '%s'",
+              "[--shard i/N] [--cache-dir D] [--no-cache] — unexpected "
+              "argument '%s'",
               args.positional[0].c_str());
 
     // --family swaps the batch from the MiBench-analogue suite to
     // generated family instances; everything downstream (cache,
     // sinks, seeds) treats them identically.
-    const std::vector<workloads::Workload> suite =
+    const std::vector<workloads::Workload> fullSuite =
         args.families.empty() ? workloads::mibenchSuite()
                               : generatedSelection(args);
+
+    // --shard: every invocation resolves the full batch identically,
+    // then keeps only the workloads hashed onto this shard; the
+    // per-workload seeds derive from names, so shard outputs are the
+    // exact bytes the unsharded run produces for those workloads.
+    serve::ShardedBatch sharded = serve::filterShard(fullSuite, args.shard);
+    const std::vector<workloads::Workload> &suite = sharded.workloads;
+    if (!args.shard.isAll())
+        std::fprintf(stderr, "[bsyn] shard %s: %zu of %zu workloads\n",
+                     args.shard.str().c_str(), suite.size(),
+                     sharded.total);
 
     pipeline::SessionOptions so;
     // Cap the pool at the batch width so a wide --threads (or a wide
@@ -425,6 +507,13 @@ cmdSuite(const Args &args)
             std::fprintf(stderr, "[bsyn] FAILED %-22s %s\n",
                          st.workload.c_str(), st.error.c_str());
         }
+    }
+
+    if (!args.output.empty()) {
+        // Status artifact with shard provenance: `bsyn merge` checks
+        // the suite hash and index cover before reunifying shards.
+        serve::makeSuiteStatus(sharded, statuses)
+            .saveTo(args.output + "/" + serve::kSuiteStatusFile);
     }
 
     auto runs = collect.takeRuns();
@@ -543,6 +632,15 @@ cmdFidelity(const Args &args)
         fatal("fidelity: no instances to score — --only-families "
               "without any --family <spec> selects nothing");
 
+    // --shard partitions the *resolved* batch (emptiness was judged on
+    // the full batch above: a shard that happens to be empty is fine).
+    serve::ShardedBatch sharded = serve::filterShard(batch, args.shard);
+    batch = sharded.workloads;
+    if (!args.shard.isAll())
+        std::fprintf(stderr, "[bsyn] shard %s: %zu of %zu instances\n",
+                     args.shard.str().c_str(), batch.size(),
+                     sharded.total);
+
     pipeline::SessionOptions so;
     so.threads = pipeline::resolveSuiteThreads(args.threads,
                                                batch.size());
@@ -562,7 +660,24 @@ cmdFidelity(const Args &args)
     auto report = gen::scoreFidelity(session, batch, fo);
     report.generationSecs = genSecs;
 
-    std::string text = report.toJson().dump(2) + "\n";
+    // Sharded runs carry global batch indices so `bsyn merge
+    // --fidelity` can restore full-batch instance (and summary
+    // accumulation) order.
+    for (size_t k = 0; k < report.instances.size(); ++k)
+        report.instances[k].index = sharded.indices[k];
+
+    // --results-only drops the bench (wall-clock) half, leaving the
+    // deterministic report a merge can reproduce byte-identically.
+    Json j = args.resultsOnly ? report.resultsJson() : report.toJson();
+    if (!args.shard.isAll()) {
+        Json sh = Json::object();
+        sh.set("index", Json(static_cast<uint64_t>(args.shard.index)));
+        sh.set("count", Json(static_cast<uint64_t>(args.shard.count)));
+        sh.set("total", Json(static_cast<uint64_t>(sharded.total)));
+        sh.set("suiteHash", Json(sharded.suiteHash));
+        j.set("shard", sh);
+    }
+    std::string text = j.dump(2) + "\n";
     if (args.output.empty())
         std::fputs(text.c_str(), stdout);
     else
@@ -614,6 +729,140 @@ cmdFidelity(const Args &args)
     return failed ? 1 : 0;
 }
 
+int
+cmdMerge(const Args &args)
+{
+    if (args.positional.empty() || args.output.empty())
+        fatal("usage: bsyn merge -o <out> <in>... [--fidelity] — "
+              "merge per-shard suite directories (or, with --fidelity, "
+              "sharded fidelity reports) into the unsharded artifact");
+
+    if (args.mergeFidelity) {
+        std::vector<Json> reports;
+        for (const auto &path : args.positional)
+            reports.push_back(Json::parse(readFile(path)));
+        Json merged = serve::mergeFidelityReports(reports);
+        writeFile(args.output, merged.dump(2) + "\n");
+        std::fprintf(stderr,
+                     "[bsyn] merged %zu fidelity shards (%zu instances) "
+                     "into %s\n",
+                     reports.size(), merged.get("instances").size(),
+                     args.output.c_str());
+        return 0;
+    }
+
+    serve::MergeResult res =
+        serve::mergeSuiteDirs(args.output, args.positional);
+    std::fprintf(stderr,
+                 "[bsyn] merged %zu shards into %s: %zu workloads "
+                 "(%zu failed), %zu artifact files\n",
+                 res.shards, args.output.c_str(), res.workloads,
+                 res.failed, res.files);
+    return res.failed ? 1 : 0;
+}
+
+/** The worker the signal handler must reach (exactly one per serve
+ *  process; requestStop is a single atomic store, so it is safe in a
+ *  handler context). */
+serve::Worker *gServeWorker = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (gServeWorker)
+        gServeWorker->requestStop();
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (args.spool.empty() || !args.positional.empty())
+        fatal("usage: bsyn serve --spool <dir> [--cache-dir D] "
+              "[--threads N] [--drain] [--max-jobs N] [--poll-ms N]");
+
+    serve::WorkerOptions wo;
+    wo.spoolDir = args.spool;
+    wo.cacheDir = args.effectiveCacheDir();
+    wo.threads = args.threads;
+    wo.maxJobs = args.maxJobs;
+    wo.drain = args.drain;
+    wo.pollMs = static_cast<unsigned>(args.pollMs);
+    wo.verbose = true;
+    serve::Worker worker(wo);
+
+    // SIGINT/SIGTERM become a graceful drain request: the in-flight
+    // job still finishes and publishes its status.
+    gServeWorker = &worker;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    std::fprintf(stderr, "[bsyn] serving %s%s%s\n", args.spool.c_str(),
+                 wo.cacheDir.empty() ? "" : ", cache ",
+                 wo.cacheDir.c_str());
+    serve::WorkerStats stats = worker.run();
+    gServeWorker = nullptr;
+
+    std::fprintf(stderr,
+                 "[bsyn] served %llu jobs (%llu ok, %llu failed, "
+                 "%llu claims lost)\n",
+                 static_cast<unsigned long long>(stats.processed),
+                 static_cast<unsigned long long>(stats.succeeded),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.lostClaims));
+    // Failed *jobs* are the submitters' problem, not the worker's: a
+    // worker that survived them exits 0.
+    return 0;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    if (args.positional.size() != 2 || args.spool.empty())
+        fatal("usage: bsyn submit <profile|synth|fidelity> <workload> "
+              "--spool <dir> [--id I] [--seed S] [--target-instr N] "
+              "[--timing] [--wait] [--timeout SECS]");
+
+    serve::Spool spool(args.spool);
+    serve::Job job;
+    job.kind = args.positional[0];
+    job.workload = args.positional[1];
+    job.seed = args.seed;
+    job.targetInstr = args.targetInstr;
+    job.timing = args.timing;
+    if (!args.jobId.empty()) {
+        job.id = args.jobId;
+    } else {
+        // Derive a readable default id from kind + workload, squashing
+        // everything filename-unsafe ("/", "=", ",") to '-'.
+        std::string base = job.kind + "-" + job.workload;
+        for (char &c : base)
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '.' && c != '_' && c != '-')
+                c = '-';
+        job.id = spool.freeId(base);
+    }
+    spool.submit(job);
+    // The id goes to stdout so scripts can capture it; with --wait the
+    // status JSON owns stdout instead.
+    std::fprintf(args.wait ? stderr : stdout, "%s\n", job.id.c_str());
+    if (!args.wait)
+        return 0;
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(args.timeoutS);
+    Json status;
+    while (!spool.result(job.id, status)) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            fatal("submit: timed out after %llus waiting for job '%s'",
+                  static_cast<unsigned long long>(args.timeoutS),
+                  job.id.c_str());
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::string text = status.dump(2) + "\n";
+    std::fputs(text.c_str(), stdout);
+    return status.get("ok").asBool() ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -637,7 +886,21 @@ usage()
         "                [--only-families] [-O0..-O3] [--no-timing]\n"
         "                [--phase-slices N] [--no-phase-synth] "
         "[--phases]\n"
+        "  bsyn merge -o <out> <in>... [--fidelity]\n"
+        "  bsyn serve --spool <dir> [--cache-dir D] [--threads N] "
+        "[--drain]\n"
+        "             [--max-jobs N] [--poll-ms N]\n"
+        "  bsyn submit <profile|synth|fidelity> <workload> --spool "
+        "<dir>\n"
+        "              [--id I] [--seed S] [--target-instr N] "
+        "[--timing]\n"
+        "              [--wait] [--timeout SECS]\n"
         "\n"
+        "suite and fidelity accept --shard i/N (1-based): the resolved "
+        "batch is\npartitioned by a stable hash of each workload name; "
+        "bsyn merge\nreassembles per-shard outputs into the unsharded "
+        "artifact,\nbyte-identical. fidelity --results-only writes the "
+        "deterministic\n(mergeable) half of the report only.\n"
         "profile and fidelity slice the run every --phase-slices "
         "retired\ninstructions (0 disables) and detect program phases; "
         "--phases prints\nthe per-phase detail and --no-phase-synth "
@@ -692,6 +955,12 @@ main(int argc, char **argv)
             return cmdGen(args);
         if (cmd == "fidelity")
             return cmdFidelity(args);
+        if (cmd == "merge")
+            return cmdMerge(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "submit")
+            return cmdSubmit(args);
         std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
         usage();
         return 2;
