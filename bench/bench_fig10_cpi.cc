@@ -12,13 +12,18 @@
 using namespace bsyn;
 
 #include "sim/decoded_program.hh"
+#include "sim/timed_core.hh"
 
 namespace
 {
 
-/** CPI at each cache size: one compile + lower + decode per source,
- *  then the decoded program is reused across the whole sweep — the
- *  timing model re-runs, the decode does not. */
+/** CPI at each cache size: one compile + lower + decode + timing
+ *  prepare per source, then both the decoded program and the prepared
+ *  per-PC timing metadata are reused across the whole sweep — only the
+ *  configuration under test (the cache geometry) changes per point.
+ *  Valid because the sweep varies cache size, not latencies, which is
+ *  what the prepared metadata depends on (asserted by
+ *  simulateTiming). */
 void
 cpiSweep(const std::string &source, const uint64_t (&kbs)[3],
          double (&out)[3])
@@ -27,10 +32,11 @@ cpiSweep(const std::string &source, const uint64_t (&kbs)[3],
     opt::optimize(m, opt::OptLevel::O0);
     auto prog = isa::lower(m, sim::ptlsimConfig(kbs[0]).isa);
     sim::DecodedProgram decoded(prog);
+    sim::TimedProgram timed(decoded, sim::ptlsimConfig(kbs[0]).core);
     for (int k = 0; k < 3; ++k)
-        out[k] =
-            sim::simulateTiming(decoded, sim::ptlsimConfig(kbs[k]).core)
-                .cpi();
+        out[k] = sim::simulateTiming(decoded, timed,
+                                     sim::ptlsimConfig(kbs[k]).core)
+                     .cpi();
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 
 #include "gen/registry.hh"
 #include "sim/decoded_program.hh"
+#include "sim/timed_core.hh"
 #include "similarity/report.hh"
 
 using namespace bsyn;
@@ -194,15 +195,19 @@ BENCHMARK(BM_InterpreterWithTimingModel);
 void
 BM_TimingModelDecodedReuse(benchmark::State &state)
 {
-    // Timing steady state for sweeps that decode once (Fig 10): the
-    // prepared CoreModel steps on the timed dispatch mode.
+    // The golden reference timing model over an existing decode: the
+    // prepared CoreModel steps on the timed dispatch mode. This is the
+    // baseline the specialized-engine numbers below are measured
+    // against (and differentially tested against for exactness).
     ir::Module m = lang::compile(kernelSrc, "k");
     auto prog = isa::lower(m, isa::targetX86());
     sim::DecodedProgram decoded(prog);
     auto machine = sim::ptlsimConfig(8);
     uint64_t insts = 0;
     for (auto _ : state) {
-        auto t = sim::simulateTiming(decoded, machine.core);
+        auto t = sim::simulateTiming(decoded, machine.core,
+                                     sim::ExecLimits(),
+                                     sim::TimingEngine::Reference);
         insts += t.instructions;
         benchmark::DoNotOptimize(t.cycles);
     }
@@ -210,6 +215,52 @@ BM_TimingModelDecodedReuse(benchmark::State &state)
         double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TimingModelDecodedReuse);
+
+void
+BM_TimedSpecializedThroughput(benchmark::State &state)
+{
+    // The specialized timing engine (flat cache/predictor, per-PC
+    // metadata prepared once) over a fusion-free decode: isolates the
+    // engine speedup from the superblock-fusion dispatch win below.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodeOptions opts;
+    opts.superblockFusion = false;
+    sim::DecodedProgram decoded(prog, opts);
+    auto machine = sim::ptlsimConfig(8);
+    sim::TimedProgram timed(decoded, machine.core);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto t = sim::simulateTiming(decoded, timed, machine.core);
+        insts += t.instructions;
+        benchmark::DoNotOptimize(t.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimedSpecializedThroughput);
+
+void
+BM_TimedSuperblockThroughput(benchmark::State &state)
+{
+    // The default timing path: specialized engine + superblock-fused
+    // decode, steady state with decode and prepare amortized (Fig 10
+    // sweeps, fidelity CPI scoring). CI enforces a floor on this rate.
+    ir::Module m = lang::compile(kernelSrc, "k");
+    auto prog = isa::lower(m, isa::targetX86());
+    sim::DecodedProgram decoded(prog);
+    auto machine = sim::ptlsimConfig(8);
+    sim::TimedProgram timed(decoded, machine.core);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto t = sim::simulateTiming(decoded, timed, machine.core);
+        insts += t.instructions;
+        benchmark::DoNotOptimize(t.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimedSuperblockThroughput);
 
 void
 BM_CacheSimulator(benchmark::State &state)

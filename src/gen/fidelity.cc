@@ -196,6 +196,28 @@ scorePhases(InstanceFidelity &inst,
     inst.phaseMeanMixError = sum / double(os.size());
 }
 
+/** CPI of each interval between consecutive cuts (plus the tail up to
+ *  the end of the run). */
+std::vector<double>
+intervalCpis(const pipeline::PhasedTiming &t)
+{
+    std::vector<double> cpis;
+    uint64_t prevInstr = 0, prevCycles = 0;
+    size_t n = t.cutCycles.size();
+    for (size_t i = 0; i <= n; ++i) {
+        uint64_t bi =
+            i < n ? t.cutInstructions[i] : t.stats.instructions;
+        uint64_t bc = i < n ? t.cutCycles[i] : t.stats.cycles;
+        double instr = static_cast<double>(bi - prevInstr);
+        cpis.push_back(instr > 0
+                           ? static_cast<double>(bc - prevCycles) / instr
+                           : 0.0);
+        prevInstr = bi;
+        prevCycles = bc;
+    }
+    return cpis;
+}
+
 InstanceFidelity
 scoreOne(pipeline::Session &session, const workloads::Workload &w,
          const FidelityOptions &opts)
@@ -237,15 +259,41 @@ scoreOne(pipeline::Session &session, const workloads::Workload &w,
 
     if (opts.timing) {
         t0 = Clock::now();
-        auto ot = pipeline::timeOnMachine(w.source, w.name(),
-                                          opts.timingLevel,
-                                          opts.machine);
-        auto ct = pipeline::timeOnMachine(clone.cSource,
-                                          w.name() + ".clone",
-                                          opts.timingLevel,
-                                          opts.machine);
+        // Cut both timed runs at the original's phase boundaries
+        // (normalized execution fractions), so phase i's CPI covers
+        // the same slice of each run.
+        std::vector<double> cuts;
+        std::vector<PhaseSpan> os = phaseSpans(prof);
+        for (size_t i = 0; i + 1 < os.size(); ++i)
+            cuts.push_back(os[i].end);
+        auto ot = pipeline::timeOnMachinePhased(w.source, w.name(),
+                                                opts.timingLevel,
+                                                opts.machine, cuts);
+        auto ct = pipeline::timeOnMachinePhased(clone.cSource,
+                                                w.name() + ".clone",
+                                                opts.timingLevel,
+                                                opts.machine, cuts);
         inst.timingSecs = secondsSince(t0);
-        pushMetric(inst, "timing.cpi", ot.cpi(), ct.cpi());
+        pushMetric(inst, "timing.cpi", ot.stats.cpi(),
+                   ct.stats.cpi());
+
+        std::vector<double> ocpi = intervalCpis(ot);
+        std::vector<double> ccpi = intervalCpis(ct);
+        size_t n = std::min(
+            {ocpi.size(), ccpi.size(), inst.phaseScores.size()});
+        for (size_t i = 0; i < n; ++i) {
+            PhaseScore &ps = inst.phaseScores[i];
+            ps.originalCpi = ocpi[i];
+            ps.cloneCpi = ccpi[i];
+            ps.cpiError = relError(ps.originalCpi, ps.cloneCpi);
+            inst.phaseWorstCpiError =
+                std::max(inst.phaseWorstCpiError, ps.cpiError);
+        }
+        // Aggregate-only profiles (no detected phases) score the whole
+        // run as one phase.
+        if (inst.phaseScores.empty())
+            inst.phaseWorstCpiError =
+                relError(ot.stats.cpi(), ct.stats.cpi());
     }
 
     double sum = 0;
@@ -298,7 +346,9 @@ FidelityReport::resultsJson() const
     Json root = Json::object();
     // v3: instances carry their batch index, so sharded reports can be
     // merged back into full-batch order (serve/merge.hh).
-    root.set("schema", Json("bsyn.fidelity.v3"));
+    // v4: per-phase CPI (originalCpi/cloneCpi/cpiError per phase,
+    // worstCpiError per instance, phaseWorstCpi in the summary).
+    root.set("schema", Json("bsyn.fidelity.v4"));
 
     Json list = Json::array();
     // Per-metric accumulation across ok instances, in first-seen
@@ -348,6 +398,7 @@ FidelityReport::resultsJson() const
         phases.set("clone", Json(inst.clonePhases));
         phases.set("worstMixError", Json(inst.phaseWorstMixError));
         phases.set("meanMixError", Json(inst.phaseMeanMixError));
+        phases.set("worstCpiError", Json(inst.phaseWorstCpiError));
         Json perPhase = Json::array();
         for (const auto &ps : inst.phaseScores) {
             Json p = Json::object();
@@ -356,6 +407,9 @@ FidelityReport::resultsJson() const
             p.set("mixError", Json(ps.mixError));
             p.set("missRateError", Json(ps.missRateError));
             p.set("takenRateError", Json(ps.takenRateError));
+            p.set("originalCpi", Json(ps.originalCpi));
+            p.set("cloneCpi", Json(ps.cloneCpi));
+            p.set("cpiError", Json(ps.cpiError));
             perPhase.push(std::move(p));
         }
         phases.set("perPhase", std::move(perPhase));
@@ -388,6 +442,21 @@ FidelityReport::resultsJson() const
         entry.set("mean", Json(okCount ? sum / double(okCount) : 0.0));
         entry.set("max", Json(mx));
         summary.set("phaseWorstMix", std::move(entry));
+    }
+    // Same shape for the timing half: mean/max of the per-instance
+    // worst-phase CPI error.
+    {
+        double sum = 0, mx = 0;
+        for (const auto &inst : instances) {
+            if (!inst.ok)
+                continue;
+            sum += inst.phaseWorstCpiError;
+            mx = std::max(mx, inst.phaseWorstCpiError);
+        }
+        Json entry = Json::object();
+        entry.set("mean", Json(okCount ? sum / double(okCount) : 0.0));
+        entry.set("max", Json(mx));
+        summary.set("phaseWorstCpi", std::move(entry));
     }
     root.set("summary", std::move(summary));
     root.set("scored", Json(static_cast<uint64_t>(okCount)));

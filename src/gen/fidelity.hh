@@ -67,6 +67,15 @@ struct PhaseScore
     double mixError = 0.0;       ///< mean rel. error of the 5 mix fractions
     double missRateError = 0.0;  ///< rel. error of the expected miss rate
     double takenRateError = 0.0; ///< rel. error of the taken rate
+
+    /** Timing half (filled when FidelityOptions::timing): CPI of the
+     *  original and the clone over this phase's normalized execution
+     *  interval — both timed runs are cut at the original's phase
+     *  boundaries (sim::TimedCore::setCheckpoints), so the comparison
+     *  covers the same slice of each run. */
+    double originalCpi = 0.0;
+    double cloneCpi = 0.0;
+    double cpiError = 0.0; ///< rel. error of the per-phase CPI
 };
 
 /** Fidelity of one workload's clone. */
@@ -96,6 +105,11 @@ struct InstanceFidelity
     std::vector<PhaseScore> phaseScores; ///< one per original phase
     double phaseWorstMixError = 0.0;
     double phaseMeanMixError = 0.0;
+
+    /** Worst per-phase CPI error (0 when timing is skipped) — the
+     *  timing analogue of phaseWorstMixError: an aggregate clone that
+     *  nails whole-run CPI can still miss a phase's CPI badly. */
+    double phaseWorstCpiError = 0.0;
 
     /** Wall-clock provenance (bench half of the report; not part of
      *  the deterministic results). */

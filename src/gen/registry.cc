@@ -96,6 +96,28 @@ Registry::sample(size_t perFamily, uint64_t baseSeed) const
     return out;
 }
 
+std::vector<workloads::Workload>
+Registry::allPresets(uint64_t baseSeed) const
+{
+    std::vector<workloads::Workload> out;
+    for (const auto &f : families_) {
+        const std::vector<KnobValues> presets = f->presets();
+        if (presets.empty())
+            fatal("gen: family '%s' publishes no presets",
+                  f->name().c_str());
+        for (size_t i = 0; i < presets.size(); ++i) {
+            // Same derivation as sample(): preset i of a family gets
+            // the same seed in both batches, so the all-presets run
+            // scores a superset of the sampled clones.
+            uint64_t seed = pipeline::deriveWorkloadSeed(
+                baseSeed,
+                f->name() + "#" + std::to_string(i));
+            out.push_back(f->make(presets[i], seed));
+        }
+    }
+    return out;
+}
+
 workloads::Workload
 instantiateSpec(const InstanceSpec &spec)
 {

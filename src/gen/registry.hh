@@ -48,6 +48,16 @@ class Registry
     std::vector<workloads::Workload> sample(size_t perFamily,
                                             uint64_t baseSeed) const;
 
+    /**
+     * One instance of *every* published preset of every family, with
+     * the same seed derivation as sample() (base, family name, preset
+     * index). Byte-identical for a fixed @p baseSeed. This is the
+     * full-coverage batch the CI fidelity smoke scores now that the
+     * timing metric is cheap — sample() remains the smaller
+     * fixed-width variant.
+     */
+    std::vector<workloads::Workload> allPresets(uint64_t baseSeed) const;
+
     /** Add a family (test/extension hook; not thread-safe vs reads). */
     void add(std::unique_ptr<Family> family);
 

@@ -7,6 +7,8 @@
 #include "lang/frontend.hh"
 #include "pipeline/run_sink.hh"
 #include "pipeline/session.hh"
+#include "sim/core_model.hh"
+#include "sim/decoded_program.hh"
 #include "support/error.hh"
 
 namespace bsyn::pipeline
@@ -135,6 +137,47 @@ timeOnMachine(const std::string &source, const std::string &name,
     ir::Module mod = compileSource(source, name, level, in_order);
     isa::MachineProgram prog = isa::lower(mod, machine.isa);
     return sim::simulateTiming(prog, machine.core);
+}
+
+PhasedTiming
+timeOnMachinePhased(const std::string &source, const std::string &name,
+                    opt::OptLevel level,
+                    const sim::MachineSpec &machine,
+                    const std::vector<double> &cuts)
+{
+    bool in_order = machine.core.inOrder;
+    ir::Module mod = compileSource(source, name, level, in_order);
+    isa::MachineProgram prog = isa::lower(mod, machine.isa);
+    sim::DecodedProgram decoded(prog);
+
+    // The cut fractions are relative to the run's retired-instruction
+    // count, which the timing model only knows after the fact — one
+    // fast-path run (cheap next to the timed run) resolves them to
+    // absolute boundaries.
+    uint64_t total = sim::execute(decoded).instructions;
+    PhasedTiming out;
+    uint64_t prev = 0;
+    for (double f : cuts) {
+        auto b = static_cast<uint64_t>(f * static_cast<double>(total));
+        // Clamp to the run's interior and keep boundaries strictly
+        // increasing even when adjacent fractions round together.
+        b = std::min(std::max<uint64_t>(b, prev + 1),
+                     total > 1 ? total - 1 : 1);
+        if (b <= prev)
+            break;
+        out.cutInstructions.push_back(b);
+        prev = b;
+    }
+
+    auto phased = sim::simulateTimingPhased(decoded, machine.core,
+                                            out.cutInstructions);
+    out.stats = phased.stats;
+    out.cutCycles = std::move(phased.checkpointCycles);
+    // A boundary past the run's end never fires; truncate the request
+    // list to the checkpoints actually taken so the two stay parallel.
+    if (out.cutCycles.size() < out.cutInstructions.size())
+        out.cutInstructions.resize(out.cutCycles.size());
+    return out;
 }
 
 } // namespace bsyn::pipeline

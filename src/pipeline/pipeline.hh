@@ -118,6 +118,34 @@ sim::TimingStats timeOnMachine(const std::string &source,
                                opt::OptLevel level,
                                const sim::MachineSpec &machine);
 
+/** Timing of one source cut at normalized execution points. */
+struct PhasedTiming
+{
+    sim::TimingStats stats; ///< whole-run timing (identical to
+                            ///< timeOnMachine over the same source)
+
+    /** Absolute retired-instruction boundary for each requested cut
+     *  (cut fraction scaled by the run's instruction count). */
+    std::vector<uint64_t> cutInstructions;
+
+    /** Cycle count at each boundary; parallel to cutInstructions. */
+    std::vector<uint64_t> cutCycles;
+};
+
+/**
+ * Compile source for a machine and run the timing model with cycle
+ * checkpoints at the given normalized execution fractions (0 < f < 1,
+ * strictly increasing). The segment between consecutive cuts yields a
+ * per-interval CPI — the fidelity report uses this to score clone CPI
+ * per detected phase of the original. Checkpoints do not perturb the
+ * timing result.
+ */
+PhasedTiming timeOnMachinePhased(const std::string &source,
+                                 const std::string &name,
+                                 opt::OptLevel level,
+                                 const sim::MachineSpec &machine,
+                                 const std::vector<double> &cuts);
+
 } // namespace bsyn::pipeline
 
 #endif // BSYN_PIPELINE_PIPELINE_HH

@@ -200,6 +200,7 @@ mergeFidelityReports(const std::vector<Json> &shardReports)
     std::map<std::string, std::pair<double, double>> metricAgg; // sum,max
     size_t okCount = 0;
     double phaseSum = 0, phaseMax = 0;
+    double cpiSum = 0, cpiMax = 0;
     for (const Json *inst : instances) {
         list.push(*inst);
         if (!inst->get("ok").asBool())
@@ -221,6 +222,10 @@ mergeFidelityReports(const std::vector<Json> &shardReports)
             inst->get("phases").get("worstMixError").asNumber();
         phaseSum += worst;
         phaseMax = std::max(phaseMax, worst);
+        double worstCpi =
+            inst->get("phases").get("worstCpiError").asNumber();
+        cpiSum += worstCpi;
+        cpiMax = std::max(cpiMax, worstCpi);
     }
     root.set("instances", std::move(list));
 
@@ -239,6 +244,13 @@ mergeFidelityReports(const std::vector<Json> &shardReports)
                   Json(okCount ? phaseSum / double(okCount) : 0.0));
         entry.set("max", Json(phaseMax));
         summary.set("phaseWorstMix", std::move(entry));
+    }
+    {
+        Json entry = Json::object();
+        entry.set("mean",
+                  Json(okCount ? cpiSum / double(okCount) : 0.0));
+        entry.set("max", Json(cpiMax));
+        summary.set("phaseWorstCpi", std::move(entry));
     }
     root.set("summary", std::move(summary));
     root.set("scored", Json(static_cast<uint64_t>(okCount)));

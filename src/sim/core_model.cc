@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/decoded_program.hh"
+#include "sim/timed_core.hh"
 #include "support/error.hh"
 
 namespace bsyn::sim
@@ -32,7 +33,7 @@ CoreModel::regReady(int r)
 }
 
 uint64_t
-CoreModel::baseLatency(MClass cls) const
+timingBaseLatency(MClass cls, const CoreConfig &cfg)
 {
     switch (cls) {
       case MClass::IntAlu: return 1;
@@ -52,15 +53,12 @@ CoreModel::baseLatency(MClass cls) const
     return 1;
 }
 
-namespace
+uint64_t
+CoreModel::baseLatency(MClass cls) const
 {
+    return timingBaseLatency(cls, cfg);
+}
 
-/**
- * Timing class of an instruction. Unlike MInst::cls() — which follows
- * Pin's memory-behaviour view for the instruction-mix statistics — the
- * scheduler needs the execution latency of the *operation*, with fused
- * memory operands accounted for separately (see retirePending).
- */
 MClass
 timingClass(const MInst &mi)
 {
@@ -87,12 +85,10 @@ timingClass(const MInst &mi)
     }
 }
 
-} // namespace
-
-CoreModel::PreparedInst
-CoreModel::prepareInst(const MInst &mi) const
+PreparedTimingInst
+prepareTimingInst(const MInst &mi, const CoreConfig &cfg)
 {
-    PreparedInst p;
+    PreparedTimingInst p;
     p.cls = timingClass(mi);
     p.dst = mi.dst;
     // A fused load operand serializes in front of the operation.
@@ -217,6 +213,8 @@ CoreModel::retirePending()
         bool predicted = pred->predict(static_cast<uint64_t>(p.pc));
         pred->branch(static_cast<uint64_t>(p.pc), p.taken);
         if (predicted != p.taken) {
+            if (events)
+                ++events->mispredicts[static_cast<size_t>(p.pc)];
             fetchReady = std::max(
                 fetchReady,
                 complete + static_cast<uint64_t>(cfg.mispredictPenalty));
@@ -239,19 +237,50 @@ CoreModel::finish()
 
 TimingStats
 simulateTiming(const isa::MachineProgram &prog, const CoreConfig &cfg,
-               const ExecLimits &limits)
+               const ExecLimits &limits, TimingEngine engine)
 {
-    return simulateTiming(DecodedProgram(prog), cfg, limits);
+    return simulateTiming(DecodedProgram(prog), cfg, limits, engine);
 }
 
 TimingStats
 simulateTiming(const DecodedProgram &prog, const CoreConfig &cfg,
-               const ExecLimits &limits)
+               const ExecLimits &limits, TimingEngine engine)
 {
-    CoreModel model(cfg);
-    model.prepare(prog.program());
-    executeTimed(prog, model, limits);
-    return model.finish();
+    if (engine == TimingEngine::Reference) {
+        CoreModel model(cfg);
+        model.prepare(prog.program());
+        executeTimed(prog, model, limits);
+        return model.finish();
+    }
+    return simulateTiming(prog, TimedProgram(prog, cfg), cfg, limits);
+}
+
+TimingStats
+simulateTiming(const DecodedProgram &prog, const TimedProgram &timed,
+               const CoreConfig &cfg, const ExecLimits &limits)
+{
+    BSYN_ASSERT(timed.l1HitLatency() == cfg.l1HitLatency,
+                "TimedProgram prepared for l1HitLatency=%d replayed "
+                "under l1HitLatency=%d",
+                timed.l1HitLatency(), cfg.l1HitLatency);
+    TimedCore core(cfg);
+    executeTimedSpecialized(prog, timed, core, limits);
+    return core.finish();
+}
+
+PhasedTimingStats
+simulateTimingPhased(const DecodedProgram &prog, const CoreConfig &cfg,
+                     std::vector<uint64_t> boundaries,
+                     const ExecLimits &limits)
+{
+    TimedProgram timed(prog, cfg);
+    TimedCore core(cfg);
+    core.setCheckpoints(std::move(boundaries));
+    executeTimedSpecialized(prog, timed, core, limits);
+    PhasedTimingStats out;
+    out.stats = core.finish();
+    out.checkpointCycles = core.checkpointCycles();
+    return out;
 }
 
 } // namespace bsyn::sim

@@ -43,6 +43,35 @@ struct CoreConfig
     std::string predictor = "tournament";
 };
 
+/**
+ * Per-PC dynamic timing event counters, for differential comparison of
+ * the reference and specialized timing engines at per-instruction
+ * granularity (aggregate TimingStats could mask compensating errors;
+ * per-PC attribution cannot). Filled only when a caller attaches one
+ * via CoreModel::recordEvents / TimedCore::recordEvents.
+ */
+struct PerPcTimingEvents
+{
+    std::vector<uint64_t> l1Misses;
+    std::vector<uint64_t> l2Misses;
+    std::vector<uint64_t> mispredicts;
+
+    void
+    init(size_t n)
+    {
+        l1Misses.assign(n, 0);
+        l2Misses.assign(n, 0);
+        mispredicts.assign(n, 0);
+    }
+
+    bool
+    operator==(const PerPcTimingEvents &o) const
+    {
+        return l1Misses == o.l1Misses && l2Misses == o.l2Misses &&
+               mispredicts == o.mispredicts;
+    }
+};
+
 /** Timing results. */
 struct TimingStats
 {
@@ -59,9 +88,46 @@ struct TimingStats
     }
 };
 
+/** Static scheduling metadata of one PC (see prepareTimingInst). */
+struct PreparedTimingInst
+{
+    isa::MClass cls = isa::MClass::IntAlu;
+    int32_t dst = -1;
+    int32_t srcs[4] = {-1, -1, -1, -1};
+    int8_t numSrcs = 0;
+    bool isBranch = false;
+    bool isCallRet = false;
+    uint32_t fusedLoadLatency = 0;
+};
+
 /**
- * The timing model consumes the dynamic stream as an ExecObserver;
- * attach it to sim::execute() and call finish() afterwards.
+ * Derive one PC's scheduling metadata from its MInst — the single
+ * source of truth for every timing path (the reference CoreModel
+ * caches it per PC in prepare() or derives it on the fly as an
+ * observer; TimedProgram folds it further for the specialized engine).
+ */
+PreparedTimingInst prepareTimingInst(const isa::MInst &mi,
+                                     const CoreConfig &cfg);
+
+/**
+ * Timing class of an instruction. Unlike MInst::cls() — which follows
+ * Pin's memory-behaviour view for the instruction-mix statistics — the
+ * scheduler needs the execution latency of the *operation*, with fused
+ * memory operands accounted for separately.
+ */
+isa::MClass timingClass(const isa::MInst &mi);
+
+/** Execution latency of a timing class under @p cfg. */
+uint64_t timingBaseLatency(isa::MClass cls, const CoreConfig &cfg);
+
+/**
+ * The reference timing model. Consumes the dynamic stream as an
+ * ExecObserver (attach to sim::execute() and call finish()
+ * afterwards) or non-virtually through the timed dispatch mode
+ * (executeTimed) once prepare()d. The default timing path is the
+ * specialized engine in sim/timed_core.hh; this class is the golden
+ * model it is differentially tested against — select it at run time
+ * with TimingEngine::Reference when debugging.
  */
 class CoreModel : public ExecObserver
 {
@@ -90,6 +156,15 @@ class CoreModel : public ExecObserver
         beginInstruction(pc, prepared[static_cast<size_t>(pc)]);
     }
 
+    /** Attach per-PC event counters (differential testing). */
+    void
+    recordEvents(PerPcTimingEvents *e, size_t nPcs)
+    {
+        events = e;
+        if (events)
+            events->init(nPcs);
+    }
+
     /** Non-virtual onMemAccess (width-aware cache simulation). */
     void
     noteMemAccess(uint64_t addr, uint32_t size, bool is_write)
@@ -98,6 +173,11 @@ class CoreModel : public ExecObserver
         bool l2_hit = true;
         if (!l1_hit && cfg.hasL2)
             l2_hit = l2cache.access(addr, size);
+        if (events && !l1_hit) {
+            ++events->l1Misses[static_cast<size_t>(pending.pc)];
+            if (cfg.hasL2 && !l2_hit)
+                ++events->l2Misses[static_cast<size_t>(pending.pc)];
+        }
         if (is_write) {
             pending.hasStore = true;
             pending.storeAddr = addr >> 2; // word granularity
@@ -123,17 +203,7 @@ class CoreModel : public ExecObserver
     const CoreConfig &config() const { return cfg; }
 
   private:
-    /** Static scheduling metadata of one PC (see prepare()). */
-    struct PreparedInst
-    {
-        isa::MClass cls = isa::MClass::IntAlu;
-        int32_t dst = -1;
-        int32_t srcs[4] = {-1, -1, -1, -1};
-        int8_t numSrcs = 0;
-        bool isBranch = false;
-        bool isCallRet = false;
-        uint32_t fusedLoadLatency = 0;
-    };
+    using PreparedInst = PreparedTimingInst;
     struct Pending
     {
         bool valid = false;
@@ -152,10 +222,11 @@ class CoreModel : public ExecObserver
         bool hasStore = false;
     };
 
-    /** Derive one PC's scheduling metadata from its MInst — the single
-     *  source of truth for both timing paths (prepare() caches it per
-     *  PC; the observer path derives it on the fly). */
-    PreparedInst prepareInst(const isa::MInst &mi) const;
+    PreparedInst
+    prepareInst(const isa::MInst &mi) const
+    {
+        return prepareTimingInst(mi, cfg);
+    }
 
     /** Load @p p into the in-flight slot (shared by stepPrepared and
      *  the virtual onInstruction). */
@@ -214,19 +285,62 @@ class CoreModel : public ExecObserver
         uint64_t ready = 0;
     };
     std::array<FwdEntry, fwdSlots> storeReady{};
+
+    PerPcTimingEvents *events = nullptr;
 };
+
+/** Which timing implementation simulateTiming runs. */
+enum class TimingEngine : uint8_t
+{
+    Specialized, ///< per-PC specialized engine (sim/timed_core.hh)
+    Reference,   ///< golden CoreModel path (debugging / differential)
+};
+
+class TimedProgram;
 
 /** Convenience: execute @p prog under a core model; @return timing.
  *  Decodes once and runs the timed dispatch mode. */
 TimingStats simulateTiming(const isa::MachineProgram &prog,
                            const CoreConfig &cfg,
-                           const ExecLimits &limits = {});
+                           const ExecLimits &limits = {},
+                           TimingEngine engine = TimingEngine::Specialized);
 
 /** Timed run over an existing decode — callers sweeping one program
  *  across several core configs (Fig 10) decode once and reuse it. */
 TimingStats simulateTiming(const DecodedProgram &prog,
                            const CoreConfig &cfg,
+                           const ExecLimits &limits = {},
+                           TimingEngine engine = TimingEngine::Specialized);
+
+/** Timed run over an existing decode *and* prepared metadata — the
+ *  innermost sweep form: one TimedProgram serves every configuration
+ *  that shares its latencies (asserted), so a cache-size sweep pays
+ *  decode + prepare once. Always the specialized engine. */
+TimingStats simulateTiming(const DecodedProgram &prog,
+                           const TimedProgram &timed,
+                           const CoreConfig &cfg,
                            const ExecLimits &limits = {});
+
+/** Timing stats plus the cycle count observed at each requested
+ *  retired-instruction boundary (TimedCore::setCheckpoints). */
+struct PhasedTimingStats
+{
+    TimingStats stats;
+    /** checkpointCycles[i] = cycles after boundaries[i] retires; one
+     *  entry per boundary actually reached before the run ended. */
+    std::vector<uint64_t> checkpointCycles;
+};
+
+/** Timed run that records the cycle count at each retired-instruction
+ *  boundary — the per-phase CPI primitive (fidelity scoring cuts both
+ *  the original and the clone at the original's phase boundaries).
+ *  Checkpoints ride the specialized engine's retire path, so the
+ *  timing result is identical to simulateTiming over the same decode.
+ *  @p boundaries must be strictly increasing. */
+PhasedTimingStats
+simulateTimingPhased(const DecodedProgram &prog, const CoreConfig &cfg,
+                     std::vector<uint64_t> boundaries,
+                     const ExecLimits &limits = {});
 
 } // namespace bsyn::sim
 

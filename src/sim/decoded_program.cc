@@ -6,6 +6,7 @@
 
 #include "sim/core_model.hh"
 #include "sim/memory_image.hh"
+#include "sim/timed_core.hh"
 #include "sim/printf_format.hh"
 #include "sim/value_bits.hh"
 #include "support/error.hh"
@@ -16,6 +17,18 @@
 #define BSYN_COMPUTED_GOTO 1
 #else
 #define BSYN_COMPUTED_GOTO 0
+#endif
+
+// The dispatch loop is one huge function, so the compiler's
+// function-growth limits stop inlining long before the hook wrappers
+// are folded in — and a single out-of-line hook call makes the
+// checked-out Local's address escape, which blocks scalarizing it
+// into registers for the whole loop. Force every wrapper on the
+// hook path inline; cold bodies behind them stay out of line.
+#if defined(__GNUC__) || defined(__clang__)
+#define BSYN_HOOK_INLINE inline __attribute__((always_inline))
+#else
+#define BSYN_HOOK_INLINE inline
 #endif
 
 namespace bsyn::sim
@@ -136,6 +149,28 @@ computeArity(Opcode op)
     }
 }
 
+/**
+ * Specialize a Load/Store handler by its statically known operand
+ * form: frame-relative, constant offset, no index register — the
+ * address is curFp plus a constant. Handler enum layout guarantees
+ * the FrameC variant sits a fixed distance from its generic form.
+ */
+void
+specializeMem(DecodedInst &d)
+{
+    if (!(d.flags & DecodedInst::kMemFrame) || d.memIndex >= 0)
+        return;
+    switch (d.h) {
+      case Handler::Load32: d.h = Handler::Load32FrameC; break;
+      case Handler::Load64: d.h = Handler::Load64FrameC; break;
+      case Handler::StoreReg32: d.h = Handler::StoreReg32FrameC; break;
+      case Handler::StoreReg64: d.h = Handler::StoreReg64FrameC; break;
+      case Handler::StoreImm32: d.h = Handler::StoreImm32FrameC; break;
+      case Handler::StoreImm64: d.h = Handler::StoreImm64FrameC; break;
+      default: break;
+    }
+}
+
 DecodedInst
 decodeOne(const isa::MachineProgram &prog, int pc)
 {
@@ -143,11 +178,13 @@ decodeOne(const isa::MachineProgram &prog, int pc)
     DecodedInst d;
     d.dst = mi.dst;
     d.imm = immRawBits(mi);
+    d.tcls = static_cast<uint8_t>(timingClass(mi));
 
     switch (mi.kind) {
       case MKind::Load:
         d.h = mi.type == Type::F64 ? Handler::Load64 : Handler::Load32;
         decodeMem(mi, d);
+        specializeMem(d);
         break;
 
       case MKind::Store:
@@ -160,6 +197,7 @@ decodeOne(const isa::MachineProgram &prog, int pc)
             d.a = mi.src0;
         }
         decodeMem(mi, d);
+        specializeMem(d);
         break;
 
       case MKind::CondBr:
@@ -252,7 +290,11 @@ handlerName(Handler h)
         "shr_u", "cmpeq", "cmpne", "cmplt_s", "cmple_s", "cmpgt_s",
         "cmpge_s", "cmplt_u", "cmple_u", "cmpgt_u", "cmpge_u", "fadd",
         "fsub", "fmul", "fdiv", "cmpeq_f", "cmpne_f", "cmplt_f",
-        "cmple_f", "cmpgt_f", "cmpge_f", "trap",
+        "cmple_f", "cmpgt_f", "cmpge_f", "load32_fc", "load64_fc",
+        "store_r32_fc", "store_r64_fc", "store_i32_fc", "store_i64_fc",
+        "brcmp_eq", "brcmp_ne", "brcmp_lt_s", "brcmp_le_s",
+        "brcmp_gt_s", "brcmp_ge_s", "brcmp_lt_u", "brcmp_le_u",
+        "brcmp_gt_u", "brcmp_ge_u", "trap",
     };
     static_assert(sizeof(names) / sizeof(names[0]) ==
                       static_cast<size_t>(Handler::Count),
@@ -260,7 +302,8 @@ handlerName(Handler h)
     return names[static_cast<size_t>(h)];
 }
 
-DecodedProgram::DecodedProgram(const isa::MachineProgram &prog)
+DecodedProgram::DecodedProgram(const isa::MachineProgram &prog,
+                               const DecodeOptions &opts)
     : prog_(&prog)
 {
     code_.reserve(prog.code.size());
@@ -281,6 +324,76 @@ DecodedProgram::DecodedProgram(const isa::MachineProgram &prog)
         for (int32_t pc = blk.first; pc < blk.end; ++pc)
             blockOf_[static_cast<size_t>(pc)] = static_cast<int32_t>(b);
         blocks_.push_back(blk);
+    }
+
+    // Superblocks: chain consecutive blocks while the earlier block
+    // falls through (its last instruction is not a control transfer —
+    // the successor block's leader exists only because it is a branch
+    // target elsewhere).
+    superblockOf_.assign(blocks_.size(), 0);
+    for (size_t b = 0; b < blocks_.size();) {
+        size_t e = b;
+        while (e + 1 < blocks_.size()) {
+            const DecodedBlock &blk = blocks_[e];
+            if (blk.first >= blk.end)
+                break;
+            const MInst &last =
+                prog.code[static_cast<size_t>(blk.end - 1)];
+            if (last.isBlockEnd())
+                break;
+            ++e;
+        }
+        Superblock sb;
+        sb.firstBlock = static_cast<int32_t>(b);
+        sb.endBlock = static_cast<int32_t>(e + 1);
+        for (size_t i = b; i <= e; ++i)
+            superblockOf_[i] = static_cast<int32_t>(superblocks_.size());
+        superblocks_.push_back(sb);
+        b = e + 1;
+    }
+
+    // Superblock fusion: an integer compare whose value feeds the
+    // conditional branch at the next PC inside the same superblock
+    // dispatches as one BrCmp* handler. The CondBr keeps its own
+    // decode at pc+1 (side entries from other branches stay legal);
+    // the fused handler performs both instructions' retire accounting,
+    // so every dispatch mode stays byte-identical to the unfused form.
+    if (!opts.superblockFusion)
+        return;
+    for (size_t pc = 0; pc + 1 < code_.size(); ++pc) {
+        DecodedInst &d = code_[pc];
+        Handler fused;
+        switch (d.h) {
+          case Handler::CmpEqInt: fused = Handler::BrCmpEq; break;
+          case Handler::CmpNeInt: fused = Handler::BrCmpNe; break;
+          case Handler::CmpLtS: fused = Handler::BrCmpLtS; break;
+          case Handler::CmpLeS: fused = Handler::BrCmpLeS; break;
+          case Handler::CmpGtS: fused = Handler::BrCmpGtS; break;
+          case Handler::CmpGeS: fused = Handler::BrCmpGeS; break;
+          case Handler::CmpLtU: fused = Handler::BrCmpLtU; break;
+          case Handler::CmpLeU: fused = Handler::BrCmpLeU; break;
+          case Handler::CmpGtU: fused = Handler::BrCmpGtU; break;
+          case Handler::CmpGeU: fused = Handler::BrCmpGeU; break;
+          default: continue;
+        }
+        if (d.dst < 0)
+            continue;
+        if (d.flags &
+            (DecodedInst::kFusedLoad | DecodedInst::kFusedStore))
+            continue; // keep fused-memory compares on the generic path
+        const DecodedInst &br = code_[pc + 1];
+        if (br.h != Handler::CondBrNZ && br.h != Handler::CondBrZ)
+            continue;
+        if (br.a != d.dst)
+            continue;
+        if (superblockOf_[static_cast<size_t>(
+                blockOf_[pc])] !=
+            superblockOf_[static_cast<size_t>(blockOf_[pc + 1])])
+            continue;
+        d.h = fused;
+        d.target = br.target;
+        if (br.h == Handler::CondBrZ)
+            d.flags |= DecodedInst::kBrIfZero;
     }
 }
 
@@ -316,15 +429,29 @@ fetchOperand(uint8_t mode, int32_t r, uint64_t imm, uint64_t fused,
  * handlers, so the fast path carries no callback sites at all and the
  * instrumented modes pay plain counter updates instead of virtual
  * calls.
+ *
+ * Each Hooks type additionally defines a Local value type the engine
+ * checks out with enter() before the first dispatch, threads through
+ * every hook call, and hands back with leave() on exit. Hot per-mode
+ * state placed there lives in the dispatch loop's own stack frame —
+ * its address never escapes, so the compiler can keep it in registers
+ * across the simulated program's memory writes, which member state
+ * behind the hooks reference cannot be (every handler store would
+ * force a reload). Modes without register-resident state use an empty
+ * Local, which compiles away.
  */
 
 /** The observer-free fast path: every hook compiles away. */
 struct NullHooks
 {
-    void onInstruction(int) {}
-    void onMemRead(int, uint64_t, uint32_t, uint64_t) {}
-    void onMemWrite(int, uint64_t, uint32_t, uint64_t) {}
-    void onBranch(int, bool) {}
+    struct Local
+    {};
+    BSYN_HOOK_INLINE Local enter() { return {}; }
+    BSYN_HOOK_INLINE void leave(Local &) {}
+    BSYN_HOOK_INLINE void onInstruction(Local &, int) {}
+    BSYN_HOOK_INLINE void onMemRead(Local &, int, uint64_t, uint32_t, uint64_t) {}
+    BSYN_HOOK_INLINE void onMemWrite(Local &, int, uint64_t, uint32_t, uint64_t) {}
+    BSYN_HOOK_INLINE void onBranch(Local &, int, bool) {}
 };
 
 /** Generic ExecObserver dispatch (virtual call per event). */
@@ -333,23 +460,30 @@ struct ObserverHooks
     const isa::MachineProgram &prog;
     ExecObserver &obs;
 
-    void
-    onInstruction(int pc)
+    struct Local
+    {};
+    BSYN_HOOK_INLINE Local enter() { return {}; }
+    BSYN_HOOK_INLINE void leave(Local &) {}
+
+    BSYN_HOOK_INLINE void
+    onInstruction(Local &, int pc)
     {
         obs.onInstruction(pc, prog.code[static_cast<size_t>(pc)]);
     }
-    void
-    onMemRead(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    BSYN_HOOK_INLINE void
+    onMemRead(Local &, int pc, uint64_t addr, uint32_t size,
+              uint64_t raw)
     {
         obs.onMemAccess(pc, addr, size, false, raw);
     }
-    void
-    onMemWrite(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    BSYN_HOOK_INLINE void
+    onMemWrite(Local &, int pc, uint64_t addr, uint32_t size,
+               uint64_t raw)
     {
         obs.onMemAccess(pc, addr, size, true, raw);
     }
-    void
-    onBranch(int pc, bool taken)
+    BSYN_HOOK_INLINE void
+    onBranch(Local &, int pc, bool taken)
     {
         obs.onBranch(pc, taken);
     }
@@ -365,23 +499,28 @@ struct ProfileHooks
     InstrumentedCounters &c;
     Cache cache;
 
-    void
-    onInstruction(int pc)
+    struct Local
+    {};
+    BSYN_HOOK_INLINE Local enter() { return {}; }
+    BSYN_HOOK_INLINE void leave(Local &) {}
+
+    BSYN_HOOK_INLINE void
+    onInstruction(Local &, int pc)
     {
         ++c.execCount[static_cast<size_t>(pc)];
     }
-    void
-    onMemRead(int pc, uint64_t addr, uint32_t size, uint64_t)
+    BSYN_HOOK_INLINE void
+    onMemRead(Local &, int pc, uint64_t addr, uint32_t size, uint64_t)
     {
         note(pc, addr, size);
     }
-    void
-    onMemWrite(int pc, uint64_t addr, uint32_t size, uint64_t)
+    BSYN_HOOK_INLINE void
+    onMemWrite(Local &, int pc, uint64_t addr, uint32_t size, uint64_t)
     {
         note(pc, addr, size);
     }
-    void
-    onBranch(int pc, bool taken)
+    BSYN_HOOK_INLINE void
+    onBranch(Local &, int pc, bool taken)
     {
         auto &b = c.branch[static_cast<size_t>(pc)];
         ++b.executions;
@@ -393,7 +532,7 @@ struct ProfileHooks
     }
 
   private:
-    void
+    BSYN_HOOK_INLINE void
     note(int pc, uint64_t addr, uint32_t size)
     {
         ++c.memAccesses[static_cast<size_t>(pc)];
@@ -413,11 +552,11 @@ struct SlicedProfileHooks : ProfileHooks
         : ProfileHooks{counters, std::move(c)}, rec(r)
     {}
 
-    void
-    onInstruction(int pc)
+    BSYN_HOOK_INLINE void
+    onInstruction(Local &l, int pc)
     {
         rec.beforeRetire(c);
-        ProfileHooks::onInstruction(pc);
+        ProfileHooks::onInstruction(l, pc);
     }
 };
 
@@ -426,18 +565,61 @@ struct TimingHooks
 {
     CoreModel &model;
 
-    void onInstruction(int pc) { model.stepPrepared(pc); }
-    void
-    onMemRead(int, uint64_t addr, uint32_t size, uint64_t)
+    struct Local
+    {};
+    BSYN_HOOK_INLINE Local enter() { return {}; }
+    BSYN_HOOK_INLINE void leave(Local &) {}
+
+    BSYN_HOOK_INLINE void onInstruction(Local &, int pc) { model.stepPrepared(pc); }
+    BSYN_HOOK_INLINE void
+    onMemRead(Local &, int, uint64_t addr, uint32_t size, uint64_t)
     {
         model.noteMemAccess(addr, size, false);
     }
-    void
-    onMemWrite(int, uint64_t addr, uint32_t size, uint64_t)
+    BSYN_HOOK_INLINE void
+    onMemWrite(Local &, int, uint64_t addr, uint32_t size, uint64_t)
     {
         model.noteMemAccess(addr, size, true);
     }
-    void onBranch(int, bool taken) { model.noteBranch(taken); }
+    BSYN_HOOK_INLINE void onBranch(Local &, int, bool taken) { model.noteBranch(taken); }
+};
+
+/** The specialized timed mode: a TimedCore stepped over the dense
+ *  per-PC TimedProgram metadata. Each hook hands the core the
+ *  prepared instruction it refers to, so the per-class retire paths
+ *  read their metadata straight from the dense array instead of an
+ *  in-flight slot; the scheduler's hot scalars ride in the engine's
+ *  checked-out Local (TimedCore::Sched), where they stay in
+ *  registers. */
+struct SpecTimingHooks
+{
+    TimedCore &core;
+    const TimedProgram::Inst *ti;
+
+    using Local = TimedCore::Sched;
+    BSYN_HOOK_INLINE Local enter() { return core.makeSched(); }
+    BSYN_HOOK_INLINE void leave(Local &l) { core.sync(l); }
+
+    BSYN_HOOK_INLINE void
+    onInstruction(Local &l, int pc)
+    {
+        core.step(l, ti[static_cast<size_t>(pc)], pc);
+    }
+    BSYN_HOOK_INLINE void
+    onMemRead(Local &l, int pc, uint64_t addr, uint32_t size, uint64_t)
+    {
+        core.noteRead(l, ti[static_cast<size_t>(pc)], pc, addr, size);
+    }
+    BSYN_HOOK_INLINE void
+    onMemWrite(Local &l, int pc, uint64_t addr, uint32_t size, uint64_t)
+    {
+        core.noteWrite(l, ti[static_cast<size_t>(pc)], pc, addr, size);
+    }
+    BSYN_HOOK_INLINE void
+    onBranch(Local &l, int pc, bool taken)
+    {
+        core.noteBranch(l, ti[static_cast<size_t>(pc)], pc, taken);
+    }
 };
 
 /**
@@ -456,7 +638,7 @@ class Engine
     ExecStats run();
 
   private:
-    uint64_t
+    BSYN_HOOK_INLINE uint64_t
     ea(const DecodedInst &d) const
     {
         uint64_t base = (d.flags & DecodedInst::kMemFrame)
@@ -471,22 +653,24 @@ class Engine
                           index + static_cast<int64_t>(d.memOffset));
     }
 
-    void
-    noteRead(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    BSYN_HOOK_INLINE void
+    noteRead(typename Hooks::Local &l, int pc, uint64_t addr,
+             uint32_t size, uint64_t raw)
     {
         ++stats.memReads;
-        hooks.onMemRead(pc, addr, size, raw);
+        hooks.onMemRead(l, pc, addr, size, raw);
     }
 
-    void
-    noteWrite(int pc, uint64_t addr, uint32_t size, uint64_t raw)
+    BSYN_HOOK_INLINE void
+    noteWrite(typename Hooks::Local &l, int pc, uint64_t addr,
+              uint32_t size, uint64_t raw)
     {
         ++stats.memWrites;
-        hooks.onMemWrite(pc, addr, size, raw);
+        hooks.onMemWrite(l, pc, addr, size, raw);
     }
 
-    uint64_t
-    fusedLoad(const DecodedInst &d, int pc)
+    BSYN_HOOK_INLINE uint64_t
+    fusedLoad(typename Hooks::Local &l, const DecodedInst &d, int pc)
     {
         uint64_t addr = ea(d);
         uint64_t v;
@@ -498,12 +682,13 @@ class Engine
             v = mem.load32(addr);
             size = 4;
         }
-        noteRead(pc, addr, size, v);
+        noteRead(l, pc, addr, size, v);
         return v;
     }
 
-    void
-    finishCompute(const DecodedInst &d, uint64_t result, int pc)
+    BSYN_HOOK_INLINE void
+    finishCompute(typename Hooks::Local &l, const DecodedInst &d,
+                  uint64_t result, int pc)
     {
         if (d.dst >= 0)
             regs[static_cast<size_t>(d.dst)] = result;
@@ -517,7 +702,7 @@ class Engine
                 mem.store32(addr, asU32(result));
                 size = 4;
             }
-            noteWrite(pc, addr, size, result);
+            noteWrite(l, pc, addr, size, result);
         }
     }
 
@@ -598,11 +783,16 @@ Engine<Hooks>::run()
 
     // Hot loop state lives in locals so it can stay in registers across
     // the threaded dispatch; the retired count is flushed to stats on
-    // every exit path.
+    // every exit path. The hooks' checked-out Local lives here for the
+    // same reason — its address never escapes the dispatch loop, so
+    // the simulated program's memory writes can't force it out of
+    // registers (fatal() exits skip leave(): the run is aborted and
+    // the mode's results are never read).
     int pc = main_fn.entry;
     uint64_t icount = 0;
     const uint64_t maxInstr = limits.maxInstructions;
     const DecodedInst *d = nullptr;
+    typename Hooks::Local hlocal = hooks.enter();
 
 // The guard runs before the instruction is counted, observed or
 // executed (matching the reference engine), so a limit-hit run reports
@@ -613,7 +803,7 @@ Engine<Hooks>::run()
             limitExceeded(icount);                                       \
         ++icount;                                                        \
         d = &dcode[pc];                                                  \
-        hooks.onInstruction(pc);                                         \
+        hooks.onInstruction(hlocal, pc);                                         \
     } while (0)
 
 #if BSYN_COMPUTED_GOTO
@@ -629,7 +819,12 @@ Engine<Hooks>::run()
         &&L_CmpEqInt, &&L_CmpNeInt, &&L_CmpLtS, &&L_CmpLeS, &&L_CmpGtS,
         &&L_CmpGeS, &&L_CmpLtU, &&L_CmpLeU, &&L_CmpGtU, &&L_CmpGeU,
         &&L_FAdd, &&L_FSub, &&L_FMul, &&L_FDiv, &&L_CmpEqF, &&L_CmpNeF,
-        &&L_CmpLtF, &&L_CmpLeF, &&L_CmpGtF, &&L_CmpGeF, &&L_Trap,
+        &&L_CmpLtF, &&L_CmpLeF, &&L_CmpGtF, &&L_CmpGeF,
+        &&L_Load32FrameC, &&L_Load64FrameC, &&L_StoreReg32FrameC,
+        &&L_StoreReg64FrameC, &&L_StoreImm32FrameC,
+        &&L_StoreImm64FrameC, &&L_BrCmpEq, &&L_BrCmpNe, &&L_BrCmpLtS,
+        &&L_BrCmpLeS, &&L_BrCmpGtS, &&L_BrCmpGeS, &&L_BrCmpLtU,
+        &&L_BrCmpLeU, &&L_BrCmpGtU, &&L_BrCmpGeU, &&L_Trap,
     };
     static_assert(sizeof(jump) / sizeof(jump[0]) ==
                       static_cast<size_t>(Handler::Count),
@@ -656,7 +851,7 @@ Engine<Hooks>::run()
     {
         uint64_t addr = ea(*d);
         uint64_t v = mem.load32(addr);
-        noteRead(pc, addr, 4, v);
+        noteRead(hlocal, pc, addr, 4, v);
         regs[static_cast<size_t>(d->dst)] = v;
         ++pc;
         BSYN_NEXT();
@@ -665,7 +860,7 @@ Engine<Hooks>::run()
     {
         uint64_t addr = ea(*d);
         uint64_t v = mem.load64(addr);
-        noteRead(pc, addr, 8, v);
+        noteRead(hlocal, pc, addr, 8, v);
         regs[static_cast<size_t>(d->dst)] = v;
         ++pc;
         BSYN_NEXT();
@@ -675,7 +870,7 @@ Engine<Hooks>::run()
         uint64_t addr = ea(*d);
         uint64_t v = regs[static_cast<size_t>(d->a)];
         mem.store32(addr, asU32(v));
-        noteWrite(pc, addr, 4, v);
+        noteWrite(hlocal, pc, addr, 4, v);
         ++pc;
         BSYN_NEXT();
     }
@@ -684,7 +879,7 @@ Engine<Hooks>::run()
         uint64_t addr = ea(*d);
         uint64_t v = regs[static_cast<size_t>(d->a)];
         mem.store64(addr, v);
-        noteWrite(pc, addr, 8, v);
+        noteWrite(hlocal, pc, addr, 8, v);
         ++pc;
         BSYN_NEXT();
     }
@@ -692,7 +887,7 @@ Engine<Hooks>::run()
     {
         uint64_t addr = ea(*d);
         mem.store32(addr, asU32(d->imm));
-        noteWrite(pc, addr, 4, d->imm);
+        noteWrite(hlocal, pc, addr, 4, d->imm);
         ++pc;
         BSYN_NEXT();
     }
@@ -700,7 +895,7 @@ Engine<Hooks>::run()
     {
         uint64_t addr = ea(*d);
         mem.store64(addr, d->imm);
-        noteWrite(pc, addr, 8, d->imm);
+        noteWrite(hlocal, pc, addr, 8, d->imm);
         ++pc;
         BSYN_NEXT();
     }
@@ -709,7 +904,7 @@ Engine<Hooks>::run()
         bool taken = asU32(regs[static_cast<size_t>(d->a)]) != 0;
         ++stats.branches;
         stats.takenBranches += taken;
-        hooks.onBranch(pc, taken);
+        hooks.onBranch(hlocal, pc, taken);
         pc = taken ? d->target : pc + 1;
         BSYN_NEXT();
     }
@@ -718,7 +913,7 @@ Engine<Hooks>::run()
         bool taken = asU32(regs[static_cast<size_t>(d->a)]) == 0;
         ++stats.branches;
         stats.takenBranches += taken;
-        hooks.onBranch(pc, taken);
+        hooks.onBranch(hlocal, pc, taken);
         pc = taken ? d->target : pc + 1;
         BSYN_NEXT();
     }
@@ -777,9 +972,9 @@ Engine<Hooks>::run()
     {                                                                    \
         uint64_t fused = 0;                                              \
         if (d->flags & DecodedInst::kFusedLoad)                          \
-            fused = fusedLoad(*d, pc);                                       \
+            fused = fusedLoad(hlocal, *d, pc);                                       \
         uint64_t va = fetchOperand(d->aMode, d->a, d->imm, fused, regs); \
-        finishCompute(*d, (expr), pc);                                       \
+        finishCompute(hlocal, *d, (expr), pc);                                       \
         ++pc;                                                            \
         BSYN_NEXT();                                                     \
     }
@@ -787,10 +982,10 @@ Engine<Hooks>::run()
     {                                                                    \
         uint64_t fused = 0;                                              \
         if (d->flags & DecodedInst::kFusedLoad)                          \
-            fused = fusedLoad(*d, pc);                                       \
+            fused = fusedLoad(hlocal, *d, pc);                                       \
         uint64_t va = fetchOperand(d->aMode, d->a, d->imm, fused, regs); \
         uint64_t vb = fetchOperand(d->bMode, d->b, d->imm, fused, regs); \
-        finishCompute(*d, (expr), pc);                                       \
+        finishCompute(hlocal, *d, (expr), pc);                                       \
         ++pc;                                                            \
         BSYN_NEXT();                                                     \
     }
@@ -801,9 +996,9 @@ Engine<Hooks>::run()
     {
         uint64_t fused = 0;
         if (d->flags & DecodedInst::kFusedLoad)
-            fused = fusedLoad(*d, pc);
+            fused = fusedLoad(hlocal, *d, pc);
         (void)fused;
-        finishCompute(*d, d->imm, pc);
+        finishCompute(hlocal, *d, d->imm, pc);
         ++pc;
         BSYN_NEXT();
     }
@@ -822,7 +1017,7 @@ Engine<Hooks>::run()
     {
         uint64_t fused = 0;
         if (d->flags & DecodedInst::kFusedLoad)
-            fused = fusedLoad(*d, pc);
+            fused = fusedLoad(hlocal, *d, pc);
         uint64_t va = fetchOperand(d->aMode, d->a, d->imm, fused, regs);
         double dv = asF64(va);
         if (std::isnan(dv))
@@ -831,8 +1026,10 @@ Engine<Hooks>::run()
             dv < -2147483648.0
                 ? -2147483648.0
                 : (dv > 2147483647.0 ? 2147483647.0 : dv);
-        finishCompute(*d, asU32(static_cast<uint64_t>(
-                              static_cast<int64_t>(clamped))), pc);
+        finishCompute(hlocal, *d,
+                      asU32(static_cast<uint64_t>(
+                          static_cast<int64_t>(clamped))),
+                      pc);
         ++pc;
         BSYN_NEXT();
     }
@@ -840,14 +1037,15 @@ Engine<Hooks>::run()
     {
         uint64_t fused = 0;
         if (d->flags & DecodedInst::kFusedLoad)
-            fused = fusedLoad(*d, pc);
+            fused = fusedLoad(hlocal, *d, pc);
         uint64_t va = fetchOperand(d->aMode, d->a, d->imm, fused, regs);
         double dv = asF64(va);
         if (std::isnan(dv))
             dv = 0.0;
         double clamped =
             dv < 0 ? 0 : (dv > 4294967295.0 ? 4294967295.0 : dv);
-        finishCompute(*d, asU32(static_cast<uint64_t>(clamped)), pc);
+        finishCompute(hlocal, *d, asU32(static_cast<uint64_t>(clamped)),
+                      pc);
         ++pc;
         BSYN_NEXT();
     }
@@ -931,6 +1129,111 @@ Engine<Hooks>::run()
     BSYN_CASE(CmpGeF)
     BSYN_COMPUTE2(static_cast<uint64_t>(asF64(va) >= asF64(vb)))
 
+// Frame-relative constant-offset memory: the generic ea()'s
+// base-select and index-scale branches are statically resolved away.
+#define BSYN_FRAME_EA()                                                  \
+    (curFp + static_cast<uint64_t>(static_cast<int64_t>(d->memOffset)))
+
+    BSYN_CASE(Load32FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        uint64_t v = mem.load32(addr);
+        noteRead(hlocal, pc, addr, 4, v);
+        regs[static_cast<size_t>(d->dst)] = v;
+        ++pc;
+        BSYN_NEXT();
+    }
+    BSYN_CASE(Load64FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        uint64_t v = mem.load64(addr);
+        noteRead(hlocal, pc, addr, 8, v);
+        regs[static_cast<size_t>(d->dst)] = v;
+        ++pc;
+        BSYN_NEXT();
+    }
+    BSYN_CASE(StoreReg32FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        uint64_t v = regs[static_cast<size_t>(d->a)];
+        mem.store32(addr, asU32(v));
+        noteWrite(hlocal, pc, addr, 4, v);
+        ++pc;
+        BSYN_NEXT();
+    }
+    BSYN_CASE(StoreReg64FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        uint64_t v = regs[static_cast<size_t>(d->a)];
+        mem.store64(addr, v);
+        noteWrite(hlocal, pc, addr, 8, v);
+        ++pc;
+        BSYN_NEXT();
+    }
+    BSYN_CASE(StoreImm32FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        mem.store32(addr, asU32(d->imm));
+        noteWrite(hlocal, pc, addr, 4, d->imm);
+        ++pc;
+        BSYN_NEXT();
+    }
+    BSYN_CASE(StoreImm64FrameC)
+    {
+        uint64_t addr = BSYN_FRAME_EA();
+        mem.store64(addr, d->imm);
+        noteWrite(hlocal, pc, addr, 8, d->imm);
+        ++pc;
+        BSYN_NEXT();
+    }
+
+// Fused integer compare + conditional branch: one dispatch, both
+// instructions' accounting. The block between the compare's writeback
+// and the branch condition replays BSYN_FETCH for pc+1 minus the
+// decode load (the branch target and sense live in the fused decode),
+// so retire counts, the limit guard and every hook fire exactly as on
+// the unfused path.
+#define BSYN_BRCMP(expr)                                                 \
+    {                                                                    \
+        uint64_t va = fetchOperand(d->aMode, d->a, d->imm, 0, regs);     \
+        uint64_t vb = fetchOperand(d->bMode, d->b, d->imm, 0, regs);     \
+        uint64_t res = (expr);                                           \
+        regs[static_cast<size_t>(d->dst)] = res;                         \
+        if (icount >= maxInstr)                                          \
+            limitExceeded(icount);                                       \
+        ++icount;                                                        \
+        ++pc;                                                            \
+        hooks.onInstruction(hlocal, pc);                                         \
+        bool taken =                                                     \
+            (res != 0) != ((d->flags & DecodedInst::kBrIfZero) != 0);    \
+        ++stats.branches;                                                \
+        stats.takenBranches += taken;                                    \
+        hooks.onBranch(hlocal, pc, taken);                                       \
+        pc = taken ? d->target : pc + 1;                                 \
+        BSYN_NEXT();                                                     \
+    }
+
+    BSYN_CASE(BrCmpEq)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) == asU32(vb)))
+    BSYN_CASE(BrCmpNe)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) != asU32(vb)))
+    BSYN_CASE(BrCmpLtS)
+    BSYN_BRCMP(static_cast<uint64_t>(asI32(va) < asI32(vb)))
+    BSYN_CASE(BrCmpLeS)
+    BSYN_BRCMP(static_cast<uint64_t>(asI32(va) <= asI32(vb)))
+    BSYN_CASE(BrCmpGtS)
+    BSYN_BRCMP(static_cast<uint64_t>(asI32(va) > asI32(vb)))
+    BSYN_CASE(BrCmpGeS)
+    BSYN_BRCMP(static_cast<uint64_t>(asI32(va) >= asI32(vb)))
+    BSYN_CASE(BrCmpLtU)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) < asU32(vb)))
+    BSYN_CASE(BrCmpLeU)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) <= asU32(vb)))
+    BSYN_CASE(BrCmpGtU)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) > asU32(vb)))
+    BSYN_CASE(BrCmpGeU)
+    BSYN_BRCMP(static_cast<uint64_t>(asU32(va) >= asU32(vb)))
+
     BSYN_CASE(Trap)
     {
         const MInst &mi = prog.code[static_cast<size_t>(pc)];
@@ -945,11 +1248,14 @@ Engine<Hooks>::run()
 
 #undef BSYN_COMPUTE1
 #undef BSYN_COMPUTE2
+#undef BSYN_BRCMP
+#undef BSYN_FRAME_EA
 #undef BSYN_CASE
 #undef BSYN_NEXT
 #undef BSYN_FETCH
 
 done:
+    hooks.leave(hlocal);
     stats.instructions = icount;
     return std::move(stats);
 }
@@ -1053,6 +1359,19 @@ executeTimed(const DecodedProgram &prog, CoreModel &model,
 {
     TimingHooks hooks{model};
     return Engine<TimingHooks>(prog, hooks, limits).run();
+}
+
+ExecStats
+executeTimedSpecialized(const DecodedProgram &prog,
+                        const TimedProgram &timed, TimedCore &core,
+                        const ExecLimits &limits)
+{
+    BSYN_ASSERT(timed.size() == prog.size(),
+                "TimedProgram prepared from a different program "
+                "(%zu PCs vs %zu)",
+                timed.size(), prog.size());
+    SpecTimingHooks hooks{core, timed.data()};
+    return Engine<SpecTimingHooks>(prog, hooks, limits).run();
 }
 
 } // namespace bsyn::sim

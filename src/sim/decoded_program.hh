@@ -58,6 +58,27 @@ enum class Handler : uint8_t
     FAdd, FSub, FMul, FDiv,
     CmpEqF, CmpNeF, CmpLtF, CmpLeF, CmpGtF, CmpGeF,
 
+    // Memory handlers specialized by statically known operand form:
+    // frame-relative with a constant offset and no index register —
+    // the dominant -O0 access shape (locals and spills). The effective
+    // address is one add; the generic handlers' base-select and
+    // index-scale branches disappear.
+    Load32FrameC, Load64FrameC,
+    StoreReg32FrameC, StoreReg64FrameC,
+    StoreImm32FrameC, StoreImm64FrameC,
+
+    // Superblock-fused integer compare + conditional branch: when a
+    // compare's only consumer is the CondBr at the next PC inside the
+    // same superblock, the pair dispatches as one handler (the branch
+    // sense lives in the kBrIfZero flag; the CondBr keeps its own
+    // unfused decode at its PC so side entries still work). All
+    // per-instruction accounting — retire counts, limits, hooks — is
+    // performed for both PCs, so every dispatch mode stays
+    // byte-identical to the unfused form.
+    BrCmpEq, BrCmpNe,
+    BrCmpLtS, BrCmpLeS, BrCmpGtS, BrCmpGeS,
+    BrCmpLtU, BrCmpLeU, BrCmpGtU, BrCmpGeU,
+
     /** Malformed compute: panics if it is ever executed (the reference
      *  interpreter panics lazily too, so decode must not reject it). */
     Trap,
@@ -85,6 +106,11 @@ struct DecodedInst
     uint8_t bMode = OperandNone; ///< source slot 1 origin
     uint8_t flags = 0;           ///< kFusedLoad | kFusedStore | ...
 
+    /** Timing class (isa::MClass), resolved at decode time so the
+     *  timing engines never re-derive it from the MInst (see
+     *  sim::timingClass). */
+    uint8_t tcls = 0;
+
     int32_t dst = -1; ///< destination register (or -1)
     int32_t a = -1;   ///< slot-0 register / store value / branch cond / ret value
     int32_t b = -1;   ///< slot-1 register
@@ -101,6 +127,7 @@ struct DecodedInst
     static constexpr uint8_t kFusedStore = 1u << 1; ///< post-op memory write
     static constexpr uint8_t kMemFrame = 1u << 2;   ///< mem base is the frame
     static constexpr uint8_t kMem64 = 1u << 3;      ///< fused access is 8 bytes
+    static constexpr uint8_t kBrIfZero = 1u << 4;   ///< fused BrCmp* sense
 };
 
 /** One basic block of the decoded program: PCs [first, end). */
@@ -111,6 +138,32 @@ struct DecodedBlock
 };
 
 /**
+ * One superblock: a maximal chain of consecutive basic blocks
+ * [firstBlock, endBlock) where every block but the last falls through
+ * to its successor (its final instruction is not a control transfer) —
+ * the straight-line / single-successor chains of
+ * MachineProgram::blockLeaders() structure. Handler fusion (the
+ * BrCmp* forms) only crosses instruction boundaries inside one
+ * superblock; side entries into the middle of a chain stay legal
+ * because every PC keeps a dispatchable decode.
+ */
+struct Superblock
+{
+    int32_t firstBlock = 0;
+    int32_t endBlock = 0;
+};
+
+/** Decode-time options. */
+struct DecodeOptions
+{
+    /** Fuse compare+branch pairs inside superblocks (all dispatch
+     *  modes execute fewer, larger handlers). Off: one handler per
+     *  instruction — the layout the specialized-vs-fused differential
+     *  checks compare against. */
+    bool superblockFusion = true;
+};
+
+/**
  * A MachineProgram resolved for fast dispatch. Holds a reference to the
  * source program (for observer callbacks, call/print argument lists and
  * diagnostics) — the MachineProgram must outlive the DecodedProgram.
@@ -118,7 +171,8 @@ struct DecodedBlock
 class DecodedProgram
 {
   public:
-    explicit DecodedProgram(const isa::MachineProgram &prog);
+    explicit DecodedProgram(const isa::MachineProgram &prog,
+                            const DecodeOptions &opts = {});
 
     const isa::MachineProgram &program() const { return *prog_; }
     const std::vector<DecodedInst> &code() const { return code_; }
@@ -133,11 +187,25 @@ class DecodedProgram
         return blockOf_[static_cast<size_t>(pc)];
     }
 
+    /** Superblocks in block order (they partition blocks()). */
+    const std::vector<Superblock> &superblocks() const
+    {
+        return superblocks_;
+    }
+
+    /** Index into superblocks() of the chain containing @p block. */
+    int superblockOf(int block) const
+    {
+        return superblockOf_[static_cast<size_t>(block)];
+    }
+
   private:
     const isa::MachineProgram *prog_;
     std::vector<DecodedInst> code_;
     std::vector<DecodedBlock> blocks_;
     std::vector<int32_t> blockOf_;
+    std::vector<Superblock> superblocks_;
+    std::vector<int32_t> superblockOf_;
 };
 
 /**

@@ -68,6 +68,13 @@ TEST(Fidelity, ScoresEveryMetricWithFiniteErrors)
         EXPECT_GE(inst.clonePhases, 1u);
         EXPECT_EQ(inst.phaseScores.size(), inst.originalPhases);
         EXPECT_GE(inst.phaseWorstMixError, inst.phaseMeanMixError);
+        // Timing on: every phase carries a CPI comparison cut at the
+        // original's phase boundaries.
+        for (const auto &ps : inst.phaseScores) {
+            EXPECT_GT(ps.originalCpi, 0.0) << inst.workload;
+            EXPECT_GT(ps.cloneCpi, 0.0) << inst.workload;
+            EXPECT_GE(inst.phaseWorstCpiError, ps.cpiError);
+        }
     }
 
     // Family attribution: suite instance bare, generated tagged.
@@ -117,7 +124,7 @@ TEST(Fidelity, JsonShapeAndSummary)
     report.generationSecs = 0.25;
 
     Json full = report.toJson();
-    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v3");
+    EXPECT_EQ(full.get("schema").asString(), "bsyn.fidelity.v4");
     EXPECT_EQ(full.get("instances").size(), 2u);
     EXPECT_EQ(full.get("scored").asInt(), 2);
     EXPECT_EQ(full.get("failed").asInt(), 0);
@@ -136,6 +143,13 @@ TEST(Fidelity, JsonShapeAndSummary)
     ASSERT_TRUE(full.get("summary").has("phaseWorstMix"));
     const Json &pw = full.get("summary").get("phaseWorstMix");
     EXPECT_GE(pw.get("max").asNumber(), pw.get("mean").asNumber());
+
+    // Timing half (v4): the per-phase CPI fields are present even in a
+    // timing-skipped run (zeros), so the schema is shape-stable.
+    EXPECT_TRUE(inst0.get("phases").has("worstCpiError"));
+    EXPECT_TRUE(
+        inst0.get("phases").get("perPhase").at(0).has("cpiError"));
+    ASSERT_TRUE(full.get("summary").has("phaseWorstCpi"));
 
     // Bench half present in the full report, absent from results.
     ASSERT_TRUE(full.has("bench"));

@@ -258,9 +258,11 @@ parseArgs(int argc, char **argv, int first)
 /**
  * Resolve the --family selection into concrete workloads: "all" is a
  * fixed-seed sample across every registered family (--gen-count
- * presets each, seeded from --seed); an explicit spec without a seed
- * yields --gen-count instances at seeds 1..N; a spec carrying seed=S
- * yields exactly that instance.
+ * presets each, seeded from --seed); "all-presets" is one instance of
+ * every published preset of every family (full coverage, seeded from
+ * --seed — what the CI fidelity smoke scores); an explicit spec
+ * without a seed yields --gen-count instances at seeds 1..N; a spec
+ * carrying seed=S yields exactly that instance.
  */
 std::vector<workloads::Workload>
 generatedSelection(const Args &args)
@@ -271,6 +273,12 @@ generatedSelection(const Args &args)
             auto sample = gen::Registry::global().sample(
                 args.genCount, args.seed);
             out.insert(out.end(), sample.begin(), sample.end());
+            continue;
+        }
+        if (text == "all-presets") {
+            auto batch =
+                gen::Registry::global().allPresets(args.seed);
+            out.insert(out.end(), batch.begin(), batch.end());
             continue;
         }
         gen::InstanceSpec spec = gen::parseSpec(text);
@@ -905,7 +913,8 @@ usage()
         "retired\ninstructions (0 disables) and detect program phases; "
         "--phases prints\nthe per-phase detail and --no-phase-synth "
         "clones from the aggregate\nprofile only.\n"
-        "a --family <spec> is 'all' or 'name[,knob=value...][,seed=S]' "
+        "a --family <spec> is 'all', 'all-presets' (one instance of "
+        "every\npublished preset) or 'name[,knob=value...][,seed=S]' "
         "(repeatable);\nbsyn list prints the registered families and "
         "their knobs.\n"
         "profile/synth/suite/fidelity also accept --cache-dir <dir> "
