@@ -1,0 +1,52 @@
+#include "replay/histogram.hh"
+
+#include <algorithm>
+
+namespace bsyn::replay
+{
+
+namespace
+{
+
+/** Midpoint of the value range bucket @p idx covers. */
+uint64_t
+bucketValue(size_t idx)
+{
+    constexpr size_t kSubBits = LatencyHistogram::kSubBits;
+    constexpr uint64_t kSubs = 1ull << kSubBits;
+    if (idx < kSubs)
+        return idx;
+    uint64_t exp = idx >> kSubBits;
+    uint64_t sub = idx & (kSubs - 1);
+    uint64_t lower = (kSubs + sub) << (exp - 1);
+    uint64_t width = 1ull << (exp - 1);
+    return lower + width / 2;
+}
+
+} // namespace
+
+uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    uint64_t total = count_.load();
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    // Rank of the q-th value, 1-based; q = 1 is the maximum, which we
+    // report exactly rather than at bucket resolution.
+    uint64_t rank = static_cast<uint64_t>(q * double(total - 1)) + 1;
+    if (rank >= total)
+        return max_.load();
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i].load();
+        // A bucket midpoint can overshoot the largest value actually
+        // recorded; keep quantile(q) <= max() always.
+        if (seen >= rank)
+            return std::min(bucketValue(i), max_.load());
+    }
+    return max_.load();
+}
+
+} // namespace bsyn::replay

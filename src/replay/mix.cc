@@ -1,0 +1,194 @@
+#include "replay/mix.hh"
+
+#include <map>
+
+#include "gen/registry.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/string_util.hh"
+#include "workloads/suite.hh"
+
+namespace bsyn::replay
+{
+
+namespace
+{
+
+/** Parse a non-negative integer weight; fatal() on junk or overflow. */
+uint64_t
+parseWeight(const std::string &val, const std::string &spec)
+{
+    if (val.empty() ||
+        val.find_first_not_of("0123456789") != std::string::npos)
+        fatal("mix '%s': malformed weight '%s'", spec.c_str(),
+              val.c_str());
+    uint64_t w = 0;
+    try {
+        w = std::stoull(val);
+    } catch (const std::exception &) {
+        fatal("mix '%s': weight '%s' out of range", spec.c_str(),
+              val.c_str());
+    }
+    if (w > 1000000)
+        fatal("mix '%s': weight '%s' out of range (max 1000000)",
+              spec.c_str(), val.c_str());
+    return w;
+}
+
+/** Parse a mode-end fraction; fatal() unless 0 < f <= 1. */
+double
+parseEnd(const std::string &val, const std::string &spec)
+{
+    double f = 0.0;
+    try {
+        size_t pos = 0;
+        f = std::stod(val, &pos);
+        if (pos != val.size())
+            throw std::invalid_argument(val);
+    } catch (const std::exception &) {
+        fatal("mix '%s': malformed mode end '@%s'", spec.c_str(),
+              val.c_str());
+    }
+    if (!(f > 0.0) || f > 1.0)
+        fatal("mix '%s': mode end '@%s' must be in (0, 1]", spec.c_str(),
+              val.c_str());
+    return f;
+}
+
+} // namespace
+
+size_t
+Mix::internWorkload(workloads::Workload w)
+{
+    for (size_t i = 0; i < population_.size(); ++i)
+        if (population_[i].name() == w.name())
+            return i;
+    population_.push_back(std::move(w));
+    return population_.size() - 1;
+}
+
+Mix
+Mix::parse(const std::string &spec, uint64_t population)
+{
+    if (trim(spec).empty())
+        fatal("mix spec must not be empty");
+    if (population < 1 || population > 64)
+        fatal("mix population %llu is out of range (1..64)",
+              static_cast<unsigned long long>(population));
+
+    Mix mix;
+    mix.spec_ = spec;
+
+    std::vector<bool> hasEnd;
+    for (const auto &modeText : split(spec, '|')) {
+        MixMode mode;
+        std::string body = trim(modeText);
+
+        // Optional "@end" suffix on the whole mode.
+        size_t at = body.rfind('@');
+        bool ended = at != std::string::npos;
+        if (ended) {
+            mode.end = parseEnd(trim(body.substr(at + 1)), spec);
+            body = trim(body.substr(0, at));
+        }
+        hasEnd.push_back(ended);
+
+        for (const auto &entryText : split(body, ';')) {
+            MixEntry entry;
+            std::string text = trim(entryText);
+            size_t colon = text.find(':');
+            if (colon != std::string::npos) {
+                entry.weight =
+                    parseWeight(trim(text.substr(colon + 1)), spec);
+                text = trim(text.substr(0, colon));
+            }
+            if (text.empty())
+                fatal("mix '%s': empty workload entry", spec.c_str());
+            entry.spec = text;
+
+            // A name with '/' is an instance (suite or generated);
+            // anything else must be a registered family spec, which a
+            // seedless entry expands to a small seed population.
+            if (text.find('/') != std::string::npos) {
+                entry.instances.push_back(
+                    mix.internWorkload(workloads::findWorkload(text)));
+            } else {
+                gen::InstanceSpec is = gen::parseSpec(text);
+                const gen::Family &family =
+                    gen::Registry::global().require(is.family);
+                if (is.hasSeed) {
+                    entry.instances.push_back(mix.internWorkload(
+                        family.make(is.knobs, is.seed)));
+                } else {
+                    for (uint64_t s = 1; s <= population; ++s)
+                        entry.instances.push_back(
+                            mix.internWorkload(family.make(is.knobs, s)));
+                }
+            }
+            mode.totalWeight += entry.weight;
+            mode.entries.push_back(std::move(entry));
+        }
+        if (mode.entries.empty())
+            fatal("mix '%s': a mode lists no workloads", spec.c_str());
+        if (mode.totalWeight == 0)
+            fatal("mix '%s': mode weights sum to zero", spec.c_str());
+        mix.modes_.push_back(std::move(mode));
+    }
+
+    // Mode ends: explicit fractions must cover the run and increase
+    // strictly; with none given, the run splits evenly.
+    bool anyEnd = false;
+    for (bool e : hasEnd)
+        anyEnd = anyEnd || e;
+    size_t k = mix.modes_.size();
+    if (!anyEnd) {
+        for (size_t i = 0; i < k; ++i)
+            mix.modes_[i].end = double(i + 1) / double(k);
+    } else {
+        for (size_t i = 0; i + 1 < k; ++i)
+            if (!hasEnd[i])
+                fatal("mix '%s': mode %zu needs an '@end' fraction "
+                      "(only the last mode may omit it)",
+                      spec.c_str(), i);
+        if (!hasEnd[k - 1])
+            mix.modes_[k - 1].end = 1.0;
+        else if (mix.modes_[k - 1].end != 1.0)
+            fatal("mix '%s': the last mode must end at 1", spec.c_str());
+        for (size_t i = 0; i + 1 < k; ++i)
+            if (mix.modes_[i].end >= mix.modes_[i + 1].end)
+                fatal("mix '%s': mode ends must increase strictly",
+                      spec.c_str());
+    }
+    // Force the exact 1.0 so modeAt(frac) for frac -> 1 never falls
+    // off the end of the list.
+    mix.modes_.back().end = 1.0;
+    return mix;
+}
+
+size_t
+Mix::modeAt(double frac) const
+{
+    for (size_t i = 0; i < modes_.size(); ++i)
+        if (frac < modes_[i].end)
+            return i;
+    return modes_.size() - 1;
+}
+
+size_t
+Mix::draw(uint64_t seed, uint64_t index, double frac) const
+{
+    // Per-arrival stream: splitmix inside Rng::reseed decorrelates
+    // consecutive indices, so one 64-bit combine is enough.
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+    const MixMode &mode = modes_[modeAt(frac)];
+    uint64_t pick = rng.nextBounded(mode.totalWeight);
+    for (const auto &entry : mode.entries) {
+        if (pick < entry.weight)
+            return entry.instances[rng.nextBounded(entry.instances.size())];
+        pick -= entry.weight;
+    }
+    // totalWeight is the sum of entry weights; the loop must hit.
+    return mode.entries.back().instances[0];
+}
+
+} // namespace bsyn::replay

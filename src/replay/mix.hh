@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Workload mixes for the traffic replay engine: which workload each
+ * arrival runs. A Mix is parsed from a spec string naming a weighted
+ * population of workloads — suite instances and generator-family
+ * specs — optionally shifting over the run (K-modal traffic with
+ * deterministic switch points):
+ *
+ *   entry      workload[:weight]    weight a non-negative integer
+ *                                   (default 1); workload is a suite
+ *                                   instance ("crc32/small") or a gen
+ *                                   spec ("pointer_chase,nodes=256")
+ *   mode       entry(;entry)*[@end] end = fraction of the run where
+ *                                   this mode stops (0 < end <= 1)
+ *   mix        mode(|mode)*         later modes take over at their
+ *                                   predecessors' end fractions
+ *
+ * "crc32/small:3;fp_kernel:1" is a constant 3:1 mix;
+ * "crc32/small@0.5|stream_mix" flips the population at half-time. When
+ * no mode carries an @end the run is split evenly. A seedless family
+ * spec expands to a small per-entry population (seeds 1..P), so one
+ * entry can stand for P distinct instances. Everything is resolved and
+ * validated eagerly at parse time: unknown families/instances, weights
+ * summing to zero and malformed fractions are all fatal() before a
+ * single arrival replays.
+ */
+
+#ifndef BSYN_REPLAY_MIX_HH
+#define BSYN_REPLAY_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace bsyn::replay
+{
+
+/** One weighted entry of a mode, resolved to concrete instances. */
+struct MixEntry
+{
+    std::string spec;   ///< entry text as written (minus the weight)
+    uint64_t weight = 1;
+    std::vector<size_t> instances; ///< indices into Mix::population()
+};
+
+/** One mode: a weighted population active until @ref end. */
+struct MixMode
+{
+    std::vector<MixEntry> entries;
+    double end = 1.0;          ///< exclusive end, fraction of the run
+    uint64_t totalWeight = 0;  ///< sum of entry weights (positive)
+};
+
+/** A parsed, resolved, validated traffic mix. */
+class Mix
+{
+  public:
+    /**
+     * Parse and resolve @p spec against the suite and the global
+     * family registry. @p population is how many seeds (1..P) a
+     * seedless family spec expands to. fatal() on any malformed or
+     * unresolvable part — this is the eager validation path the CLI
+     * turns into usage + exit 2.
+     */
+    static Mix parse(const std::string &spec, uint64_t population = 4);
+
+    const std::string &spec() const { return spec_; }
+    const std::vector<MixMode> &modes() const { return modes_; }
+
+    /** Every distinct workload the mix can draw, in first-reference
+     *  order. Draws return indices into this vector. */
+    const std::vector<workloads::Workload> &population() const
+    {
+        return population_;
+    }
+
+    /** Mode index active at run fraction @p frac (in [0, 1)). */
+    size_t modeAt(double frac) const;
+
+    /**
+     * Draw the workload (population index) of arrival @p index at run
+     * fraction @p frac. A pure function of (mix, seed, index, frac) —
+     * independent of thread count, scheduling and wall-clock, which is
+     * what keeps the replay results half byte-deterministic.
+     */
+    size_t draw(uint64_t seed, uint64_t index, double frac) const;
+
+  private:
+    size_t internWorkload(workloads::Workload w);
+
+    std::string spec_;
+    std::vector<MixMode> modes_;
+    std::vector<workloads::Workload> population_;
+};
+
+} // namespace bsyn::replay
+
+#endif // BSYN_REPLAY_MIX_HH

@@ -1,0 +1,212 @@
+#include "replay/schedule.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::replay
+{
+
+namespace
+{
+
+/** Parse a positive-or-zero finite double; fatal() on junk. */
+double
+parseRate(const std::string &val, const char *key, const std::string &spec)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(val, &pos);
+        if (pos != val.size() || !std::isfinite(v))
+            throw std::invalid_argument(val);
+        return v;
+    } catch (const std::exception &) {
+        fatal("schedule '%s': malformed value '%s' for %s", spec.c_str(),
+              val.c_str(), key);
+    }
+}
+
+/** Split "kind,k=v,..." into the kind and a key->value map, rejecting
+ *  malformed fields and duplicate keys. */
+std::string
+parseFields(const std::string &spec, std::map<std::string, std::string> &kv)
+{
+    auto fields = split(spec, ',');
+    std::string kind = trim(fields[0]);
+    if (kind.empty())
+        fatal("schedule '%s': empty kind", spec.c_str());
+    for (size_t i = 1; i < fields.size(); ++i) {
+        std::string field = trim(fields[i]);
+        size_t eq = field.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= field.size())
+            fatal("schedule '%s': malformed field '%s' (expected "
+                  "key=value)",
+                  spec.c_str(), field.c_str());
+        std::string key = trim(field.substr(0, eq));
+        if (kv.count(key))
+            fatal("schedule '%s': duplicate key '%s'", spec.c_str(),
+                  key.c_str());
+        kv[key] = trim(field.substr(eq + 1));
+    }
+    return kind;
+}
+
+} // namespace
+
+Schedule
+Schedule::parse(const std::string &spec)
+{
+    Schedule s;
+    s.spec_ = spec;
+
+    std::map<std::string, std::string> kv;
+    std::string kind = parseFields(spec, kv);
+    std::set<std::string> known{"jitter"};
+
+    if (kind == "constant") {
+        s.model_ = RateModel::Constant;
+        known.insert("rate");
+    } else if (kind == "bursty") {
+        s.model_ = RateModel::Bursty;
+        known.insert({"rate", "on_ms", "off_ms"});
+    } else if (kind == "ramp") {
+        s.model_ = RateModel::Ramp;
+        known.insert({"rate", "end_rate"});
+    } else {
+        fatal("schedule '%s': unknown kind '%s' (constant|bursty|ramp)",
+              spec.c_str(), kind.c_str());
+    }
+    for (const auto &[key, val] : kv) {
+        (void)val;
+        if (!known.count(key))
+            fatal("schedule '%s': unknown key '%s' for kind '%s'",
+                  spec.c_str(), key.c_str(), kind.c_str());
+    }
+
+    if (!kv.count("rate"))
+        fatal("schedule '%s': missing required rate=R", spec.c_str());
+    s.rate_ = parseRate(kv["rate"], "rate", spec);
+
+    switch (s.model_) {
+      case RateModel::Constant:
+        if (s.rate_ <= 0.0)
+            fatal("schedule '%s': rate must be positive", spec.c_str());
+        break;
+      case RateModel::Bursty:
+        if (s.rate_ <= 0.0)
+            fatal("schedule '%s': rate must be positive", spec.c_str());
+        s.onMs_ = kv.count("on_ms")
+                      ? parseRate(kv["on_ms"], "on_ms", spec)
+                      : 100.0;
+        s.offMs_ = kv.count("off_ms")
+                       ? parseRate(kv["off_ms"], "off_ms", spec)
+                       : 400.0;
+        if (s.onMs_ < 1.0 || s.offMs_ < 1.0)
+            fatal("schedule '%s': on_ms/off_ms must be at least 1",
+                  spec.c_str());
+        break;
+      case RateModel::Ramp:
+        if (!kv.count("end_rate"))
+            fatal("schedule '%s': ramp needs end_rate=R", spec.c_str());
+        s.endRate_ = parseRate(kv["end_rate"], "end_rate", spec);
+        if (s.rate_ < 0.0 || s.endRate_ < 0.0 ||
+            s.rate_ + s.endRate_ <= 0.0)
+            fatal("schedule '%s': ramp rates must be non-negative and "
+                  "not both zero",
+                  spec.c_str());
+        break;
+    }
+
+    if (kv.count("jitter")) {
+        const std::string &j = kv["jitter"];
+        if (j != "0" && j != "1")
+            fatal("schedule '%s': jitter must be 0 or 1", spec.c_str());
+        s.jitter_ = (j == "1");
+    }
+    return s;
+}
+
+double
+Schedule::cumulativeRate(double t, double durationS) const
+{
+    if (t <= 0.0)
+        return 0.0;
+    switch (model_) {
+      case RateModel::Constant:
+        return rate_ * t;
+      case RateModel::Bursty: {
+        // Integrated on-time: full periods plus the partial one, each
+        // contributing at most the burst-window length.
+        double onS = onMs_ / 1000.0;
+        double periodS = (onMs_ + offMs_) / 1000.0;
+        double full = std::floor(t / periodS);
+        double partial = t - full * periodS;
+        return rate_ * (full * onS + std::min(partial, onS));
+      }
+      case RateModel::Ramp: {
+        // r(x) = rate + (end-rate - rate) * x / D, integrated to t.
+        double d = std::max(durationS, 1e-9);
+        return rate_ * t + (endRate_ - rate_) * t * t / (2.0 * d);
+      }
+    }
+    return 0.0;
+}
+
+double
+Schedule::offeredRate(double durationS) const
+{
+    if (durationS <= 0.0)
+        return 0.0;
+    return cumulativeRate(durationS, durationS) / durationS;
+}
+
+std::vector<uint64_t>
+Schedule::arrivals(double durationS, uint64_t seed) const
+{
+    if (durationS <= 0.0)
+        fatal("schedule '%s': duration must be positive", spec_.c_str());
+    double total = cumulativeRate(durationS, durationS);
+    constexpr double kMaxArrivals = 4e6;
+    if (total > kMaxArrivals)
+        fatal("schedule '%s' over %.3fs offers %.0f arrivals "
+              "(limit %.0f) — lower the rate or the duration",
+              spec_.c_str(), durationS, total, kMaxArrivals);
+
+    // Distinct stream per purpose: the seed also feeds mix draws, so
+    // perturbing it here keeps the two decoupled.
+    Rng rng(seed ^ 0x5eedab1e5c4ed01eULL);
+    std::vector<uint64_t> out;
+    out.reserve(static_cast<size_t>(total) + 1);
+    const uint64_t durNs = static_cast<uint64_t>(durationS * 1e9);
+    double u = 0.0;
+    double prev = 0.0;
+    for (;;) {
+        // Unit spacing in cumulative-arrival space is the deterministic
+        // schedule; unit-mean exponential spacing is Poisson traffic at
+        // the same time-varying rate.
+        u += jitter_ ? -std::log(1.0 - rng.nextDouble()) : 1.0;
+        if (u > total)
+            break;
+        // Invert L: smallest t in [prev, D] with L(t) >= u. L is
+        // monotone, so bisection converges to the left edge even
+        // across the flat (silent) windows of a bursty schedule.
+        double lo = prev, hi = durationS;
+        for (int iter = 0; iter < 64; ++iter) {
+            double mid = 0.5 * (lo + hi);
+            if (cumulativeRate(mid, durationS) >= u)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        prev = hi;
+        uint64_t ns = static_cast<uint64_t>(hi * 1e9);
+        out.push_back(ns >= durNs ? durNs - 1 : ns);
+    }
+    return out;
+}
+
+} // namespace bsyn::replay

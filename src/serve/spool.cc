@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 
 #include "support/error.hh"
@@ -199,6 +201,39 @@ Spool::claim(const std::string &id) const
     // job, exactly one rename succeeds and the rest see ENOENT.
     std::error_code ec;
     fs::rename(newPath(id), claimedPath(id), ec);
+    if (ec)
+        return false;
+    // rename preserves the submit-time mtime, which would make a
+    // long-queued job look instantly stale; stamp the claim time.
+    fs::last_write_time(claimedPath(id), fs::file_time_type::clock::now(),
+                        ec);
+    return true;
+}
+
+std::vector<std::string>
+Spool::scanStale(double maxAgeS) const
+{
+    std::vector<std::string> stale;
+    auto now = fs::file_time_type::clock::now();
+    for (const auto &id : listIds(root_ + "/claimed")) {
+        std::error_code ec;
+        auto mtime = fs::last_write_time(claimedPath(id), ec);
+        if (ec)
+            continue; // finished or reclaimed while we scanned
+        double age = std::chrono::duration<double>(now - mtime).count();
+        if (age >= maxAgeS)
+            stale.push_back(id);
+    }
+    return stale;
+}
+
+bool
+Spool::reclaim(const std::string &id) const
+{
+    // Atomic like claim(): if the owner was alive after all and
+    // finished first, the claim file is gone and this is a no-op.
+    std::error_code ec;
+    fs::rename(claimedPath(id), newPath(id), ec);
     return !ec;
 }
 
@@ -253,6 +288,64 @@ Spool::clearStop() const
 {
     std::error_code ec;
     fs::remove(root_ + "/stop", ec);
+}
+
+const char *
+waitOutcomeName(WaitOutcome outcome)
+{
+    switch (outcome) {
+    case WaitOutcome::Done:
+        return "done";
+    case WaitOutcome::Timeout:
+        return "timeout";
+    case WaitOutcome::Stopped:
+        return "stopped";
+    case WaitOutcome::Vanished:
+        return "vanished";
+    }
+    return "unknown";
+}
+
+WaitOutcome
+waitForResult(const Spool &spool, const std::string &id, Json &status,
+              double timeoutS, unsigned pollMs)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeoutS));
+    if (pollMs == 0)
+        pollMs = 1;
+    for (;;) {
+        // Done first: finish() publishes the status before retiring
+        // the claim, so a finish in flight can never read as lost.
+        if (spool.result(id, status))
+            return WaitOutcome::Done;
+
+        std::error_code ec;
+        bool inNew = fs::exists(spool.newPath(id), ec);
+        bool inClaimed = fs::exists(spool.claimedPath(id), ec);
+        if (!inNew && !inClaimed) {
+            // The job may have hopped state between the two checks
+            // (claim or reclaim renames); only a re-check that still
+            // finds it nowhere means it is really gone.
+            if (spool.result(id, status))
+                return WaitOutcome::Done;
+            if (!fs::exists(spool.newPath(id), ec) &&
+                !fs::exists(spool.claimedPath(id), ec) &&
+                !spool.result(id, status))
+                return WaitOutcome::Vanished;
+        } else if (inNew && spool.stopRequested()) {
+            // Workers drain and exit on the stop flag; an unclaimed
+            // job will sit in new/ forever. (A claimed job still
+            // finishes — its worker completes the job in flight.)
+            return WaitOutcome::Stopped;
+        }
+
+        if (std::chrono::steady_clock::now() >= deadline)
+            return WaitOutcome::Timeout;
+        std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    }
 }
 
 } // namespace bsyn::serve

@@ -92,10 +92,24 @@ class Spool
     /** Ids with a terminal status in done/, sorted. */
     std::vector<std::string> finished() const;
 
-    /** Try to claim a pending job: atomic rename new/ -> claimed/.
+    /** Try to claim a pending job: atomic rename new/ -> claimed/,
+     *  then re-stamp the file's mtime so a stale scan measures time
+     *  since the claim, not time spent queued in new/.
      *  @return false if another worker won the race (or the job
      *  vanished). */
     bool claim(const std::string &id) const;
+
+    /** Ids whose claim file is at least @p maxAgeS seconds old —
+     *  claims most likely stranded by a worker that died mid-job
+     *  (finish() removes the claim file, so a live worker's claim
+     *  only ages while the job is actually running). Sorted. */
+    std::vector<std::string> scanStale(double maxAgeS) const;
+
+    /** Move a (presumed stale) claimed job back to new/ so any worker
+     *  can claim it afresh. Atomic rename. @return false if the claim
+     *  vanished first — its owner finished after all, or another
+     *  reclaimer won. */
+    bool reclaim(const std::string &id) const;
 
     /** Publish the terminal @p status (atomic) and retire the claimed
      *  job file. */
@@ -119,6 +133,30 @@ class Spool
 
     std::string root_;
 };
+
+/** Why waitForResult() returned. */
+enum class WaitOutcome {
+    Done,     ///< terminal status loaded
+    Timeout,  ///< deadline passed with the job still in flight
+    Stopped,  ///< spool stop flag set while the job sat unclaimed —
+              ///< no worker will ever take it
+    Vanished, ///< job in neither new/, claimed/ nor done/ — deleted
+              ///< or never submitted
+};
+
+/** Lowercase name of @p outcome (for messages). */
+const char *waitOutcomeName(WaitOutcome outcome);
+
+/**
+ * Poll the spool until @p id has a terminal status (loaded into
+ * @p status), failing fast when no result can arrive anymore: a stop
+ * flag with the job still unclaimed, or a job that is nowhere in the
+ * spool at all. A claimed job keeps the wait alive even under a stop
+ * flag — workers always finish the job in flight.
+ */
+WaitOutcome waitForResult(const Spool &spool, const std::string &id,
+                          Json &status, double timeoutS,
+                          unsigned pollMs = 50);
 
 } // namespace bsyn::serve
 

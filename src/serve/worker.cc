@@ -1,5 +1,6 @@
 #include "serve/worker.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -28,12 +29,37 @@ Worker::Worker(WorkerOptions opts)
     : opts_(std::move(opts)), spool_(opts_.spoolDir),
       session_(sessionOptionsFor(opts_))
 {
+    // A zero interval would turn the idle loop into a directory-scan
+    // busy wait. The CLI rejects it at parse time; this guards every
+    // other embedder.
+    if (opts_.pollMs == 0)
+        fatal("worker poll interval must be positive");
+    if (opts_.pollMaxMs < opts_.pollMs)
+        opts_.pollMaxMs = opts_.pollMs;
+    if (opts_.reclaimAfterS < 0.0)
+        fatal("worker reclaim age must not be negative");
 }
 
 bool
 Worker::stopping() const
 {
     return stop_.load() || spool_.stopRequested();
+}
+
+void
+Worker::idleSleep(unsigned ms) const
+{
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms);
+    while (!stopping()) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= until)
+            break;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            until - now);
+        std::this_thread::sleep_for(
+            std::min(left, std::chrono::milliseconds(20)));
+    }
 }
 
 Json
@@ -117,8 +143,21 @@ WorkerStats
 Worker::run()
 {
     WorkerStats stats;
+    unsigned idleMs = opts_.pollMs;
     while (!stopping()) {
         bool progressed = false;
+        if (opts_.reclaimAfterS > 0.0) {
+            for (const auto &id : spool_.scanStale(opts_.reclaimAfterS)) {
+                if (!spool_.reclaim(id))
+                    continue; // owner finished or another worker won
+                ++stats.reclaimed;
+                if (opts_.verbose)
+                    std::fprintf(stderr,
+                                 "[bsyn] job %-24s reclaimed (claim "
+                                 "older than %.0fs)\n",
+                                 id.c_str(), opts_.reclaimAfterS);
+            }
+        }
         for (const auto &id : spool_.pending()) {
             if (stopping())
                 break;
@@ -149,8 +188,12 @@ Worker::run()
         if (!progressed) {
             if (opts_.drain)
                 break;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(opts_.pollMs));
+            idleSleep(idleMs);
+            // Exponential backoff: an idle worker converges to one
+            // scan per pollMaxMs instead of hammering the directory.
+            idleMs = std::min(idleMs * 2, opts_.pollMaxMs);
+        } else {
+            idleMs = opts_.pollMs;
         }
     }
     return stats;

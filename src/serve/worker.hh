@@ -41,8 +41,19 @@ struct WorkerOptions
      *  process-everything-then-quit mode for scripts and tests. */
     bool drain = false;
 
-    /** Idle poll interval between scans of new/. */
+    /** Starting idle poll interval between scans of new/. Must be
+     *  positive; consecutive empty scans back off exponentially from
+     *  here up to @ref pollMaxMs, and any progress resets it. */
     unsigned pollMs = 50;
+
+    /** Cap of the exponential idle backoff (clamped up to pollMs if
+     *  set lower). */
+    unsigned pollMaxMs = 1000;
+
+    /** Before each scan, move claims older than this many seconds
+     *  back to new/ — recovery for jobs stranded in claimed/ by a
+     *  worker that died mid-job. 0 disables reclaiming. */
+    double reclaimAfterS = 0.0;
 
     /** Per-job progress lines on stderr. */
     bool verbose = false;
@@ -55,6 +66,7 @@ struct WorkerStats
     uint64_t succeeded = 0;  ///< of which ok
     uint64_t failed = 0;     ///< of which !ok (worker kept serving)
     uint64_t lostClaims = 0; ///< claim races lost to another worker
+    uint64_t reclaimed = 0;  ///< stale claims moved back to new/
 };
 
 /** A serve worker bound to one spool and one session. */
@@ -80,6 +92,10 @@ class Worker
 
   private:
     bool stopping() const;
+
+    /** Sleep for @p ms, in short slices so a stop request interrupts
+     *  a backed-off wait promptly instead of after the full interval. */
+    void idleSleep(unsigned ms) const;
 
     /** Execute one claimed job; never throws — any failure becomes a
      *  structured !ok status. @return the terminal status JSON. */

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "pipeline/pipeline.hh"
@@ -310,6 +312,152 @@ TEST(Worker, WarmResubmitRecomputesNothing)
               readFile(spool.outPath("cold", ".c")));
     EXPECT_EQ(readFile(spool.outPath("warm", ".profile.json")),
               readFile(spool.outPath("cold", ".profile.json")));
+}
+
+TEST(Spool, StaleClaimRecoveryAfterWorkerCrash)
+{
+    ScratchDir dir("serve_stale");
+    serve::Spool spool(dir.sub("spool"));
+    spool.submit(synthJob("crash", "crc32/small"));
+
+    // Backdate the queued job file: claim() must re-stamp the mtime,
+    // so time a job spent waiting in new/ never counts as claim age.
+    auto backdate =
+        fs::file_time_type::clock::now() - std::chrono::hours(1);
+    fs::last_write_time(spool.newPath("crash"), backdate);
+
+    // A worker in a separate process claims the job and dies before
+    // finishing it — kill -9 semantics, no destructors, no cleanup.
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        serve::Spool child(dir.sub("spool"));
+        ::_exit(child.claim("crash") ? 0 : 1);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+
+    // The job is stranded: not pending, not done, claimed forever.
+    EXPECT_TRUE(spool.pending().empty());
+    EXPECT_EQ(entriesIn(dir.sub("spool") + "/claimed"), 1u);
+    Json none;
+    EXPECT_FALSE(spool.result("crash", none));
+
+    // The claim is fresh (re-stamped at claim time), so a lease scan
+    // does not flag it yet...
+    EXPECT_TRUE(spool.scanStale(5.0).empty());
+    // ...but once the claim itself ages past the lease, it does.
+    fs::last_write_time(spool.claimedPath("crash"), backdate);
+    EXPECT_EQ(spool.scanStale(5.0), std::vector<std::string>{"crash"});
+
+    // A reclaiming drain worker moves it back to new/ and serves it
+    // to completion.
+    serve::WorkerOptions wo;
+    wo.spoolDir = dir.sub("spool");
+    wo.drain = true;
+    wo.threads = 1;
+    wo.reclaimAfterS = 5.0;
+    serve::Worker worker(wo);
+    auto stats = worker.run();
+    EXPECT_EQ(stats.reclaimed, 1u);
+    EXPECT_EQ(stats.processed, 1u);
+    EXPECT_EQ(stats.succeeded, 1u);
+    Json status;
+    ASSERT_TRUE(spool.result("crash", status));
+    EXPECT_TRUE(status.get("ok").asBool());
+    EXPECT_EQ(entriesIn(dir.sub("spool") + "/claimed"), 0u);
+
+    // Reclaiming a claim that no longer exists is a clean no-op.
+    EXPECT_FALSE(spool.reclaim("crash"));
+}
+
+TEST(Spool, WaitForResultFailsFastWhenNoResultCanArrive)
+{
+    ScratchDir dir("serve_wait");
+    serve::Spool spool(dir.sub("spool"));
+    Json status;
+
+    auto t0 = std::chrono::steady_clock::now();
+
+    // A job nowhere in the spool: vanished, immediately — not after
+    // the full timeout.
+    EXPECT_EQ(serve::waitForResult(spool, "ghost", status, 30.0, 1),
+              serve::WaitOutcome::Vanished);
+
+    // Stop flag set while the job sits unclaimed: no worker will ever
+    // take it, so the wait reports that instead of burning 30s.
+    spool.submit(synthJob("stuck", "crc32/small"));
+    spool.requestStop();
+    EXPECT_EQ(serve::waitForResult(spool, "stuck", status, 30.0, 1),
+              serve::WaitOutcome::Stopped);
+    EXPECT_LT(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              10.0);
+
+    // Without the flag the same wait times out normally...
+    spool.clearStop();
+    EXPECT_EQ(serve::waitForResult(spool, "stuck", status, 0.05, 1),
+              serve::WaitOutcome::Timeout);
+
+    // ...and a *claimed* job keeps the wait alive even under a stop
+    // flag: its worker always finishes the job in flight.
+    ASSERT_TRUE(spool.claim("stuck"));
+    spool.requestStop();
+    EXPECT_EQ(serve::waitForResult(spool, "stuck", status, 0.05, 1),
+              serve::WaitOutcome::Timeout);
+
+    // Publishing the status resolves the wait with the result.
+    Json terminal = Json::object();
+    terminal.set("ok", Json(true));
+    spool.finish("stuck", terminal);
+    EXPECT_EQ(serve::waitForResult(spool, "stuck", status, 1.0, 1),
+              serve::WaitOutcome::Done);
+    EXPECT_TRUE(status.get("ok").asBool());
+
+    EXPECT_STREQ(serve::waitOutcomeName(serve::WaitOutcome::Done),
+                 "done");
+    EXPECT_STREQ(serve::waitOutcomeName(serve::WaitOutcome::Stopped),
+                 "stopped");
+}
+
+TEST(Worker, RejectsBrokenPollConfiguration)
+{
+    ScratchDir dir("serve_pollcfg");
+    serve::WorkerOptions wo;
+    wo.spoolDir = dir.sub("spool");
+    wo.threads = 1;
+    wo.pollMs = 0;
+    EXPECT_THROW({ serve::Worker w(wo); }, FatalError);
+    wo.pollMs = 50;
+    wo.reclaimAfterS = -1.0;
+    EXPECT_THROW({ serve::Worker w(wo); }, FatalError);
+}
+
+TEST(Worker, BackedOffIdlerStopsPromptly)
+{
+    ScratchDir dir("serve_backoff");
+    serve::Spool spool(dir.sub("spool"));
+    serve::WorkerOptions wo;
+    wo.spoolDir = dir.sub("spool");
+    wo.threads = 1;
+    wo.pollMs = 1;
+    wo.pollMaxMs = 60000; // idle scans converge toward one per minute
+    serve::Worker worker(wo);
+    std::thread t([&] { worker.run(); });
+    // Let the empty-scan backoff climb well past a second.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    auto t0 = std::chrono::steady_clock::now();
+    worker.requestStop();
+    t.join();
+    // The chunked idle sleep observes the stop request long before
+    // the backed-off interval would expire on its own.
+    EXPECT_LT(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              5.0);
 }
 
 } // namespace

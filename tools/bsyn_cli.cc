@@ -38,7 +38,13 @@
  *       spool's stop flag
  *   bsyn submit <kind> <workload> --spool <dir>
  *       drop a profile/synth/fidelity job into a spool (optionally
- *       --wait for its result)
+ *       --wait for its result; exits 3 when the result can no longer
+ *       arrive — stop flag set with the job unclaimed, or job gone)
+ *   bsyn replay --mix <spec> [--schedule <spec>] [--duration SECS]
+ *       open-loop traffic replay: submit a seed-deterministic arrival
+ *       stream of generated/suite workloads against one warm session
+ *       (or, with --spool, through in-process serve workers) and
+ *       report per-stage latency percentiles and achieved rate
  *
  * suite and fidelity accept --shard i/N: the resolved batch is
  * partitioned by a stable hash of each workload's canonical name, so N
@@ -55,6 +61,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +78,7 @@
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
 #include "pipeline/session.hh"
+#include "replay/engine.hh"
 #include "serve/merge.hh"
 #include "serve/shard.hh"
 #include "serve/spool.hh"
@@ -125,7 +133,16 @@ struct Args
     uint64_t timeoutS = 300; ///< submit --wait: give up after this
     bool drain = false;    ///< serve: exit once the spool is empty
     uint64_t maxJobs = 0;  ///< serve: exit after N jobs (0 = no limit)
-    uint64_t pollMs = 50;  ///< serve: idle poll interval
+    uint64_t pollMs = 50;  ///< serve: starting idle poll interval
+    uint64_t pollMaxMs = 1000; ///< serve: idle backoff cap
+    double reclaimAfterS = 0.0; ///< serve: stale-claim age (0 = off)
+
+    // replay
+    std::string schedule = "constant,rate=50"; ///< arrival rate model
+    std::string mix;          ///< workload mix spec (required)
+    double durationS = 1.0;   ///< replay horizon in seconds
+    uint64_t population = 4;  ///< seeds per seedless mix entry
+    unsigned spoolWorkers = 2; ///< replay --spool: in-process workers
 
     /** Cache directory after --no-cache is applied. */
     std::string
@@ -149,6 +166,25 @@ parseU64(const std::string &s, const char *what)
         size_t pos = 0;
         uint64_t v = std::stoull(s, &pos, hex ? 16 : 10);
         if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", s.c_str(), what);
+    }
+}
+
+/** Parse a finite non-negative decimal number; fatal() on junk. */
+double
+parseF64(const std::string &s, const char *what)
+{
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        fatal("invalid number '%s' for %s", s.c_str(), what);
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size() || !std::isfinite(v) || v < 0.0)
             throw std::invalid_argument(s);
         return v;
     } catch (const FatalError &) {
@@ -228,6 +264,39 @@ parseArgs(int argc, char **argv, int first)
             if (args.pollMs < 1 || args.pollMs > 60000)
                 fatal("--poll-ms %llu is out of range (1..60000)",
                       static_cast<unsigned long long>(args.pollMs));
+        } else if (a == "--poll-max-ms") {
+            args.pollMaxMs =
+                parseU64(next("--poll-max-ms"), "--poll-max-ms");
+            if (args.pollMaxMs < 1 || args.pollMaxMs > 600000)
+                fatal("--poll-max-ms %llu is out of range (1..600000)",
+                      static_cast<unsigned long long>(args.pollMaxMs));
+        } else if (a == "--reclaim-after") {
+            args.reclaimAfterS =
+                parseF64(next("--reclaim-after"), "--reclaim-after");
+        } else if (a == "--schedule") {
+            args.schedule = next("--schedule");
+            // Reject a malformed rate model up front: usage + exit 2.
+            replay::Schedule::parse(args.schedule);
+        } else if (a == "--mix") {
+            args.mix = next("--mix"); // validated after the loop
+        } else if (a == "--duration") {
+            args.durationS = parseF64(next("--duration"), "--duration");
+            if (!(args.durationS > 0.0) || args.durationS > 3600.0)
+                fatal("--duration %.3f is out of range (0, 3600]",
+                      args.durationS);
+        } else if (a == "--population") {
+            uint64_t n =
+                parseU64(next("--population"), "--population");
+            if (n < 1 || n > 64)
+                fatal("--population %llu is out of range (1..64)",
+                      static_cast<unsigned long long>(n));
+            args.population = n;
+        } else if (a == "--workers") {
+            uint64_t n = parseU64(next("--workers"), "--workers");
+            if (n < 1 || n > 64)
+                fatal("--workers %llu is out of range (1..64)",
+                      static_cast<unsigned long long>(n));
+            args.spoolWorkers = static_cast<unsigned>(n);
         } else if (a == "--phase-slices") {
             args.phaseSlices =
                 parseU64(next("--phase-slices"), "--phase-slices");
@@ -252,6 +321,12 @@ parseArgs(int argc, char **argv, int first)
             args.positional.push_back(a);
         }
     }
+    // --mix resolves real workloads and depends on --population, so it
+    // validates after the loop (flag order must not matter). A bad mix
+    // — unknown family, weights summing to zero, malformed mode ends —
+    // is an argument error: usage + exit 2.
+    if (!args.mix.empty())
+        replay::Mix::parse(args.mix, args.population);
     return args;
 }
 
@@ -786,7 +861,8 @@ cmdServe(const Args &args)
 {
     if (args.spool.empty() || !args.positional.empty())
         fatal("usage: bsyn serve --spool <dir> [--cache-dir D] "
-              "[--threads N] [--drain] [--max-jobs N] [--poll-ms N]");
+              "[--threads N] [--drain] [--max-jobs N] [--poll-ms N] "
+              "[--poll-max-ms N] [--reclaim-after SECS]");
 
     serve::WorkerOptions wo;
     wo.spoolDir = args.spool;
@@ -795,6 +871,8 @@ cmdServe(const Args &args)
     wo.maxJobs = args.maxJobs;
     wo.drain = args.drain;
     wo.pollMs = static_cast<unsigned>(args.pollMs);
+    wo.pollMaxMs = static_cast<unsigned>(args.pollMaxMs);
+    wo.reclaimAfterS = args.reclaimAfterS;
     wo.verbose = true;
     serve::Worker worker(wo);
 
@@ -812,11 +890,12 @@ cmdServe(const Args &args)
 
     std::fprintf(stderr,
                  "[bsyn] served %llu jobs (%llu ok, %llu failed, "
-                 "%llu claims lost)\n",
+                 "%llu claims lost, %llu reclaimed)\n",
                  static_cast<unsigned long long>(stats.processed),
                  static_cast<unsigned long long>(stats.succeeded),
                  static_cast<unsigned long long>(stats.failed),
-                 static_cast<unsigned long long>(stats.lostClaims));
+                 static_cast<unsigned long long>(stats.lostClaims),
+                 static_cast<unsigned long long>(stats.reclaimed));
     // Failed *jobs* are the submitters' problem, not the worker's: a
     // worker that survived them exits 0.
     return 0;
@@ -856,19 +935,94 @@ cmdSubmit(const Args &args)
     if (!args.wait)
         return 0;
 
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::seconds(args.timeoutS);
+    // Fail fast when the result can no longer arrive instead of
+    // burning the whole timeout: exit 3 distinguishes "no worker will
+    // ever take this" from a job that genuinely failed (1).
     Json status;
-    while (!spool.result(job.id, status)) {
-        if (std::chrono::steady_clock::now() >= deadline)
-            fatal("submit: timed out after %llus waiting for job '%s'",
-                  static_cast<unsigned long long>(args.timeoutS),
-                  job.id.c_str());
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    switch (serve::waitForResult(spool, job.id, status,
+                                 double(args.timeoutS))) {
+    case serve::WaitOutcome::Done:
+        break;
+    case serve::WaitOutcome::Stopped:
+        std::fprintf(stderr,
+                     "bsyn: job '%s' will never run: the spool's stop "
+                     "flag is set and the job is still unclaimed\n",
+                     job.id.c_str());
+        return 3;
+    case serve::WaitOutcome::Vanished:
+        std::fprintf(stderr,
+                     "bsyn: job '%s' vanished from the spool without "
+                     "a result\n",
+                     job.id.c_str());
+        return 3;
+    case serve::WaitOutcome::Timeout:
+        fatal("submit: timed out after %llus waiting for job '%s'",
+              static_cast<unsigned long long>(args.timeoutS),
+              job.id.c_str());
     }
     std::string text = status.dump(2) + "\n";
     std::fputs(text.c_str(), stdout);
     return status.get("ok").asBool() ? 0 : 1;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    if (!args.positional.empty() || args.mix.empty())
+        fatal("usage: bsyn replay --mix <spec> [--schedule <spec>] "
+              "[--duration SECS] [--seed S] [--threads N] "
+              "[--population N] [--target-instr N] [-o traffic.json] "
+              "[--results-only] [--spool <dir> [--workers N] "
+              "[--timeout SECS]] [--cache-dir D] [--no-cache]");
+
+    replay::ReplayOptions ro;
+    ro.scheduleSpec = args.schedule;
+    ro.mixSpec = args.mix;
+    ro.durationS = args.durationS;
+    ro.seed = args.seed;
+    ro.threads = args.threads;
+    ro.population = args.population;
+    ro.targetInstr = args.targetInstr;
+    ro.cacheDir = args.effectiveCacheDir();
+    ro.spoolDir = args.spool;
+    ro.spoolWorkers = args.spoolWorkers;
+    ro.spoolTimeoutS = double(args.timeoutS);
+
+    replay::ReplayReport report = replay::runReplay(ro);
+
+    Json j = args.resultsOnly ? report.resultsJson() : report.toJson();
+    std::string text = j.dump(2) + "\n";
+    if (args.output.empty())
+        std::fputs(text.c_str(), stdout);
+    else
+        writeFile(args.output, text);
+
+    TextTable table("traffic replay latency");
+    table.setHeader(
+        {"stage", "count", "p50 ms", "p99 ms", "p99.9 ms", "max ms"});
+    for (const auto &s : report.stages) {
+        if (s.count == 0)
+            continue;
+        table.addRow({s.stage, std::to_string(s.count),
+                      strprintf("%.2f", s.p50Ms),
+                      strprintf("%.2f", s.p99Ms),
+                      strprintf("%.2f", s.p999Ms),
+                      strprintf("%.2f", s.maxMs)});
+    }
+    table.print(std::cout);
+
+    std::fprintf(stderr,
+                 "[bsyn] %zu arrivals (%llu ok, %llu failed) over %zu "
+                 "instances in %.2fs: offered %.1f/s, achieved %.1f/s"
+                 "%s%s\n",
+                 report.arrivals.size(),
+                 static_cast<unsigned long long>(report.okCount),
+                 static_cast<unsigned long long>(report.failCount),
+                 report.instanceNames.size(), report.elapsedS,
+                 report.offeredRate, report.achievedRate,
+                 args.output.empty() ? "" : ", report written to ",
+                 args.output.c_str());
+    return report.failCount ? 1 : 0;
 }
 
 void
@@ -897,12 +1051,29 @@ usage()
         "  bsyn merge -o <out> <in>... [--fidelity]\n"
         "  bsyn serve --spool <dir> [--cache-dir D] [--threads N] "
         "[--drain]\n"
-        "             [--max-jobs N] [--poll-ms N]\n"
+        "             [--max-jobs N] [--poll-ms N] [--poll-max-ms N]\n"
+        "             [--reclaim-after SECS]\n"
         "  bsyn submit <profile|synth|fidelity> <workload> --spool "
         "<dir>\n"
         "              [--id I] [--seed S] [--target-instr N] "
         "[--timing]\n"
         "              [--wait] [--timeout SECS]\n"
+        "  bsyn replay --mix <spec> [--schedule <spec>] [--duration "
+        "SECS]\n"
+        "              [--seed S] [--threads N] [--population N] "
+        "[-o out.json]\n"
+        "              [--results-only] [--spool <dir> [--workers N]]\n"
+        "\n"
+        "replay schedules are 'constant,rate=R', "
+        "'bursty,rate=R[,on_ms=A,off_ms=B]'\nor "
+        "'ramp,rate=R0,end_rate=R1' (all accept jitter=1 for Poisson "
+        "arrivals);\na mix is 'spec[:weight][;spec...]' with optional "
+        "'@end|' mode switches,\nwhere spec is a family "
+        "('fp_kernel,seed=2') or instance ('crc32/small').\n"
+        "an idle worker backs off exponentially from --poll-ms to "
+        "--poll-max-ms;\n--reclaim-after moves claims older than SECS "
+        "back to new/ (crash\nrecovery). submit --wait exits 3 when "
+        "the result can no longer arrive.\n"
         "\n"
         "suite and fidelity accept --shard i/N (1-based): the resolved "
         "batch is\npartitioned by a stable hash of each workload name; "
@@ -970,6 +1141,8 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "submit")
             return cmdSubmit(args);
+        if (cmd == "replay")
+            return cmdReplay(args);
         std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
         usage();
         return 2;
