@@ -1,8 +1,8 @@
-#include "replay/histogram.hh"
+#include "obs/histogram.hh"
 
 #include <algorithm>
 
-namespace bsyn::replay
+namespace bsyn::obs
 {
 
 namespace
@@ -49,4 +49,14 @@ LatencyHistogram::quantile(double q) const
     return max_.load();
 }
 
-} // namespace bsyn::replay
+void
+LatencyHistogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0);
+    count_.store(0);
+    sum_.store(0);
+    max_.store(0);
+}
+
+} // namespace bsyn::obs

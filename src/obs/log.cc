@@ -1,0 +1,100 @@
+#include "obs/log.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <vector>
+#include <unistd.h>
+
+#include "support/error.hh"
+
+namespace bsyn::obs
+{
+
+namespace
+{
+
+std::atomic<int> gLevel{static_cast<int>(LogLevel::Info)};
+std::atomic<std::FILE *> gSink{nullptr}; ///< null = stderr
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(gLevel.load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           gLevel.load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "silent" || name == "quiet")
+        return LogLevel::Silent;
+    fatal("unknown log level '%s' (want debug|info|warn|error|silent)",
+          name.c_str());
+}
+
+void
+setLogSink(std::FILE *f)
+{
+    gSink.store(f, std::memory_order_relaxed);
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0) {
+        va_end(args);
+        return;
+    }
+    std::string buf(static_cast<size_t>(needed) + 1, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+    buf.resize(static_cast<size_t>(needed));
+    if (buf.empty() || buf.back() != '\n')
+        buf.push_back('\n');
+
+    // One write(2) per record is what makes concurrent records land
+    // whole: POSIX serializes each write, while consecutive stdio
+    // calls from two threads may interleave.
+    std::FILE *sink = gSink.load(std::memory_order_relaxed);
+    int fd = fileno(sink ? sink : stderr);
+    size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+        if (n <= 0)
+            break; // a failing log sink must never take the run down
+        off += static_cast<size_t>(n);
+    }
+}
+
+} // namespace bsyn::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The leveled structured logger behind every diagnostic line the
+ * framework prints. Each record is formatted completely first and then
+ * emitted with a single write(2), so concurrent workers and driver
+ * threads can never interleave fragments of two lines — the fix for the
+ * garbled multi-thread stderr the raw fprintf calls used to produce.
+ *
+ * Levels: debug < info < warn < error < silent. The default is info;
+ * the CLI maps --log-level / BSYN_LOG onto setLogLevel() and --quiet
+ * onto error (progress and warnings off, real errors still shown).
+ * Diagnostics only — results artifacts and stdout reports never pass
+ * through here.
+ */
+
+#ifndef BSYN_OBS_LOG_HH
+#define BSYN_OBS_LOG_HH
+
+#include <cstdio>
+#include <string>
+
+namespace bsyn::obs
+{
+
+enum class LogLevel {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4, ///< threshold only: nothing logs at Silent
+};
+
+/** Current threshold (records below it are dropped). */
+LogLevel logLevel();
+
+/** Set the threshold. Thread-safe (atomic). */
+void setLogLevel(LogLevel level);
+
+/** "debug" / "info" / "warn" / "error" / "silent" (or "quiet") to a
+ *  level; fatal() on anything else. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** True when a record at @p level would be emitted — guards callers
+ *  that would otherwise format expensively for nothing. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Emit one record at @p level. The message is formatted in full
+ * (trailing newline appended if missing) and written with one write(2)
+ * to the log sink (stderr by default).
+ */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Redirect records to @p f (tests); null restores stderr. */
+void setLogSink(std::FILE *f);
+
+} // namespace bsyn::obs
+
+#endif // BSYN_OBS_LOG_HH

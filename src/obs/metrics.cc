@@ -1,0 +1,96 @@
+#include "obs/metrics.hh"
+
+namespace bsyn::obs
+{
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+        if (parent_)
+            slot->parent_ = &parent_->counter(name);
+    }
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+        if (parent_)
+            slot->parent_ = &parent_->gauge(name);
+    }
+    return *slot;
+}
+
+LatencyHistogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<LatencyHistogram>();
+        if (parent_)
+            slot->chainTo(&parent_->histogram(name));
+    }
+    return *slot;
+}
+
+Json
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    Json root = Json::object();
+    root.set("schema", Json("bsyn.metrics.v1"));
+
+    Json counters = Json::object();
+    for (const auto &[name, c] : counters_)
+        counters.set(name, Json(c->value()));
+    root.set("counters", std::move(counters));
+
+    Json gauges = Json::object();
+    for (const auto &[name, g] : gauges_)
+        gauges.set(name, Json(g->value()));
+    root.set("gauges", std::move(gauges));
+
+    Json histograms = Json::object();
+    for (const auto &[name, h] : histograms_) {
+        Json one = Json::object();
+        one.set("count", Json(h->count()));
+        one.set("meanNs", Json(h->mean()));
+        one.set("maxNs", Json(h->max()));
+        one.set("p50Ns", Json(h->quantile(0.50)));
+        one.set("p99Ns", Json(h->quantile(0.99)));
+        one.set("p999Ns", Json(h->quantile(0.999)));
+        histograms.set(name, std::move(one));
+    }
+    root.set("histograms", std::move(histograms));
+    return root;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (auto &[name, c] : counters_)
+        c->value_.store(0);
+    for (auto &[name, g] : gauges_)
+        g->value_.store(0);
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace bsyn::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The process-wide metrics registry: named counters, gauges and latency
+ * histograms with O(1), lock-free hot-path recording. Naming a metric
+ * takes a mutex once (at setup, when the handle is created); every
+ * update after that is a relaxed atomic on the handle.
+ *
+ * Registries nest: a component that needs its own scoped view — a
+ * pipeline::Session's cache counters, a serve::Worker's job counters, a
+ * replay run's stage histograms — creates a local Registry whose
+ * metrics *chain* to the same-named metric in a parent registry
+ * (ultimately Registry::global()), so one update lands in every scope
+ * at once. That keeps per-session/per-run accounting exact while the
+ * global registry stays the one scrape point for the whole process.
+ *
+ * Metric names follow "component.noun.verb" ("pipeline.cache.profile.hits",
+ * "serve.jobs.processed", "threadpool.tasks.executed"); histogram names
+ * describe the measured quantity ("replay.stage.queue"). snapshot()
+ * serializes every metric as "bsyn.metrics.v1" JSON with keys in sorted
+ * order, so two snapshots of equal state are byte-identical.
+ *
+ * Observability lives strictly on the bench half of every report:
+ * nothing in here may ever feed a results artifact.
+ */
+
+#ifndef BSYN_OBS_METRICS_HH
+#define BSYN_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.hh"
+#include "support/json.hh"
+
+namespace bsyn::obs
+{
+
+/** A monotonically increasing named count. */
+class Counter
+{
+  public:
+    /** Add @p n. Wait-free; any thread. */
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        if (parent_)
+            parent_->add(n);
+    }
+
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Registry;
+    std::atomic<uint64_t> value_{0};
+    Counter *parent_ = nullptr;
+};
+
+/** A named instantaneous level (queue depth, backlog size). Chained
+ *  set() is last-writer-wins in the parent scope; prefer add() when
+ *  several components share one gauge name. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        if (parent_)
+            parent_->set(v);
+    }
+
+    void
+    add(int64_t d)
+    {
+        value_.fetch_add(d, std::memory_order_relaxed);
+        if (parent_)
+            parent_->add(d);
+    }
+
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Registry;
+    std::atomic<int64_t> value_{0};
+    Gauge *parent_ = nullptr;
+};
+
+/** A namespace of metrics. Handles returned by counter()/gauge()/
+ *  histogram() are stable for the registry's lifetime and safe to
+ *  update from any thread. */
+class Registry
+{
+  public:
+    /** The process-wide registry every local registry chains into. */
+    static Registry &global();
+
+    /** A registry whose metrics also forward into @p parent (and
+     *  transitively up the chain). null = a detached scope. */
+    explicit Registry(Registry *parent = nullptr) : parent_(parent) {}
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find-or-create the named metric. Takes the registry mutex —
+     *  call once at setup and keep the handle for the hot path. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyHistogram &histogram(const std::string &name);
+
+    /**
+     * Serialize every metric in this scope ("bsyn.metrics.v1"):
+     * counters and gauges by value, histograms as count / mean / max /
+     * p50 / p99 / p999 (nanoseconds). Keys are sorted, so equal state
+     * dumps to equal bytes.
+     */
+    Json snapshot() const;
+
+    /** Zero every metric in this scope (tests). Parent scopes keep
+     *  whatever already flowed up. */
+    void reset();
+
+  private:
+    Registry *parent_;
+    mutable std::mutex mtx_;
+    // node-stable maps: handles must survive later insertions.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+} // namespace bsyn::obs
+
+#endif // BSYN_OBS_METRICS_HH

@@ -1,0 +1,197 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "support/json.hh"
+#include "support/string_util.hh"
+
+namespace bsyn::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct Event
+{
+    const char *name;
+    char phase; // 'X' complete, 'i' instant
+    uint64_t tsNs;
+    uint64_t durNs;
+    uint32_t tid;
+    std::vector<TraceArg> args;
+};
+
+struct TraceState
+{
+    std::atomic<bool> enabled{false};
+    std::mutex mtx; ///< guards path/start/events
+    std::string path;
+    Clock::time_point start;
+    std::vector<Event> events;
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+/** Small stable per-thread id for the "tid" field (1-based, in span
+ *  first-use order — steadier to read in Perfetto than pthread ids). */
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+void
+push(Event ev)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    // A span may outlive the session that saw it armed; drop it.
+    if (!s.enabled.load(std::memory_order_relaxed))
+        return;
+    s.events.push_back(std::move(ev));
+}
+
+} // namespace
+
+bool
+Trace::enabled()
+{
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void
+Trace::begin(const std::string &path)
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.path = path;
+    s.start = Clock::now();
+    s.events.clear();
+    s.enabled.store(true, std::memory_order_relaxed);
+}
+
+uint64_t
+Trace::nowNs()
+{
+    TraceState &s = state();
+    if (!s.enabled.load(std::memory_order_relaxed))
+        return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - s.start)
+        .count();
+}
+
+void
+Trace::complete(const char *name, uint64_t startNs, uint64_t durNs,
+                std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    push(Event{name, 'X', startNs, durNs, threadId(), std::move(args)});
+}
+
+void
+Trace::instant(const char *name, std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    push(Event{name, 'i', nowNs(), 0, threadId(), std::move(args)});
+}
+
+size_t
+Trace::pendingEvents()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    return s.events.size();
+}
+
+std::string
+Trace::end()
+{
+    TraceState &s = state();
+    std::string path;
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(s.mtx);
+        if (!s.enabled.load(std::memory_order_relaxed))
+            return "";
+        s.enabled.store(false, std::memory_order_relaxed);
+        path = std::move(s.path);
+        events = std::move(s.events);
+        s.path.clear();
+        s.events.clear();
+    }
+
+    Json list = Json::array();
+    for (const Event &ev : events) {
+        Json one = Json::object();
+        one.set("name", Json(ev.name));
+        one.set("cat", Json("stage"));
+        one.set("ph", Json(std::string(1, ev.phase)));
+        // Chrome trace timestamps are microseconds.
+        one.set("ts", Json(double(ev.tsNs) / 1000.0));
+        if (ev.phase == 'X')
+            one.set("dur", Json(double(ev.durNs) / 1000.0));
+        else
+            one.set("s", Json("t")); // instant scope: thread
+        one.set("pid", Json(1));
+        one.set("tid", Json(static_cast<uint64_t>(ev.tid)));
+        if (!ev.args.empty()) {
+            Json args = Json::object();
+            for (const auto &[k, v] : ev.args)
+                args.set(k, Json(v));
+            one.set("args", std::move(args));
+        }
+        list.push(std::move(one));
+    }
+    Json root = Json::object();
+    root.set("traceEvents", std::move(list));
+    root.set("displayTimeUnit", Json("ms"));
+    writeFile(path, root.dump(-1) + "\n");
+    return path;
+}
+
+Span::Span(const char *name) : name_(name)
+{
+    if (!Trace::enabled())
+        return;
+    active_ = true;
+    startNs_ = Trace::nowNs();
+}
+
+Span::Span(const char *name, const char *key, std::string value)
+    : Span(name)
+{
+    arg(key, std::move(value));
+}
+
+void
+Span::arg(const char *key, std::string value)
+{
+    if (active_)
+        args_.emplace_back(key, std::move(value));
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    uint64_t end = Trace::nowNs();
+    Trace::complete(name_, startNs_,
+                    end > startNs_ ? end - startNs_ : 0,
+                    std::move(args_));
+}
+
+} // namespace bsyn::obs

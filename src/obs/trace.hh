@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Structured stage tracing as Chrome trace-event JSON (the format
+ * Perfetto and chrome://tracing open directly). The process holds one
+ * trace session: Trace::begin(path) arms it, spans and instants
+ * accumulate in memory, Trace::end() serializes everything to the file
+ * in one shot.
+ *
+ * The disabled path is one relaxed atomic load and a branch — a Span
+ * constructed while tracing is off touches nothing else, so tracing can
+ * stay compiled into every stage entry point at zero practical cost.
+ * Tracing is bench-half only by design: span emission must never
+ * influence a results artifact.
+ *
+ * Span names are the pipeline's stage vocabulary: compile / profile /
+ * synthesize / timing / cache-probe / spool-claim / queue-wait / merge,
+ * plus "workload" (the per-batch-entry parent), "job" (one served spool
+ * job) and "arrival" (one replay submission).
+ */
+
+#ifndef BSYN_OBS_TRACE_HH
+#define BSYN_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsyn::obs
+{
+
+/** One "key=value" annotation on a trace event. */
+using TraceArg = std::pair<std::string, std::string>;
+
+/** The process-wide trace session. All static members are thread-safe. */
+class Trace
+{
+  public:
+    /** True while a trace session is armed. One relaxed load. */
+    static bool enabled();
+
+    /** Arm tracing; events from now on are kept and written to @p path
+     *  by end(). Re-arming discards any unwritten events. */
+    static void begin(const std::string &path);
+
+    /** Serialize buffered events to the armed path and disarm.
+     *  @return the path written, or "" when tracing was off.
+     *  fatal() if the file cannot be written. */
+    static std::string end();
+
+    /** Nanoseconds since begin(); 0 when disabled. */
+    static uint64_t nowNs();
+
+    /** Record one complete span ("ph":"X") with explicit timestamps —
+     *  for durations not tied to a C++ scope (queue waits). */
+    static void complete(const char *name, uint64_t startNs,
+                         uint64_t durNs, std::vector<TraceArg> args = {});
+
+    /** Record one instant event ("ph":"i") at now. */
+    static void instant(const char *name, std::vector<TraceArg> args = {});
+
+    /** Buffered event count (tests). */
+    static size_t pendingEvents();
+};
+
+/**
+ * RAII span over a scope: measures construction-to-destruction and
+ * records one complete event. When tracing is off, construction is a
+ * load+branch and arg() is a no-op.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    Span(const char *name, const char *key, std::string value);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach an annotation (kept only while tracing is on). */
+    void arg(const char *key, std::string value);
+
+    bool active() const { return active_; }
+
+  private:
+    const char *name_;
+    uint64_t startNs_ = 0;
+    bool active_ = false;
+    std::vector<TraceArg> args_;
+};
+
+} // namespace bsyn::obs
+
+#endif // BSYN_OBS_TRACE_HH

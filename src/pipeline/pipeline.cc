@@ -5,6 +5,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
+#include "obs/trace.hh"
 #include "pipeline/run_sink.hh"
 #include "pipeline/session.hh"
 #include "sim/core_model.hh"
@@ -133,6 +134,8 @@ sim::TimingStats
 timeOnMachine(const std::string &source, const std::string &name,
               opt::OptLevel level, const sim::MachineSpec &machine)
 {
+    obs::Span span("timing", "workload", name);
+    span.arg("machine", machine.name);
     bool in_order = machine.core.inOrder;
     ir::Module mod = compileSource(source, name, level, in_order);
     isa::MachineProgram prog = isa::lower(mod, machine.isa);
@@ -145,6 +148,8 @@ timeOnMachinePhased(const std::string &source, const std::string &name,
                     const sim::MachineSpec &machine,
                     const std::vector<double> &cuts)
 {
+    obs::Span span("timing", "workload", name);
+    span.arg("machine", machine.name);
     bool in_order = machine.core.inOrder;
     ir::Module mod = compileSource(source, name, level, in_order);
     isa::MachineProgram prog = isa::lower(mod, machine.isa);

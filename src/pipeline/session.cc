@@ -2,6 +2,7 @@
 
 #include "isa/lowering.hh"
 #include "lang/frontend.hh"
+#include "obs/trace.hh"
 #include "sim/decoded_program.hh"
 #include "support/error.hh"
 #include "support/hash.hh"
@@ -115,11 +116,11 @@ Session::decodeForMeasure(const std::string &source)
         std::lock_guard<std::mutex> lock(decodeMtx_);
         auto it = decodeCache_.find(key);
         if (it != decodeCache_.end()) {
-            ++decodeHits_;
+            decodeHits_.add();
             return it->second;
         }
     }
-    ++decodeMisses_;
+    decodeMisses_.add();
 
     // Build outside the lock — calibration measurements run from pool
     // workers concurrently, and a duplicate build on a race is merely
@@ -147,7 +148,15 @@ Session::measureInstructions(const std::string &source)
 }
 
 Session::Session(SessionOptions opts)
-    : options_(std::move(opts)), cache_(options_.cacheDir)
+    : options_(std::move(opts)), cache_(options_.cacheDir),
+      metrics_(options_.metricsParent ? options_.metricsParent
+                                      : &obs::Registry::global()),
+      profileHits_(metrics_.counter("pipeline.cache.profile.hits")),
+      profileMisses_(metrics_.counter("pipeline.cache.profile.misses")),
+      synthHits_(metrics_.counter("pipeline.cache.synth.hits")),
+      synthMisses_(metrics_.counter("pipeline.cache.synth.misses")),
+      decodeHits_(metrics_.counter("pipeline.memo.decode.hits")),
+      decodeMisses_(metrics_.counter("pipeline.memo.decode.misses"))
 {
 }
 
@@ -160,7 +169,8 @@ Session::pool()
         return *options_.pool;
     std::lock_guard<std::mutex> lock(poolMtx_);
     if (!ownedPool_)
-        ownedPool_ = std::make_unique<ThreadPool>(options_.threads);
+        ownedPool_ =
+            std::make_unique<ThreadPool>(options_.threads, &metrics_);
     return *ownedPool_;
 }
 
@@ -168,12 +178,12 @@ CacheStats
 Session::cacheStats() const
 {
     CacheStats s;
-    s.profileHits = profileHits_.load();
-    s.profileMisses = profileMisses_.load();
-    s.synthHits = synthHits_.load();
-    s.synthMisses = synthMisses_.load();
-    s.decodeHits = decodeHits_.load();
-    s.decodeMisses = decodeMisses_.load();
+    s.profileHits = profileHits_.value();
+    s.profileMisses = profileMisses_.value();
+    s.synthHits = synthHits_.value();
+    s.synthMisses = synthMisses_.value();
+    s.decodeHits = decodeHits_.value();
+    s.decodeMisses = decodeMisses_.value();
     return s;
 }
 
@@ -194,20 +204,32 @@ Session::profile(const std::string &source, const std::string &name,
     // list (v2 entries lack the slice stream and must not be reused);
     // the slicing knobs join the key so sessions with different phase
     // detection settings keep distinct entries.
+    obs::Span span("profile", "workload", name);
     std::string key = ArtifactCache::key(
         "profile.v3",
         {name, source, profilingFingerprint(options_.profiling)});
     std::string text;
-    if (cache_.load(key, text)) {
-        ++profileHits_;
+    bool hit;
+    {
+        obs::Span probe("cache-probe", "stage", "profile");
+        hit = cache_.load(key, text);
+    }
+    if (hit) {
+        profileHits_.add();
+        span.arg("cache", "hit");
         if (cached)
             *cached = true;
         return bsyn::profile::StatisticalProfile::deserialize(text);
     }
-    ++profileMisses_;
+    profileMisses_.add();
+    span.arg("cache", "miss");
     if (cached)
         *cached = false;
-    ir::Module mod = lang::compile(source, name); // -O0 shape
+    ir::Module mod;
+    {
+        obs::Span cspan("compile", "workload", name);
+        mod = lang::compile(source, name); // -O0 shape
+    }
     auto prof = bsyn::profile::profileModule(mod, options_.profiling);
     cache_.store(key, prof.serialize());
     return prof;
@@ -226,16 +248,24 @@ Session::synthesize(const bsyn::profile::StatisticalProfile &prof,
     // v3: synthesis became phase-aware (one stitched skeleton per
     // profile phase) — v2 clones of multi-phase profiles must not be
     // reused, and the benchmark JSON gained the phase count.
+    obs::Span span("synthesize", "workload", prof.workloadName);
     std::string key = ArtifactCache::key(
         "synth.v3", {synthesisFingerprint(opts), prof.serialize()});
     std::string text;
-    if (cache_.load(key, text)) {
-        ++synthHits_;
+    bool hit;
+    {
+        obs::Span probe("cache-probe", "stage", "synthesize");
+        hit = cache_.load(key, text);
+    }
+    if (hit) {
+        synthHits_.add();
+        span.arg("cache", "hit");
         if (cached)
             *cached = true;
         return benchmarkFromJson(Json::parse(text));
     }
-    ++synthMisses_;
+    synthMisses_.add();
+    span.arg("cache", "miss");
     if (cached)
         *cached = false;
     // Calibration candidates fan across the session pool (intra-
@@ -298,6 +328,7 @@ Session::processSuite(const std::vector<workloads::Workload> &suite,
         return statuses;
 
     pool().parallelFor(suite.size(), [&](size_t i) {
+        obs::Span span("workload", "workload", suite[i].name());
         RunStatus st;
         st.index = i;
         st.workload = suite[i].name();
@@ -312,6 +343,10 @@ Session::processSuite(const std::vector<workloads::Workload> &suite,
             st.ok = false;
             st.error = e.what();
         }
+        metrics_
+            .counter(st.ok ? "pipeline.suite.workloads.ok"
+                           : "pipeline.suite.workloads.failed")
+            .add();
         statuses[i] = st;
         sink.consume(st, run);
     });

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "pipeline/artifact_cache.hh"
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
@@ -52,10 +53,21 @@ struct SessionOptions
      *  phase threshold). Part of the profile cache fingerprint. */
     bsyn::profile::ProfileOptions profiling;
 
+    /** Registry the session's scoped metrics chain into (and through
+     *  it, transitively, into obs::Registry::global()). Null means the
+     *  global registry directly. Not owned; must outlive the Session.
+     *  A serve::Worker passes its own registry here so one scrape of
+     *  the worker sees its session's cache traffic too. */
+    obs::Registry *metricsParent = nullptr;
+
     SessionOptions();
 };
 
-/** Snapshot of a session's cache-hit counters (per stage). */
+/** Snapshot of a session's cache-hit counters (per stage). Since the
+ *  observability layer landed this is a *view* over the session's
+ *  named metrics ("pipeline.cache.*" in the session's scoped
+ *  obs::Registry) — the counters themselves live in the registry and
+ *  also aggregate process-wide through the parent chain. */
 struct CacheStats
 {
     uint64_t profileHits = 0;
@@ -181,6 +193,10 @@ class Session
     /** Per-stage cache hit/miss counters since construction. */
     CacheStats cacheStats() const;
 
+    /** The session's scoped metrics registry ("pipeline.cache.*",
+     *  "pipeline.suite.*", this session's thread-pool metrics). */
+    obs::Registry &metrics() { return metrics_; }
+
   private:
     /** A measurement program: the lowered MachineProgram plus its
      *  predecoded form (which points back into the program, so entries
@@ -200,12 +216,17 @@ class Session
     std::unordered_map<std::string, std::shared_ptr<const DecodedMeasure>>
         decodeCache_; ///< keyed by SHA-256 of the source
 
-    std::atomic<uint64_t> profileHits_{0};
-    std::atomic<uint64_t> profileMisses_{0};
-    std::atomic<uint64_t> synthHits_{0};
-    std::atomic<uint64_t> synthMisses_{0};
-    std::atomic<uint64_t> decodeHits_{0};
-    std::atomic<uint64_t> decodeMisses_{0};
+    /** Session-scoped metric namespace; every update also flows into
+     *  the parent chain (ultimately obs::Registry::global()). */
+    obs::Registry metrics_;
+
+    // Named-counter handles (stable for the registry's lifetime).
+    obs::Counter &profileHits_;
+    obs::Counter &profileMisses_;
+    obs::Counter &synthHits_;
+    obs::Counter &synthMisses_;
+    obs::Counter &decodeHits_;
+    obs::Counter &decodeMisses_;
 };
 
 } // namespace bsyn::pipeline

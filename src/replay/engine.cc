@@ -6,6 +6,9 @@
 #include <memory>
 #include <thread>
 
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/spool.hh"
 #include "serve/worker.hh"
 #include "support/error.hh"
@@ -52,17 +55,31 @@ resolveDriverThreads(unsigned requested, size_t arrivals)
     return std::max<size_t>(1, std::min<size_t>(n, arrivals));
 }
 
-/** Shared state of one run's driver threads. */
+/** Shared state of one run's driver threads. The stage histograms are
+ *  run-local registry entries ("replay.stage.<name>") that also
+ *  aggregate into obs::Registry::global() through the parent chain. */
 struct Drive
 {
     const ReplayOptions &opts;
     const Mix &mix;
     const std::vector<uint64_t> &offsets;
     std::vector<ArrivalResult> &results;
-    LatencyHistogram *hists; // [kStages]
+    LatencyHistogram *const *hists; // [kStages]
     Clock::time_point start;
     std::atomic<size_t> next{0};
 };
+
+/** Trace the time an arrival spent waiting past its due instant as a
+ *  complete "queue-wait" span ending now. */
+void
+traceQueueWait(size_t i, uint64_t queueNs)
+{
+    if (!obs::Trace::enabled())
+        return;
+    uint64_t now = obs::Trace::nowNs();
+    obs::Trace::complete("queue-wait", now > queueNs ? now - queueNs : 0,
+                         queueNs, {{"arrival", std::to_string(i)}});
+}
 
 /** Claim arrivals and run them against @p session (direct mode). */
 void
@@ -80,29 +97,37 @@ driveDirect(Drive &d, pipeline::Session &session)
 
         const workloads::Workload &w = population[res.instance];
         Clock::time_point t0 = Clock::now();
-        d.hists[kQueue].record(elapsedNs(due, t0));
-        try {
-            session.compile(w.source, w.name(), opt::OptLevel::O0);
-            Clock::time_point t1 = Clock::now();
-            d.hists[kCompile].record(elapsedNs(t0, t1));
+        uint64_t queueNs = elapsedNs(due, t0);
+        d.hists[kQueue]->record(queueNs);
+        traceQueueWait(i, queueNs);
+        {
+            obs::Span span("arrival", "workload", w.name());
+            span.arg("index", std::to_string(i));
+            try {
+                session.compile(w.source, w.name(), opt::OptLevel::O0);
+                Clock::time_point t1 = Clock::now();
+                d.hists[kCompile]->record(elapsedNs(t0, t1));
 
-            auto prof = session.profile(w);
-            Clock::time_point t2 = Clock::now();
-            d.hists[kProfile].record(elapsedNs(t1, t2));
+                auto prof = session.profile(w);
+                Clock::time_point t2 = Clock::now();
+                d.hists[kProfile]->record(elapsedNs(t1, t2));
 
-            synth::SynthesisOptions so = session.options().synthesis;
-            so.targetInstructions = d.opts.targetInstr;
-            so.seed = pipeline::deriveWorkloadSeed(d.opts.seed, w.name());
-            session.synthesize(prof, so);
-            d.hists[kSynth].record(elapsedNs(t2, Clock::now()));
-        } catch (const std::exception &e) {
-            res.ok = false;
-            res.error = e.what();
+                synth::SynthesisOptions so = session.options().synthesis;
+                so.targetInstructions = d.opts.targetInstr;
+                so.seed =
+                    pipeline::deriveWorkloadSeed(d.opts.seed, w.name());
+                session.synthesize(prof, so);
+                d.hists[kSynth]->record(elapsedNs(t2, Clock::now()));
+            } catch (const std::exception &e) {
+                res.ok = false;
+                res.error = e.what();
+            }
+            span.arg("ok", res.ok ? "true" : "false");
         }
-        d.hists[kTotal].record(elapsedNs(due, Clock::now()));
+        d.hists[kTotal]->record(elapsedNs(due, Clock::now()));
         if (d.opts.verbose)
-            std::fprintf(stderr, "[bsyn] arrival %zu %-30s %s\n", i,
-                         w.name().c_str(), res.ok ? "ok" : "FAILED");
+            obs::logf(obs::LogLevel::Info, "[bsyn] arrival %zu %-30s %s",
+                      i, w.name().c_str(), res.ok ? "ok" : "FAILED");
     }
 }
 
@@ -128,23 +153,30 @@ driveSpool(Drive &d, const serve::Spool &spool)
         job.seed = d.opts.seed;
         job.targetInstr = d.opts.targetInstr;
         Json status;
-        try {
-            spool.submit(job);
-            auto outcome = serve::waitForResult(
-                spool, job.id, status, d.opts.spoolTimeoutS, 1);
-            if (outcome != serve::WaitOutcome::Done)
-                fatal("replay: no result for job '%s' (%s)",
-                      job.id.c_str(), serve::waitOutcomeName(outcome));
-            res.ok = status.get("ok").asBool();
-            if (!res.ok)
-                res.error = status.get("error").asString();
-        } catch (const std::exception &e) {
-            res.ok = false;
-            res.error = e.what();
+        {
+            obs::Span span("arrival", "workload", w.name());
+            span.arg("index", std::to_string(i));
+            span.arg("job", job.id);
+            try {
+                spool.submit(job);
+                auto outcome = serve::waitForResult(
+                    spool, job.id, status, d.opts.spoolTimeoutS, 1);
+                if (outcome != serve::WaitOutcome::Done)
+                    fatal("replay: no result for job '%s' (%s)",
+                          job.id.c_str(),
+                          serve::waitOutcomeName(outcome));
+                res.ok = status.get("ok").asBool();
+                if (!res.ok)
+                    res.error = status.get("error").asString();
+            } catch (const std::exception &e) {
+                res.ok = false;
+                res.error = e.what();
+            }
+            span.arg("ok", res.ok ? "true" : "false");
         }
         Clock::time_point done = Clock::now();
         uint64_t totalNs = elapsedNs(due, done);
-        d.hists[kTotal].record(totalNs);
+        d.hists[kTotal]->record(totalNs);
         // The worker reports its service time; the rest of the
         // round-trip — spool latency plus waiting for a free worker —
         // is the queue share.
@@ -152,11 +184,12 @@ driveSpool(Drive &d, const serve::Spool &spool)
         if (!status.isNull() && status.has("secs"))
             serviceNs =
                 static_cast<uint64_t>(status.get("secs").asNumber() * 1e9);
-        d.hists[kQueue].record(totalNs > serviceNs ? totalNs - serviceNs
-                                                   : 0);
+        uint64_t queueNs = totalNs > serviceNs ? totalNs - serviceNs : 0;
+        d.hists[kQueue]->record(queueNs);
+        traceQueueWait(i, queueNs);
         if (d.opts.verbose)
-            std::fprintf(stderr, "[bsyn] arrival %zu %-30s %s\n", i,
-                         w.name().c_str(), res.ok ? "ok" : "FAILED");
+            obs::logf(obs::LogLevel::Info, "[bsyn] arrival %zu %-30s %s",
+                      i, w.name().c_str(), res.ok ? "ok" : "FAILED");
     }
 }
 
@@ -227,9 +260,16 @@ runReplay(const ReplayOptions &opts)
     }
 
     unsigned threads = resolveDriverThreads(opts.threads, offsets.size());
-    auto hists = std::make_unique<LatencyHistogram[]>(kStages);
-    Drive drive{opts,          mix, offsets, rep.arrivals,
-                hists.get(),   {},  {}};
+
+    // Run-local stage histograms: counts stay exact per run (a test
+    // binary may replay several times) while the same recordings
+    // aggregate process-wide through the registry parent chain.
+    obs::Registry metrics(&obs::Registry::global());
+    LatencyHistogram *hists[kStages];
+    for (int s = 0; s < kStages; ++s)
+        hists[s] = &metrics.histogram(std::string("replay.stage.") +
+                                      kStageNames[s]);
+    Drive drive{opts, mix, offsets, rep.arrivals, hists, {}, {}};
 
     Clock::time_point runStart;
     if (opts.spoolDir.empty()) {
@@ -309,7 +349,7 @@ runReplay(const ReplayOptions &opts)
         rep.elapsedS > 0.0 ? double(rep.arrivals.size()) / rep.elapsedS
                            : 0.0;
     for (int s = 0; s < kStages; ++s)
-        rep.stages.push_back(summarize(kStageNames[s], hists[s]));
+        rep.stages.push_back(summarize(kStageNames[s], *hists[s]));
     return rep;
 }
 

@@ -1,82 +1,21 @@
 /**
  * @file
- * A lock-free latency histogram for the replay engine's hot path.
- * record() is one relaxed fetch_add into a log-bucketed counter array
- * (HdrHistogram-style: power-of-two exponent buckets, 16 linear
- * sub-buckets each, <= 6.25% relative value error), plus count/sum/max
- * atomics — no mutex, no allocation, safe from any number of driver
- * threads concurrently. Quantiles are extracted from a snapshot after
- * the run; they never perturb recording.
+ * Compatibility alias: the lock-free latency histogram the replay
+ * engine introduced now lives in the observability layer
+ * (obs/histogram.hh) so the metrics registry and the replay hot path
+ * share one implementation. Existing replay::LatencyHistogram users
+ * keep compiling unchanged.
  */
 
 #ifndef BSYN_REPLAY_HISTOGRAM_HH
 #define BSYN_REPLAY_HISTOGRAM_HH
 
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
+#include "obs/histogram.hh"
 
 namespace bsyn::replay
 {
 
-/** Fixed-range (full uint64) lock-free histogram of nanosecond
- *  latencies. */
-class LatencyHistogram
-{
-  public:
-    /** 16 exact buckets for values < 16, then 16 sub-buckets per
-     *  power of two up to 2^63. */
-    static constexpr size_t kSubBits = 4;
-    static constexpr size_t kBuckets = (64 - kSubBits + 1) << kSubBits;
-
-    /** Record one value. Wait-free; any thread. */
-    void
-    record(uint64_t ns)
-    {
-        counts_[bucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
-        count_.fetch_add(1, std::memory_order_relaxed);
-        sum_.fetch_add(ns, std::memory_order_relaxed);
-        uint64_t seen = max_.load(std::memory_order_relaxed);
-        while (ns > seen &&
-               !max_.compare_exchange_weak(seen, ns,
-                                           std::memory_order_relaxed)) {
-        }
-    }
-
-    uint64_t count() const { return count_.load(); }
-    uint64_t max() const { return max_.load(); }
-
-    /** Mean recorded value; 0 when empty. */
-    double
-    mean() const
-    {
-        uint64_t n = count_.load();
-        return n ? double(sum_.load()) / double(n) : 0.0;
-    }
-
-    /** Value at quantile @p q in [0, 1] (bucket midpoint; the exact
-     *  maximum for q past the last recorded value). 0 when empty. */
-    uint64_t quantile(double q) const;
-
-    /** Bucket index of @p ns (exposed for tests). */
-    static size_t
-    bucketOf(uint64_t ns)
-    {
-        uint64_t v = ns | 1;
-        int high = 63 - __builtin_clzll(v);
-        if (high < int(kSubBits))
-            return size_t(ns);
-        size_t exp = size_t(high) - (kSubBits - 1);
-        size_t sub = (ns >> (high - int(kSubBits))) & ((1u << kSubBits) - 1);
-        return (exp << kSubBits) | sub;
-    }
-
-  private:
-    std::atomic<uint64_t> counts_[kBuckets] = {};
-    std::atomic<uint64_t> count_{0};
-    std::atomic<uint64_t> sum_{0};
-    std::atomic<uint64_t> max_{0};
-};
+using LatencyHistogram = obs::LatencyHistogram;
 
 } // namespace bsyn::replay
 

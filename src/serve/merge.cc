@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.hh"
 #include "support/error.hh"
 #include "support/string_util.hh"
 
@@ -49,6 +50,8 @@ MergeResult
 mergeSuiteDirs(const std::string &outDir,
                const std::vector<std::string> &shardDirs)
 {
+    obs::Span span("merge", "kind", "suite");
+    span.arg("shards", std::to_string(shardDirs.size()));
     // Load and cross-validate every shard's status artifact first —
     // nothing is written until the cover is proven complete.
     std::vector<SuiteStatus> statuses;
@@ -135,6 +138,8 @@ mergeSuiteDirs(const std::string &outDir,
 Json
 mergeFidelityReports(const std::vector<Json> &shardReports)
 {
+    obs::Span span("merge", "kind", "fidelity");
+    span.arg("shards", std::to_string(shardReports.size()));
     // Shard provenance: every report must carry the section `bsyn
     // fidelity --shard` writes, agree on suite identity, and cover
     // 1..N exactly once.

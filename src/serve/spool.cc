@@ -271,6 +271,15 @@ Spool::freeId(const std::string &base) const
 }
 
 void
+Spool::publish(const std::string &name, const std::string &text) const
+{
+    if (name.empty() || name.find('/') != std::string::npos)
+        fatal("spool publish name '%s' must be a plain filename",
+              name.c_str());
+    atomicWrite(root_ + "/" + name, text);
+}
+
+void
 Spool::requestStop() const
 {
     atomicWrite(root_ + "/stop", "stop\n");

@@ -122,6 +122,11 @@ class Spool
      *  "<base>-2", "<base>-3", ... — deterministic, no clocks. */
     std::string freeId(const std::string &base) const;
 
+    /** Atomically publish a telemetry/status file at `<root>/<name>`
+     *  (write-temp + rename) — readers scraping the spool never see a
+     *  torn file. @p name must be a plain filename, not a path. */
+    void publish(const std::string &name, const std::string &text) const;
+
     /** Drain flag (`<root>/stop`): ask every worker on this spool to
      *  finish its current job and exit. */
     void requestStop() const;

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "gen/fidelity.hh"
+#include "obs/log.hh"
+#include "obs/trace.hh"
 #include "support/error.hh"
 #include "support/string_util.hh"
 
@@ -15,11 +17,12 @@ namespace
 {
 
 pipeline::SessionOptions
-sessionOptionsFor(const WorkerOptions &opts)
+sessionOptionsFor(const WorkerOptions &opts, obs::Registry *metrics)
 {
     pipeline::SessionOptions so;
     so.cacheDir = opts.cacheDir;
     so.threads = opts.threads;
+    so.metricsParent = metrics;
     return so;
 }
 
@@ -27,7 +30,13 @@ sessionOptionsFor(const WorkerOptions &opts)
 
 Worker::Worker(WorkerOptions opts)
     : opts_(std::move(opts)), spool_(opts_.spoolDir),
-      session_(sessionOptionsFor(opts_))
+      metrics_(&obs::Registry::global()),
+      jobsProcessed_(metrics_.counter("serve.jobs.processed")),
+      jobsSucceeded_(metrics_.counter("serve.jobs.succeeded")),
+      jobsFailed_(metrics_.counter("serve.jobs.failed")),
+      claimsLost_(metrics_.counter("serve.claims.lost")),
+      claimsReclaimed_(metrics_.counter("serve.claims.reclaimed")),
+      session_(sessionOptionsFor(opts_, &metrics_))
 {
     // A zero interval would turn the idle loop into a directory-scan
     // busy wait. The CLI rejects it at parse time; this guards every
@@ -139,10 +148,62 @@ Worker::processClaimed(const std::string &id)
     return status;
 }
 
+void
+Worker::publishMetrics() const
+{
+    spool_.publish("metrics.json", metrics_.snapshot().dump(2) + "\n");
+}
+
+void
+Worker::publishStatus(const WorkerStats &stats) const
+{
+    Json status = Json::object();
+    status.set("schema", Json("bsyn.worker.v1"));
+    status.set("processed", Json(stats.processed));
+    status.set("succeeded", Json(stats.succeeded));
+    status.set("failed", Json(stats.failed));
+    status.set("lostClaims", Json(stats.lostClaims));
+    status.set("reclaimed", Json(stats.reclaimed));
+    spool_.publish("worker_status.json", status.dump(2) + "\n");
+}
+
 WorkerStats
 Worker::run()
 {
-    WorkerStats stats;
+    // run() reports its own activity even if called twice on one
+    // worker: the registry counters are worker-lifetime, so take the
+    // delta against their values at entry.
+    const WorkerStats base{jobsProcessed_.value(), jobsSucceeded_.value(),
+                           jobsFailed_.value(), claimsLost_.value(),
+                           claimsReclaimed_.value()};
+    auto statsNow = [&] {
+        WorkerStats s;
+        s.processed = jobsProcessed_.value() - base.processed;
+        s.succeeded = jobsSucceeded_.value() - base.succeeded;
+        s.failed = jobsFailed_.value() - base.failed;
+        s.lostClaims = claimsLost_.value() - base.lostClaims;
+        s.reclaimed = claimsReclaimed_.value() - base.reclaimed;
+        return s;
+    };
+    auto finish = [&] {
+        WorkerStats s = statsNow();
+        publishMetrics();
+        publishStatus(s);
+        return s;
+    };
+
+    auto lastPublish = std::chrono::steady_clock::now();
+    auto maybePublish = [&] {
+        if (opts_.metricsEveryS <= 0.0)
+            return;
+        auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration<double>(now - lastPublish).count() <
+            opts_.metricsEveryS)
+            return;
+        lastPublish = now;
+        publishMetrics();
+    };
+
     unsigned idleMs = opts_.pollMs;
     while (!stopping()) {
         bool progressed = false;
@@ -150,41 +211,58 @@ Worker::run()
             for (const auto &id : spool_.scanStale(opts_.reclaimAfterS)) {
                 if (!spool_.reclaim(id))
                     continue; // owner finished or another worker won
-                ++stats.reclaimed;
+                claimsReclaimed_.add();
+                obs::Trace::instant("reclaim", {{"id", id}});
                 if (opts_.verbose)
-                    std::fprintf(stderr,
-                                 "[bsyn] job %-24s reclaimed (claim "
-                                 "older than %.0fs)\n",
-                                 id.c_str(), opts_.reclaimAfterS);
+                    obs::logf(obs::LogLevel::Info,
+                              "[bsyn] job %-24s reclaimed (claim "
+                              "older than %.0fs)",
+                              id.c_str(), opts_.reclaimAfterS);
             }
         }
         for (const auto &id : spool_.pending()) {
             if (stopping())
                 break;
-            if (!spool_.claim(id)) {
+            bool claimed;
+            {
+                obs::Span claimSpan("spool-claim", "id", id);
+                claimed = spool_.claim(id);
+            }
+            if (!claimed) {
                 // Another worker on this spool won the rename race.
-                ++stats.lostClaims;
+                claimsLost_.add();
                 continue;
             }
-            Json status = processClaimed(id);
+            Json status;
+            {
+                obs::Span jobSpan("job", "id", id);
+                status = processClaimed(id);
+                jobSpan.arg("kind", status.get("kind").asString());
+                jobSpan.arg("workload", status.get("workload").asString());
+                jobSpan.arg("ok",
+                            status.get("ok").asBool() ? "true" : "false");
+            }
             spool_.finish(id, status);
             progressed = true;
-            ++stats.processed;
+            jobsProcessed_.add();
             bool ok = status.get("ok").asBool();
-            ok ? ++stats.succeeded : ++stats.failed;
+            (ok ? jobsSucceeded_ : jobsFailed_).add();
             if (opts_.verbose)
-                std::fprintf(stderr, "[bsyn] job %-24s %s (%.2fs)%s\n",
-                             id.c_str(), ok ? "ok" : "FAILED",
-                             status.get("secs").asNumber(),
-                             status.get("profileCached").asBool() &&
-                                     status.get("synthCached").asBool()
-                                 ? " (cached)"
-                                 : "");
-            if (opts_.maxJobs && stats.processed >= opts_.maxJobs)
-                return stats;
+                obs::logf(obs::LogLevel::Info,
+                          "[bsyn] job %-24s %s (%.2fs)%s", id.c_str(),
+                          ok ? "ok" : "FAILED",
+                          status.get("secs").asNumber(),
+                          status.get("profileCached").asBool() &&
+                                  status.get("synthCached").asBool()
+                              ? " (cached)"
+                              : "");
+            maybePublish();
+            if (opts_.maxJobs && statsNow().processed >= opts_.maxJobs)
+                return finish();
         }
         if (stopping())
             break;
+        maybePublish();
         if (!progressed) {
             if (opts_.drain)
                 break;
@@ -196,7 +274,7 @@ Worker::run()
             idleMs = opts_.pollMs;
         }
     }
-    return stats;
+    return finish();
 }
 
 } // namespace bsyn::serve

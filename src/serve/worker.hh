@@ -57,9 +57,19 @@ struct WorkerOptions
 
     /** Per-job progress lines on stderr. */
     bool verbose = false;
+
+    /** Atomically drop a `metrics.json` snapshot of the worker's
+     *  registry into the spool root at least this often while serving
+     *  (and once on exit) — anything that can read the spool can
+     *  scrape the worker. 0 disables periodic telemetry (the final
+     *  snapshot and `worker_status.json` are still written). */
+    double metricsEveryS = 5.0;
 };
 
-/** Counters of one worker run. */
+/** Counters of one worker run. Since the observability layer landed
+ *  this is a *view* over the worker's named metrics ("serve.jobs.*",
+ *  "serve.claims.*" in the worker's scoped obs::Registry), which also
+ *  aggregate process-wide through the parent chain. */
 struct WorkerStats
 {
     uint64_t processed = 0;  ///< jobs claimed and finished by this worker
@@ -90,6 +100,10 @@ class Worker
     pipeline::Session &session() { return session_; }
     const Spool &spool() const { return spool_; }
 
+    /** The worker's scoped metrics registry — job/claim counters plus,
+     *  via the parent chain, its session's cache traffic. */
+    obs::Registry &metrics() { return metrics_; }
+
   private:
     bool stopping() const;
 
@@ -101,8 +115,24 @@ class Worker
      *  structured !ok status. @return the terminal status JSON. */
     Json processClaimed(const std::string &id);
 
+    /** Publish metrics.json (atomic) into the spool root. */
+    void publishMetrics() const;
+
+    /** Publish the final worker_status.json ("bsyn.worker.v1"). */
+    void publishStatus(const WorkerStats &stats) const;
+
     WorkerOptions opts_;
     Spool spool_;
+
+    /** Declared before session_: the session chains into this registry
+     *  (metricsParent), so one scrape of the worker sees everything. */
+    obs::Registry metrics_;
+    obs::Counter &jobsProcessed_;
+    obs::Counter &jobsSucceeded_;
+    obs::Counter &jobsFailed_;
+    obs::Counter &claimsLost_;
+    obs::Counter &claimsReclaimed_;
+
     pipeline::Session session_;
     std::atomic<bool> stop_{false};
 };

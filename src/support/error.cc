@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/log.hh"
+
 namespace bsyn
 {
 
@@ -52,7 +54,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = formatMessage(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    obs::logf(obs::LogLevel::Warn, "warn: %s", msg.c_str());
 }
 
 } // namespace bsyn

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "support/error.hh"
+#include "support/string_util.hh"
 
 namespace bsyn
 {
@@ -20,11 +21,17 @@ ThreadPool::hardwareThreads()
     return n ? n : 1;
 }
 
-ThreadPool::ThreadPool(unsigned threads)
+ThreadPool::ThreadPool(unsigned threads, obs::Registry *metrics)
 {
     if (threads == 0)
         threads = hardwareThreads();
+    obs::Registry &reg = metrics ? *metrics : obs::Registry::global();
+    pendingGauge_ = &reg.gauge("threadpool.tasks.pending");
+    executedTotal_ = &reg.counter("threadpool.tasks.executed");
     workers_.resize(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_[i].executed =
+            &reg.counter(strprintf("threadpool.thread%02u.tasks", i));
     threads_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         threads_.emplace_back([this, i] { workerLoop(i); });
@@ -55,6 +62,7 @@ ThreadPool::submit(Task task)
             std::move(task));
         ++nextVictim_;
         ++pending_;
+        pendingGauge_->set(static_cast<int64_t>(pending_));
     }
     workCv_.notify_one();
 }
@@ -99,7 +107,10 @@ ThreadPool::workerLoop(size_t self)
                 warn("thread_pool: task threw a non-exception");
             }
             task = nullptr; // drop captures before signalling completion
+            workers_[self].executed->add();
+            executedTotal_->add();
             lock.lock();
+            pendingGauge_->set(static_cast<int64_t>(pending_ - 1));
             if (--pending_ == 0)
                 idleCv_.notify_all();
             continue;

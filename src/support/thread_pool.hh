@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace bsyn
 {
 
@@ -37,8 +39,14 @@ class ThreadPool
      * Start @p threads workers. 0 means one per hardware thread.
      * A pool of 1 still runs tasks on its single worker thread, so the
      * sequential path exercises the same machinery as the parallel one.
+     *
+     * The pool publishes a queue-depth gauge ("threadpool.tasks.pending"),
+     * an executed-task counter and per-thread task counters into
+     * @p metrics (null = obs::Registry::global()). Not owned; must
+     * outlive the pool.
      */
-    explicit ThreadPool(unsigned threads = 0);
+    explicit ThreadPool(unsigned threads = 0,
+                        obs::Registry *metrics = nullptr);
 
     /** Waits for remaining work, then joins all workers. */
     ~ThreadPool();
@@ -71,7 +79,8 @@ class ThreadPool
     /** One worker's deque; owner pops LIFO, thieves steal FIFO. */
     struct Worker
     {
-        std::deque<Task> tasks; // guarded by mtx_
+        std::deque<Task> tasks;        // guarded by mtx_
+        obs::Counter *executed = nullptr; ///< tasks this thread ran
     };
 
     void workerLoop(size_t self);
@@ -87,6 +96,9 @@ class ThreadPool
     size_t pending_ = 0;             ///< queued + running tasks
     size_t nextVictim_ = 0;          ///< round-robin submit cursor
     bool stopping_ = false;
+
+    obs::Gauge *pendingGauge_ = nullptr;  ///< mirrors pending_
+    obs::Counter *executedTotal_ = nullptr;
 };
 
 } // namespace bsyn

@@ -436,6 +436,43 @@ TEST(Worker, RejectsBrokenPollConfiguration)
     EXPECT_THROW({ serve::Worker w(wo); }, FatalError);
 }
 
+TEST(Worker, DrainPublishesStatusAndMetricsArtifacts)
+{
+    ScratchDir dir("serve_status");
+    serve::Spool spool(dir.sub("spool"));
+    spool.submit(synthJob("good", "crc32/small"));
+    spool.submit(synthJob("bad", "broken/nope"));
+
+    serve::WorkerOptions wo;
+    wo.spoolDir = dir.sub("spool");
+    wo.drain = true;
+    wo.threads = 1;
+    serve::Worker worker(wo);
+    auto stats = worker.run();
+
+    // Graceful drain leaves a scrapeable status artifact whose counts
+    // match the stats run() returned.
+    Json status =
+        Json::parse(readFile(dir.sub("spool") + "/worker_status.json"));
+    EXPECT_EQ(status.get("schema").asString(), "bsyn.worker.v1");
+    EXPECT_EQ(uint64_t(status.get("processed").asInt()), stats.processed);
+    EXPECT_EQ(uint64_t(status.get("succeeded").asInt()), stats.succeeded);
+    EXPECT_EQ(uint64_t(status.get("failed").asInt()), stats.failed);
+    EXPECT_EQ(stats.processed, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+
+    // ...and a final metrics snapshot that reflects the same counters
+    // plus the chained session cache traffic.
+    Json metrics =
+        Json::parse(readFile(dir.sub("spool") + "/metrics.json"));
+    EXPECT_EQ(metrics.get("schema").asString(), "bsyn.metrics.v1");
+    const Json &counters = metrics.get("counters");
+    EXPECT_EQ(counters.get("serve.jobs.processed").asInt(), 2);
+    EXPECT_EQ(counters.get("serve.jobs.succeeded").asInt(), 1);
+    EXPECT_EQ(counters.get("serve.jobs.failed").asInt(), 1);
+    EXPECT_TRUE(counters.has("pipeline.cache.synth.misses"));
+}
+
 TEST(Worker, BackedOffIdlerStopsPromptly)
 {
     ScratchDir dir("serve_backoff");

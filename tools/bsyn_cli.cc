@@ -75,6 +75,8 @@
 #include "gen/fidelity.hh"
 #include "gen/registry.hh"
 #include "isa/lowering.hh"
+#include "obs/log.hh"
+#include "obs/trace.hh"
 #include "pipeline/pipeline.hh"
 #include "pipeline/run_sink.hh"
 #include "pipeline/session.hh"
@@ -144,6 +146,11 @@ struct Args
     uint64_t population = 4;  ///< seeds per seedless mix entry
     unsigned spoolWorkers = 2; ///< replay --spool: in-process workers
 
+    // observability (every command)
+    std::string traceFile; ///< --trace / BSYN_TRACE: trace-event JSON
+    std::string logLevel;  ///< --log-level / BSYN_LOG
+    bool quiet = false;    ///< --quiet: errors only on stderr
+
     /** Cache directory after --no-cache is applied. */
     std::string
     effectiveCacheDir() const
@@ -200,6 +207,10 @@ parseArgs(int argc, char **argv, int first)
     Args args;
     if (const char *env = std::getenv("BSYN_CACHE_DIR"))
         args.cacheDir = env;
+    if (const char *env = std::getenv("BSYN_TRACE"))
+        args.traceFile = env;
+    if (const char *env = std::getenv("BSYN_LOG"))
+        args.logLevel = env;
     for (int i = first; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&](const char *what) {
@@ -297,6 +308,12 @@ parseArgs(int argc, char **argv, int first)
                 fatal("--workers %llu is out of range (1..64)",
                       static_cast<unsigned long long>(n));
             args.spoolWorkers = static_cast<unsigned>(n);
+        } else if (a == "--trace") {
+            args.traceFile = next("--trace");
+        } else if (a == "--log-level") {
+            args.logLevel = next("--log-level");
+        } else if (a == "--quiet") {
+            args.quiet = true;
         } else if (a == "--phase-slices") {
             args.phaseSlices =
                 parseU64(next("--phase-slices"), "--phase-slices");
@@ -327,6 +344,9 @@ parseArgs(int argc, char **argv, int first)
     // is an argument error: usage + exit 2.
     if (!args.mix.empty())
         replay::Mix::parse(args.mix, args.population);
+    // A bad level name — flag or BSYN_LOG — is an argument error too.
+    if (!args.logLevel.empty())
+        obs::parseLogLevel(args.logLevel);
     return args;
 }
 
@@ -378,14 +398,14 @@ cmdRun(const Args &args)
     auto stats = pipeline::runSource(src, args.positional[0], args.level,
                                      isa::targetByName(args.target));
     std::fputs(stats.output.c_str(), stdout);
-    std::fprintf(stderr,
-                 "[bsyn] %llu instructions (%llu loads, %llu stores, "
-                 "%llu branches), exit code %d\n",
-                 static_cast<unsigned long long>(stats.instructions),
-                 static_cast<unsigned long long>(stats.memReads),
-                 static_cast<unsigned long long>(stats.memWrites),
-                 static_cast<unsigned long long>(stats.branches),
-                 stats.exitCode);
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] %llu instructions (%llu loads, %llu stores, "
+              "%llu branches), exit code %d",
+              static_cast<unsigned long long>(stats.instructions),
+              static_cast<unsigned long long>(stats.memReads),
+              static_cast<unsigned long long>(stats.memWrites),
+              static_cast<unsigned long long>(stats.branches),
+              stats.exitCode);
     return stats.exitCode;
 }
 
@@ -405,17 +425,16 @@ cmdProfile(const Args &args)
     auto prof = session.profile(readFile(args.positional[0]),
                                 args.positional[0], &cached);
     prof.saveTo(args.output);
-    std::fprintf(stderr,
-                 "[bsyn] wrote %s%s: %llu dynamic instructions, %zu "
-                 "blocks, %zu loops, %zu phase%s (%llu slices of "
-                 "%llu)\n",
-                 args.output.c_str(), cached ? " (from cache)" : "",
-                 static_cast<unsigned long long>(
-                     prof.dynamicInstructions),
-                 prof.sfgl.blocks.size(), prof.sfgl.loops.size(),
-                 prof.phaseCount(), prof.phaseCount() == 1 ? "" : "s",
-                 static_cast<unsigned long long>(prof.sliceCount),
-                 static_cast<unsigned long long>(prof.sliceLength));
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] wrote %s%s: %llu dynamic instructions, %zu "
+              "blocks, %zu loops, %zu phase%s (%llu slices of "
+              "%llu)",
+              args.output.c_str(), cached ? " (from cache)" : "",
+              static_cast<unsigned long long>(prof.dynamicInstructions),
+              prof.sfgl.blocks.size(), prof.sfgl.loops.size(),
+              prof.phaseCount(), prof.phaseCount() == 1 ? "" : "s",
+              static_cast<unsigned long long>(prof.sliceCount),
+              static_cast<unsigned long long>(prof.sliceLength));
     if (args.showPhases) {
         TextTable table("profile phases");
         table.setHeader({"phase", "instr", "slices", "load", "store",
@@ -457,22 +476,22 @@ cmdSynth(const Args &args)
     writeFile(args.output, syn.cSource);
     if (cached) {
         // Skip the measurement run: a warm synth must compute nothing.
-        std::fprintf(stderr,
-                     "[bsyn] wrote %s (from cache): R=%llu, %u "
-                     "phase(s), coverage %.1f%%\n",
-                     args.output.c_str(),
-                     static_cast<unsigned long long>(syn.reductionFactor),
-                     syn.phases, 100.0 * syn.patternStats.coverage());
+        obs::logf(obs::LogLevel::Info,
+                  "[bsyn] wrote %s (from cache): R=%llu, %u "
+                  "phase(s), coverage %.1f%%",
+                  args.output.c_str(),
+                  static_cast<unsigned long long>(syn.reductionFactor),
+                  syn.phases, 100.0 * syn.patternStats.coverage());
         return 0;
     }
-    std::fprintf(stderr,
-                 "[bsyn] wrote %s: R=%llu, %u phase(s), coverage "
-                 "%.1f%%, clone runs %llu instructions\n",
-                 args.output.c_str(),
-                 static_cast<unsigned long long>(syn.reductionFactor),
-                 syn.phases, 100.0 * syn.patternStats.coverage(),
-                 static_cast<unsigned long long>(
-                     pipeline::measureInstructions(syn.cSource)));
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] wrote %s: R=%llu, %u phase(s), coverage "
+              "%.1f%%, clone runs %llu instructions",
+              args.output.c_str(),
+              static_cast<unsigned long long>(syn.reductionFactor),
+              syn.phases, 100.0 * syn.patternStats.coverage(),
+              static_cast<unsigned long long>(
+                  pipeline::measureInstructions(syn.cSource)));
     return 0;
 }
 
@@ -536,9 +555,9 @@ cmdSuite(const Args &args)
     serve::ShardedBatch sharded = serve::filterShard(fullSuite, args.shard);
     const std::vector<workloads::Workload> &suite = sharded.workloads;
     if (!args.shard.isAll())
-        std::fprintf(stderr, "[bsyn] shard %s: %zu of %zu workloads\n",
-                     args.shard.str().c_str(), suite.size(),
-                     sharded.total);
+        obs::logf(obs::LogLevel::Info,
+                  "[bsyn] shard %s: %zu of %zu workloads",
+                  args.shard.str().c_str(), suite.size(), sharded.total);
 
     pipeline::SessionOptions so;
     // Cap the pool at the batch width so a wide --threads (or a wide
@@ -555,15 +574,14 @@ cmdSuite(const Args &args)
         [](const pipeline::RunStatus &st, const pipeline::WorkloadRun &r) {
             if (!st.ok)
                 return;
-            std::fprintf(stderr,
-                         "[bsyn] %-22s R=%llu, coverage %.1f%%%s\n",
-                         st.workload.c_str(),
-                         static_cast<unsigned long long>(
-                             r.synthetic.reductionFactor),
-                         100.0 * r.synthetic.patternStats.coverage(),
-                         st.profileCached && st.synthCached
-                             ? " (cached)"
-                             : "");
+            obs::logf(obs::LogLevel::Info,
+                      "[bsyn] %-22s R=%llu, coverage %.1f%%%s",
+                      st.workload.c_str(),
+                      static_cast<unsigned long long>(
+                          r.synthetic.reductionFactor),
+                      100.0 * r.synthetic.patternStats.coverage(),
+                      st.profileCached && st.synthCached ? " (cached)"
+                                                         : "");
         });
     pipeline::CollectSink collect;
     std::unique_ptr<pipeline::DirectorySink> disk;
@@ -587,8 +605,8 @@ cmdSuite(const Args &args)
     for (const auto &st : statuses) {
         if (!st.ok) {
             ++failed;
-            std::fprintf(stderr, "[bsyn] FAILED %-22s %s\n",
-                         st.workload.c_str(), st.error.c_str());
+            obs::logf(obs::LogLevel::Warn, "[bsyn] FAILED %-22s %s",
+                      st.workload.c_str(), st.error.c_str());
         }
     }
 
@@ -610,24 +628,23 @@ cmdSuite(const Args &args)
     }
     table.print(std::cout);
 
-    std::fprintf(stderr,
-                 "[bsyn] %zu/%zu workloads synthesized on %u threads "
-                 "in %.2fs%s%s\n",
-                 runs.size(), statuses.size(), threads, secs,
-                 args.output.empty() ? "" : ", clones written to ",
-                 args.output.c_str());
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] %zu/%zu workloads synthesized on %u threads "
+              "in %.2fs%s%s",
+              runs.size(), statuses.size(), threads, secs,
+              args.output.empty() ? "" : ", clones written to ",
+              args.output.c_str());
     if (session.cache().enabled()) {
         auto cs = session.cacheStats();
-        std::fprintf(
-            stderr,
-            "[bsyn] cache: profiles %llu/%llu from cache, clones "
-            "%llu/%llu from cache\n",
-            static_cast<unsigned long long>(cs.profileHits),
-            static_cast<unsigned long long>(cs.profileHits +
-                                            cs.profileMisses),
-            static_cast<unsigned long long>(cs.synthHits),
-            static_cast<unsigned long long>(cs.synthHits +
-                                            cs.synthMisses));
+        obs::logf(obs::LogLevel::Info,
+                  "[bsyn] cache: profiles %llu/%llu from cache, clones "
+                  "%llu/%llu from cache",
+                  static_cast<unsigned long long>(cs.profileHits),
+                  static_cast<unsigned long long>(cs.profileHits +
+                                                  cs.profileMisses),
+                  static_cast<unsigned long long>(cs.synthHits),
+                  static_cast<unsigned long long>(cs.synthHits +
+                                                  cs.synthMisses));
     }
     return failed ? 1 : 0;
 }
@@ -680,12 +697,12 @@ cmdGen(const Args &args)
         std::fputs(w.source.c_str(), stdout);
     else
         writeFile(args.output, w.source);
-    std::fprintf(stderr,
-                 "[bsyn] generated %s (%zu bytes)%s%s\n"
-                 "[bsyn] expected output: %s\n",
-                 w.name().c_str(), w.source.size(),
-                 args.output.empty() ? "" : " -> ",
-                 args.output.c_str(), w.expectedOutput.c_str());
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] generated %s (%zu bytes)%s%s\n"
+              "[bsyn] expected output: %s",
+              w.name().c_str(), w.source.size(),
+              args.output.empty() ? "" : " -> ", args.output.c_str(),
+              w.expectedOutput.c_str());
     return 0;
 }
 
@@ -720,9 +737,9 @@ cmdFidelity(const Args &args)
     serve::ShardedBatch sharded = serve::filterShard(batch, args.shard);
     batch = sharded.workloads;
     if (!args.shard.isAll())
-        std::fprintf(stderr, "[bsyn] shard %s: %zu of %zu instances\n",
-                     args.shard.str().c_str(), batch.size(),
-                     sharded.total);
+        obs::logf(obs::LogLevel::Info,
+                  "[bsyn] shard %s: %zu of %zu instances",
+                  args.shard.str().c_str(), batch.size(), sharded.total);
 
     pipeline::SessionOptions so;
     so.threads = pipeline::resolveSuiteThreads(args.threads,
@@ -773,8 +790,8 @@ cmdFidelity(const Args &args)
     for (const auto &inst : report.instances) {
         if (!inst.ok) {
             ++failed;
-            std::fprintf(stderr, "[bsyn] FAILED %-22s %s\n",
-                         inst.workload.c_str(), inst.error.c_str());
+            obs::logf(obs::LogLevel::Warn, "[bsyn] FAILED %-22s %s",
+                      inst.workload.c_str(), inst.error.c_str());
             continue;
         }
         const gen::MetricScore *worst = nullptr;
@@ -793,22 +810,21 @@ cmdFidelity(const Args &args)
              worst ? worst->metric : "-"});
         if (args.showPhases) {
             for (const auto &ps : inst.phaseScores)
-                std::fprintf(
-                    stderr,
-                    "[bsyn]   %-22s phase %zu -> clone %zu: mix "
-                    "%.3f, miss %.3f, taken %.3f\n",
-                    inst.workload.c_str(), ps.original, ps.clone,
-                    ps.mixError, ps.missRateError,
-                    ps.takenRateError);
+                obs::logf(obs::LogLevel::Info,
+                          "[bsyn]   %-22s phase %zu -> clone %zu: mix "
+                          "%.3f, miss %.3f, taken %.3f",
+                          inst.workload.c_str(), ps.original, ps.clone,
+                          ps.mixError, ps.missRateError,
+                          ps.takenRateError);
         }
     }
     table.print(std::cout);
-    std::fprintf(stderr,
-                 "[bsyn] scored %zu/%zu instances in %.2fs%s%s\n",
-                 report.instances.size() - failed,
-                 report.instances.size(), report.totalSecs,
-                 args.output.empty() ? "" : ", report written to ",
-                 args.output.c_str());
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] scored %zu/%zu instances in %.2fs%s%s",
+              report.instances.size() - failed, report.instances.size(),
+              report.totalSecs,
+              args.output.empty() ? "" : ", report written to ",
+              args.output.c_str());
     return failed ? 1 : 0;
 }
 
@@ -826,21 +842,21 @@ cmdMerge(const Args &args)
             reports.push_back(Json::parse(readFile(path)));
         Json merged = serve::mergeFidelityReports(reports);
         writeFile(args.output, merged.dump(2) + "\n");
-        std::fprintf(stderr,
-                     "[bsyn] merged %zu fidelity shards (%zu instances) "
-                     "into %s\n",
-                     reports.size(), merged.get("instances").size(),
-                     args.output.c_str());
+        obs::logf(obs::LogLevel::Info,
+                  "[bsyn] merged %zu fidelity shards (%zu instances) "
+                  "into %s",
+                  reports.size(), merged.get("instances").size(),
+                  args.output.c_str());
         return 0;
     }
 
     serve::MergeResult res =
         serve::mergeSuiteDirs(args.output, args.positional);
-    std::fprintf(stderr,
-                 "[bsyn] merged %zu shards into %s: %zu workloads "
-                 "(%zu failed), %zu artifact files\n",
-                 res.shards, args.output.c_str(), res.workloads,
-                 res.failed, res.files);
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] merged %zu shards into %s: %zu workloads "
+              "(%zu failed), %zu artifact files",
+              res.shards, args.output.c_str(), res.workloads, res.failed,
+              res.files);
     return res.failed ? 1 : 0;
 }
 
@@ -882,20 +898,20 @@ cmdServe(const Args &args)
     std::signal(SIGINT, serveSignalHandler);
     std::signal(SIGTERM, serveSignalHandler);
 
-    std::fprintf(stderr, "[bsyn] serving %s%s%s\n", args.spool.c_str(),
-                 wo.cacheDir.empty() ? "" : ", cache ",
-                 wo.cacheDir.c_str());
+    obs::logf(obs::LogLevel::Info, "[bsyn] serving %s%s%s",
+              args.spool.c_str(), wo.cacheDir.empty() ? "" : ", cache ",
+              wo.cacheDir.c_str());
     serve::WorkerStats stats = worker.run();
     gServeWorker = nullptr;
 
-    std::fprintf(stderr,
-                 "[bsyn] served %llu jobs (%llu ok, %llu failed, "
-                 "%llu claims lost, %llu reclaimed)\n",
-                 static_cast<unsigned long long>(stats.processed),
-                 static_cast<unsigned long long>(stats.succeeded),
-                 static_cast<unsigned long long>(stats.failed),
-                 static_cast<unsigned long long>(stats.lostClaims),
-                 static_cast<unsigned long long>(stats.reclaimed));
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] served %llu jobs (%llu ok, %llu failed, "
+              "%llu claims lost, %llu reclaimed)",
+              static_cast<unsigned long long>(stats.processed),
+              static_cast<unsigned long long>(stats.succeeded),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.lostClaims),
+              static_cast<unsigned long long>(stats.reclaimed));
     // Failed *jobs* are the submitters' problem, not the worker's: a
     // worker that survived them exits 0.
     return 0;
@@ -944,16 +960,16 @@ cmdSubmit(const Args &args)
     case serve::WaitOutcome::Done:
         break;
     case serve::WaitOutcome::Stopped:
-        std::fprintf(stderr,
-                     "bsyn: job '%s' will never run: the spool's stop "
-                     "flag is set and the job is still unclaimed\n",
-                     job.id.c_str());
+        obs::logf(obs::LogLevel::Error,
+                  "bsyn: job '%s' will never run: the spool's stop "
+                  "flag is set and the job is still unclaimed",
+                  job.id.c_str());
         return 3;
     case serve::WaitOutcome::Vanished:
-        std::fprintf(stderr,
-                     "bsyn: job '%s' vanished from the spool without "
-                     "a result\n",
-                     job.id.c_str());
+        obs::logf(obs::LogLevel::Error,
+                  "bsyn: job '%s' vanished from the spool without "
+                  "a result",
+                  job.id.c_str());
         return 3;
     case serve::WaitOutcome::Timeout:
         fatal("submit: timed out after %llus waiting for job '%s'",
@@ -1011,17 +1027,17 @@ cmdReplay(const Args &args)
     }
     table.print(std::cout);
 
-    std::fprintf(stderr,
-                 "[bsyn] %zu arrivals (%llu ok, %llu failed) over %zu "
-                 "instances in %.2fs: offered %.1f/s, achieved %.1f/s"
-                 "%s%s\n",
-                 report.arrivals.size(),
-                 static_cast<unsigned long long>(report.okCount),
-                 static_cast<unsigned long long>(report.failCount),
-                 report.instanceNames.size(), report.elapsedS,
-                 report.offeredRate, report.achievedRate,
-                 args.output.empty() ? "" : ", report written to ",
-                 args.output.c_str());
+    obs::logf(obs::LogLevel::Info,
+              "[bsyn] %zu arrivals (%llu ok, %llu failed) over %zu "
+              "instances in %.2fs: offered %.1f/s, achieved %.1f/s"
+              "%s%s",
+              report.arrivals.size(),
+              static_cast<unsigned long long>(report.okCount),
+              static_cast<unsigned long long>(report.failCount),
+              report.instanceNames.size(), report.elapsedS,
+              report.offeredRate, report.achievedRate,
+              args.output.empty() ? "" : ", report written to ",
+              args.output.c_str());
     return report.failCount ? 1 : 0;
 }
 
@@ -1090,7 +1106,45 @@ usage()
         "their knobs.\n"
         "profile/synth/suite/fidelity also accept --cache-dir <dir> "
         "and --no-cache;\nBSYN_CACHE_DIR sets the default cache "
-        "directory.\n");
+        "directory.\n"
+        "every command accepts --trace <file> (write a Chrome "
+        "trace-event JSON\nof the run's stage spans; BSYN_TRACE sets "
+        "the default), --log-level\ndebug|info|warn|error|silent "
+        "(BSYN_LOG) and --quiet (errors only).\n");
+}
+
+int
+runCommand(const std::string &cmd, const Args &args)
+{
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "synth")
+        return cmdSynth(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
+    if (cmd == "time")
+        return cmdTime(args);
+    if (cmd == "suite")
+        return cmdSuite(args);
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "fidelity")
+        return cmdFidelity(args);
+    if (cmd == "merge")
+        return cmdMerge(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "submit")
+        return cmdSubmit(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 2;
 }
 
 } // namespace
@@ -1116,38 +1170,33 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // --quiet keeps errors; --log-level names any threshold exactly.
+    if (args.quiet)
+        obs::setLogLevel(obs::LogLevel::Error);
+    else if (!args.logLevel.empty())
+        obs::setLogLevel(obs::parseLogLevel(args.logLevel));
+    if (!args.traceFile.empty())
+        obs::Trace::begin(args.traceFile);
+
+    int rc;
     try {
-        if (cmd == "run")
-            return cmdRun(args);
-        if (cmd == "profile")
-            return cmdProfile(args);
-        if (cmd == "synth")
-            return cmdSynth(args);
-        if (cmd == "compare")
-            return cmdCompare(args);
-        if (cmd == "time")
-            return cmdTime(args);
-        if (cmd == "suite")
-            return cmdSuite(args);
-        if (cmd == "list")
-            return cmdList(args);
-        if (cmd == "gen")
-            return cmdGen(args);
-        if (cmd == "fidelity")
-            return cmdFidelity(args);
-        if (cmd == "merge")
-            return cmdMerge(args);
-        if (cmd == "serve")
-            return cmdServe(args);
-        if (cmd == "submit")
-            return cmdSubmit(args);
-        if (cmd == "replay")
-            return cmdReplay(args);
-        std::fprintf(stderr, "bsyn: unknown command '%s'\n", cmd.c_str());
-        usage();
-        return 2;
+        rc = runCommand(cmd, args);
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        obs::logf(obs::LogLevel::Error, "%s", e.what());
+        rc = 1;
     }
+
+    // The trace flushes on every exit path, error included — a failed
+    // run's trace is the one worth looking at.
+    try {
+        std::string path = obs::Trace::end();
+        if (!path.empty())
+            obs::logf(obs::LogLevel::Info, "[bsyn] trace written to %s",
+                      path.c_str());
+    } catch (const FatalError &e) {
+        obs::logf(obs::LogLevel::Error, "%s", e.what());
+        if (rc == 0)
+            rc = 1;
+    }
+    return rc;
 }
